@@ -1,0 +1,14 @@
+"""Benchmark fixtures: warm corpus/evaluation caches once per session so
+pytest-benchmark timings measure the analysis, not corpus construction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus import registry
+
+
+@pytest.fixture(scope="session", autouse=True)
+def warm_registry():
+    registry()
+    yield

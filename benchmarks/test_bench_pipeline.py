@@ -1,0 +1,56 @@
+"""§5.1 analysis-time characteristics.
+
+The paper reports ~4 minutes per open-source app and 11-180 minutes for
+closed-source apps on real APKs; our substrate is smaller, so only the
+*relative* shape is expected to hold: closed-source (larger) apps take
+longer, and analysis time grows with app size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AnalysisConfig, Extractocol
+from repro.corpus import app_keys, build_app, get_spec
+
+
+def _analyze(key: str):
+    spec = get_spec(key)
+    cfg = AnalysisConfig(async_heuristic=(spec.kind == "closed"),
+                         scope_prefixes=spec.scope_prefixes)
+    return Extractocol(cfg).analyze(spec.build_apk())
+
+
+@pytest.mark.parametrize("key", ["blippex", "diode", "radioreddit"])
+def test_pipeline_open(benchmark, key):
+    report = benchmark(_analyze, key)
+    assert report.transactions
+
+
+@pytest.mark.parametrize("key", ["ted", "kayak", "pinterest", "wishlocal"])
+def test_pipeline_closed(benchmark, key):
+    report = benchmark(_analyze, key)
+    assert report.transactions
+
+
+def test_relative_timing_shape(benchmark):
+    """Average closed-source analysis takes longer than open-source, as the
+    paper's 4-minutes vs 11-180-minutes split suggests."""
+    import time
+
+    def run():
+        samples = {}
+        for key in ("blippex", "wallabag", "tzm", "pinterest", "wishlocal",
+                    "geek"):
+            t0 = time.perf_counter()
+            _analyze(key)
+            samples[key] = time.perf_counter() - t0
+        return samples
+
+    samples = benchmark.pedantic(run, rounds=1, iterations=1)
+    open_avg = (samples["blippex"] + samples["wallabag"] + samples["tzm"]) / 3
+    closed_avg = (samples["pinterest"] + samples["wishlocal"] + samples["geek"]) / 3
+    print()
+    for key, t in samples.items():
+        print(f"  {key:12s} {t * 1000:7.1f} ms")
+    assert closed_avg > open_avg

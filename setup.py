@@ -1,0 +1,6 @@
+"""Shim so legacy editable installs work where the ``wheel`` package is
+unavailable (offline environments): ``pip install -e . --no-use-pep517``."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,46 @@
+"""Extractocol — automatic protocol behavior analysis for Android apps.
+
+A full reproduction of *Enabling Automatic Protocol Behavior Analysis for
+Android Applications* (CoNEXT 2016).  The public entry points:
+
+``Extractocol``
+    The analysis pipeline: program slicing → signature extraction →
+    transaction reconstruction → inter-transaction dependency analysis.
+
+``load_apk`` / ``repro.corpus``
+    APK model loading and the synthetic app corpus used for evaluation.
+
+Quickstart::
+
+    from repro import Extractocol
+    from repro.corpus import build_app
+
+    apk = build_app("diode")
+    report = Extractocol().analyze(apk)
+    for txn in report.transactions:
+        print(txn.request.method, txn.request.uri_regex)
+"""
+
+from typing import Any
+
+__version__ = "1.0.0"
+
+__all__ = ["AnalysisConfig", "AnalysisReport", "Extractocol", "__version__", "load_apk"]
+
+_LAZY = {
+    "AnalysisConfig": ("repro.core.config", "AnalysisConfig"),
+    "AnalysisReport": ("repro.core.report", "AnalysisReport"),
+    "Extractocol": ("repro.core.extractocol", "Extractocol"),
+    "load_apk": ("repro.apk.loader", "load_apk"),
+}
+
+
+def __getattr__(name: str) -> Any:
+    """Lazy re-exports keep ``import repro.ir`` cheap and dependency-free."""
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}") from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)

@@ -1,0 +1,95 @@
+"""Load/save ``.sapk`` bundles — the on-disk APK substitute.
+
+A ``.sapk`` is a directory (or zip) containing:
+
+* ``manifest.json``      — the :class:`~repro.apk.manifest.Manifest`,
+* ``resources.json``     — string resources,
+* ``entrypoints.json``   — framework entry points with trigger metadata,
+* ``classes.jimple``     — the program in the textual IR format.
+
+Corpus apps can be saved to ``.sapk`` and re-loaded, which exercises the
+printer/parser round-trip on every corpus program.
+"""
+
+from __future__ import annotations
+
+import json
+import zipfile
+from pathlib import Path
+
+from ..ir.parser import parse_program
+from ..ir.printer import print_program
+from .manifest import Manifest
+from .model import Apk, EntryPoint, TriggerKind
+from .resources import Resources
+
+_FILES = ("manifest.json", "resources.json", "entrypoints.json", "classes.jimple")
+
+
+def save_apk(apk: Apk, path: str | Path) -> Path:
+    """Write an APK model to a ``.sapk`` directory (or ``.zip`` file)."""
+    path = Path(path)
+    contents = {
+        "manifest.json": json.dumps(apk.manifest.to_dict(), indent=2),
+        "resources.json": json.dumps(apk.resources.to_dict(), indent=2),
+        "entrypoints.json": json.dumps(
+            [
+                {
+                    "method_id": ep.method_id,
+                    "kind": ep.kind.value,
+                    "name": ep.name,
+                    "requires_login": ep.requires_login,
+                    "side_effect": ep.side_effect,
+                    "custom_ui": ep.custom_ui,
+                }
+                for ep in apk.entrypoints
+            ],
+            indent=2,
+        ),
+        "classes.jimple": print_program(apk.program),
+    }
+    if path.suffix == ".zip":
+        with zipfile.ZipFile(path, "w") as zf:
+            for name, text in contents.items():
+                zf.writestr(name, text)
+    else:
+        path.mkdir(parents=True, exist_ok=True)
+        for name, text in contents.items():
+            (path / name).write_text(text)
+    return path
+
+
+def load_apk(path: str | Path) -> Apk:
+    """Load an APK model from a ``.sapk`` directory or zip."""
+    path = Path(path)
+    if path.is_file() and path.suffix == ".zip":
+        with zipfile.ZipFile(path) as zf:
+            raw = {name: zf.read(name).decode() for name in _FILES}
+    elif path.is_dir():
+        raw = {name: (path / name).read_text() for name in _FILES}
+    else:
+        raise FileNotFoundError(f"no .sapk bundle at {path}")
+
+    manifest = Manifest.from_dict(json.loads(raw["manifest.json"]))
+    resources = Resources.from_dict(json.loads(raw["resources.json"]))
+    entrypoints = [
+        EntryPoint(
+            method_id=e["method_id"],
+            kind=TriggerKind(e.get("kind", "ui")),
+            name=e.get("name", ""),
+            requires_login=e.get("requires_login", False),
+            side_effect=e.get("side_effect", False),
+            custom_ui=e.get("custom_ui", False),
+        )
+        for e in json.loads(raw["entrypoints.json"])
+    ]
+    program = parse_program(raw["classes.jimple"])
+    return Apk(
+        manifest=manifest,
+        program=program,
+        resources=resources,
+        entrypoints=entrypoints,
+    )
+
+
+__all__ = ["load_apk", "save_apk"]

@@ -1,0 +1,47 @@
+"""AndroidManifest model: package identity and declared components."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Manifest:
+    package: str
+    version_name: str = "1.0"
+    label: str = ""
+    activities: list[str] = field(default_factory=list)
+    services: list[str] = field(default_factory=list)
+    permissions: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.label:
+            self.label = self.package.rsplit(".", 1)[-1]
+
+    @property
+    def uses_internet(self) -> bool:
+        return "android.permission.INTERNET" in self.permissions
+
+    def to_dict(self) -> dict:
+        return {
+            "package": self.package,
+            "version_name": self.version_name,
+            "label": self.label,
+            "activities": list(self.activities),
+            "services": list(self.services),
+            "permissions": list(self.permissions),
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "Manifest":
+        return Manifest(
+            package=data["package"],
+            version_name=data.get("version_name", "1.0"),
+            label=data.get("label", ""),
+            activities=list(data.get("activities", [])),
+            services=list(data.get("services", [])),
+            permissions=list(data.get("permissions", [])),
+        )
+
+
+__all__ = ["Manifest"]

@@ -1,0 +1,142 @@
+"""ProGuard-like identifier obfuscation.
+
+Paper §5.1 validates Extractocol by obfuscating the open-source APKs with
+ProGuard and checking that the analysis output is unchanged — identifier
+renaming does not affect the taint/slicing machinery because demarcation
+points and semantic models key on *library* names, which ProGuard keeps.
+
+The obfuscator renames application classes, methods and fields to short
+meaningless names (``o.a``, ``a``, ``b``, ...).  Names the Android framework
+resolves reflectively — lifecycle/callback overrides, ``<init>`` — are kept,
+as ProGuard's default Android rules do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir.program import Program
+from .model import Apk
+from .rewrite import RenameMap, rename_method_id, rename_program
+
+#: Framework-invoked method names ProGuard keep-rules preserve.  These are
+#: entry points or library overrides resolved by name at runtime.
+FRAMEWORK_KEEP_NAMES = frozenset(
+    {
+        "<init>",
+        "<clinit>",
+        "main",
+        "onCreate",
+        "onStart",
+        "onResume",
+        "onPause",
+        "onStop",
+        "onDestroy",
+        "onClick",
+        "onItemClick",
+        "onLocationChanged",
+        "onReceive",
+        "run",
+        "call",
+        "doInBackground",
+        "onPreExecute",
+        "onPostExecute",
+        "onProgressUpdate",
+        "onResponse",
+        "onErrorResponse",
+        "onFailure",
+        "onSuccess",
+        "compare",
+        "equals",
+        "hashCode",
+        "toString",
+    }
+)
+
+
+def _short_names() -> "itertools.chain[str]":
+    import itertools
+    import string
+
+    letters = string.ascii_lowercase
+    singles = iter(letters)
+    doubles = (a + b for a in letters for b in letters)
+    return itertools.chain(singles, doubles)
+
+
+@dataclass
+class ObfuscationResult:
+    apk: Apk
+    renames: RenameMap
+
+
+def plan_renames(
+    program: Program,
+    *,
+    keep_names: frozenset[str] = FRAMEWORK_KEEP_NAMES,
+    keep_classes: frozenset[str] = frozenset(),
+    rename_libraries: bool = False,
+    library_prefixes: tuple[str, ...] = (),
+) -> RenameMap:
+    """Compute the rename maps for ``program``.
+
+    ``library_prefixes`` marks embedded third-party library packages
+    (classes shipped *inside* the APK).  By default those are kept — many
+    real apps keep library code unobfuscated even when their own code is
+    obfuscated (§3.4) — but ``rename_libraries=True`` obfuscates them too,
+    which is the case requiring the de-obfuscation pre-pass.
+    """
+    renames = RenameMap()
+    class_names = _short_names()
+    for cls_name in sorted(program.classes):
+        if cls_name in keep_classes:
+            continue
+        is_library = any(cls_name.startswith(p) for p in library_prefixes)
+        if is_library and not rename_libraries:
+            continue
+        renames.class_map[cls_name] = f"o.{next(class_names)}"
+
+    member_names = _short_names()
+    method_names: set[str] = set()
+    field_names: set[str] = set()
+    for cls in program.classes.values():
+        if cls.name not in renames.class_map:
+            continue
+        for method in cls.methods():
+            if method.name not in keep_names:
+                method_names.add(method.name)
+        field_names.update(cls.fields)
+    # Deterministic order keeps obfuscation reproducible across runs.
+    for name in sorted(method_names):
+        renames.method_map[name] = next(member_names)
+    for i, name in enumerate(sorted(field_names)):
+        renames.field_map[name] = f"f{i}"
+    return renames
+
+
+def obfuscate(apk: Apk, **plan_kwargs) -> ObfuscationResult:
+    """Obfuscate an APK, remapping entry-point references consistently."""
+    renames = plan_renames(apk.program, **plan_kwargs)
+    new_program = rename_program(apk.program, renames)
+    new_entrypoints = [
+        type(ep)(
+            method_id=rename_method_id(ep.method_id, renames, apk.program),
+            kind=ep.kind,
+            name=ep.name,
+            requires_login=ep.requires_login,
+            side_effect=ep.side_effect,
+            custom_ui=ep.custom_ui,
+        )
+        for ep in apk.entrypoints
+    ]
+    new_apk = Apk(
+        manifest=apk.manifest,
+        program=new_program,
+        resources=apk.resources,
+        entrypoints=new_entrypoints,
+        obfuscated=True,
+    )
+    return ObfuscationResult(new_apk, renames)
+
+
+__all__ = ["FRAMEWORK_KEEP_NAMES", "ObfuscationResult", "obfuscate", "plan_renames"]

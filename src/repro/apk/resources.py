@@ -1,0 +1,68 @@
+"""Android resource table (``res/values/strings.xml`` and friends).
+
+Paper §3.1 ("Object-aware augmentation") notes that Extractocol resolves
+references to resource objects such as ``Android.R`` whose values live in
+user-defined files inside the APK.  Corpus apps store API keys, base URLs
+and city names here and read them via
+``android.content.res.Resources.getString(int)``; the semantic model for
+that API consults this table during signature building.
+"""
+
+from __future__ import annotations
+
+
+class Resources:
+    """String resource table with deterministic integer ids (like ``R.string``)."""
+
+    #: Offset mimicking aapt's resource id space (0x7f0e0000 = string type).
+    _BASE_ID = 0x7F0E0000
+
+    def __init__(self) -> None:
+        self._by_name: dict[str, str] = {}
+        self._name_by_id: dict[int, str] = {}
+        self._id_by_name: dict[str, int] = {}
+
+    def add_string(self, name: str, value: str) -> int:
+        """Register a string resource, returning its ``R.string`` id."""
+        if name in self._by_name:
+            if self._by_name[name] != value:
+                raise ValueError(f"resource {name!r} redefined with a new value")
+            return self._id_by_name[name]
+        rid = self._BASE_ID + len(self._by_name)
+        self._by_name[name] = value
+        self._name_by_id[rid] = name
+        self._id_by_name[name] = rid
+        return rid
+
+    def string_id(self, name: str) -> int:
+        return self._id_by_name[name]
+
+    def get_string(self, rid_or_name: int | str) -> str:
+        if isinstance(rid_or_name, int):
+            name = self._name_by_id.get(rid_or_name)
+            if name is None:
+                raise KeyError(f"unknown resource id {rid_or_name:#x}")
+            return self._by_name[name]
+        return self._by_name[rid_or_name]
+
+    def has_id(self, rid: int) -> bool:
+        return rid in self._name_by_id
+
+    def names(self) -> list[str]:
+        return list(self._by_name)
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    def to_dict(self) -> dict:
+        return {"strings": dict(self._by_name)}
+
+    @staticmethod
+    def from_dict(data: dict) -> "Resources":
+        res = Resources()
+        for name, value in data.get("strings", {}).items():
+            res.add_string(name, value)
+        return res
+
+
+__all__ = ["Resources"]

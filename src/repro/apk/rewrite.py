@@ -1,0 +1,247 @@
+"""Whole-program renaming — the transformation substrate for the
+ProGuard-like obfuscator and the de-obfuscation mapper.
+
+The IR is immutable, so renaming rebuilds the program: every type, method
+signature, field signature and value is mapped structurally.  Renames are
+expressed as three maps:
+
+* ``class_map``: old fully-qualified class name → new name,
+* ``method_map``: old method name → new name (global, hierarchy-consistent),
+* ``field_map``: old field name → new name (global).
+
+Method/field renames only apply where the *declaring* (call-site static)
+class is itself renamed, so library calls such as ``StringBuilder.append``
+are never touched — matching how ProGuard keeps framework references intact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir.classes import ClassDef
+from ..ir.method import Body, Method
+from ..ir.program import Program
+from ..ir.statements import (
+    AssignStmt,
+    GotoStmt,
+    IdentityStmt,
+    IfStmt,
+    InvokeStmt,
+    NopStmt,
+    ReturnStmt,
+    Stmt,
+    ThrowStmt,
+)
+from ..ir.types import ArrayType, ClassType, Type, array_t, class_t
+from ..ir.values import (
+    ArrayRef,
+    BinOpExpr,
+    CastExpr,
+    ClassConst,
+    FieldSig,
+    InstanceFieldRef,
+    InstanceOfExpr,
+    InvokeExpr,
+    LengthExpr,
+    Local,
+    MethodSig,
+    NewArrayExpr,
+    NewExpr,
+    ParamRef,
+    StaticFieldRef,
+    ThisRef,
+    UnOpExpr,
+    Value,
+)
+
+
+@dataclass
+class RenameMap:
+    class_map: dict[str, str] = field(default_factory=dict)
+    method_map: dict[str, str] = field(default_factory=dict)
+    field_map: dict[str, str] = field(default_factory=dict)
+
+    def cls(self, name: str) -> str:
+        return self.class_map.get(name, name)
+
+    def method(self, class_name: str, name: str) -> str:
+        if class_name in self.class_map:
+            return self.method_map.get(name, name)
+        return name
+
+    def fld(self, class_name: str, name: str) -> str:
+        if class_name in self.class_map:
+            return self.field_map.get(name, name)
+        return name
+
+    def inverted(self) -> "RenameMap":
+        return RenameMap(
+            class_map={v: k for k, v in self.class_map.items()},
+            method_map={v: k for k, v in self.method_map.items()},
+            field_map={v: k for k, v in self.field_map.items()},
+        )
+
+
+class _Rewriter:
+    def __init__(self, renames: RenameMap) -> None:
+        self.r = renames
+        self._locals: dict[tuple[str, str], Local] = {}
+
+    # -- types ------------------------------------------------------------
+    def type(self, t: Type) -> Type:
+        if isinstance(t, ArrayType):
+            return array_t(self.type(t.element))
+        if isinstance(t, ClassType):
+            return class_t(self.r.cls(t.name))
+        return t
+
+    def method_sig(self, sig: MethodSig) -> MethodSig:
+        return MethodSig(
+            self.r.cls(sig.class_name),
+            self.r.method(sig.class_name, sig.name),
+            tuple(self.type(p) for p in sig.param_types),
+            self.type(sig.return_type),
+        )
+
+    def field_sig(self, sig: FieldSig) -> FieldSig:
+        return FieldSig(
+            self.r.cls(sig.class_name),
+            self.r.fld(sig.class_name, sig.name),
+            self.type(sig.type),
+        )
+
+    # -- values ------------------------------------------------------------
+    def local(self, loc: Local) -> Local:
+        key = (loc.name, loc.type.name)
+        cached = self._locals.get(key)
+        if cached is None:
+            cached = Local(loc.name, self.type(loc.type))
+            self._locals[key] = cached
+        return cached
+
+    def value(self, v: Value) -> Value:
+        if isinstance(v, Local):
+            return self.local(v)
+        if isinstance(v, NewExpr):
+            mapped = self.type(v.class_type)
+            assert isinstance(mapped, ClassType)
+            return NewExpr(mapped)
+        if isinstance(v, NewArrayExpr):
+            return NewArrayExpr(self.type(v.element_type), self.value(v.size))
+        if isinstance(v, BinOpExpr):
+            return BinOpExpr(v.op, self.value(v.left), self.value(v.right))
+        if isinstance(v, UnOpExpr):
+            return UnOpExpr(v.op, self.value(v.operand))
+        if isinstance(v, CastExpr):
+            return CastExpr(self.type(v.to_type), self.value(v.value))
+        if isinstance(v, InstanceOfExpr):
+            return InstanceOfExpr(self.value(v.value), self.type(v.check_type))
+        if isinstance(v, LengthExpr):
+            return LengthExpr(self.value(v.array))
+        if isinstance(v, InstanceFieldRef):
+            return InstanceFieldRef(self.value(v.base), self.field_sig(v.field))
+        if isinstance(v, StaticFieldRef):
+            return StaticFieldRef(self.field_sig(v.field))
+        if isinstance(v, ArrayRef):
+            return ArrayRef(self.value(v.base), self.value(v.index))
+        if isinstance(v, InvokeExpr):
+            base = self.value(v.base) if v.base is not None else None
+            return InvokeExpr(
+                v.kind,
+                self.method_sig(v.sig),
+                base,
+                tuple(self.value(a) for a in v.args),
+            )
+        if isinstance(v, ThisRef):
+            mapped = self.type(v.type)
+            assert isinstance(mapped, ClassType)
+            return ThisRef(mapped)
+        if isinstance(v, ParamRef):
+            return ParamRef(v.index, self.type(v.type))
+        if isinstance(v, ClassConst):
+            return ClassConst(self.r.cls(v.class_name))
+        return v  # constants
+
+    # -- statements --------------------------------------------------------
+    def stmt(self, s: Stmt) -> Stmt:
+        if isinstance(s, AssignStmt):
+            return AssignStmt(self.value(s.target), self.value(s.rhs))  # type: ignore[arg-type]
+        if isinstance(s, IdentityStmt):
+            return IdentityStmt(self.value(s.target), self.value(s.rhs))  # type: ignore[arg-type]
+        if isinstance(s, InvokeStmt):
+            expr = self.value(s.expr)
+            assert isinstance(expr, InvokeExpr)
+            return InvokeStmt(expr)
+        if isinstance(s, IfStmt):
+            return IfStmt(self.value(s.condition), s.target)
+        if isinstance(s, GotoStmt):
+            return GotoStmt(s.target)
+        if isinstance(s, ReturnStmt):
+            return ReturnStmt(self.value(s.value) if s.value is not None else None)
+        if isinstance(s, ThrowStmt):
+            return ThrowStmt(self.value(s.value))
+        if isinstance(s, NopStmt):
+            return NopStmt()
+        raise TypeError(f"unhandled statement type {type(s).__name__}")
+
+
+def rename_program(program: Program, renames: RenameMap) -> Program:
+    """Return a structurally identical program with identifiers renamed."""
+    out = Program()
+    for cls in program.classes.values():
+        rw = _Rewriter(renames)
+        superclass = renames.cls(cls.superclass) if cls.superclass else cls.superclass
+        new_cls = ClassDef(
+            renames.cls(cls.name),
+            superclass=superclass,
+            interfaces=tuple(renames.cls(i) for i in cls.interfaces),
+            is_interface=cls.is_interface,
+        )
+        for fld in cls.fields.values():
+            new_cls.add_field(renames.fld(cls.name, fld.name), rw.type(fld.type))
+        for method in cls.methods():
+            new_sig = rw.method_sig(method.sig)
+            if method.body is None:
+                new_cls.add_method(
+                    Method(new_sig, is_static=method.is_static, is_abstract=True, body=None)
+                )
+                continue
+            new_body = Body()
+            for local in method.body.locals.values():
+                new_body.declare_local(rw.local(local))
+            new_method = Method(new_sig, is_static=method.is_static, body=new_body)
+            for stmt in method.body:
+                new_body.add(rw.stmt(stmt))
+            new_body.labels = dict(method.body.labels)
+            new_body._sealed = True
+            new_method.param_locals = [rw.local(p) for p in method.param_locals]
+            new_method.this_local = (
+                rw.local(method.this_local) if method.this_local else None
+            )
+            new_cls.add_method(new_method)
+        out.add_class(new_cls)
+    return out
+
+
+def rename_method_id(method_id: str, renames: RenameMap, program: Program) -> str:
+    """Map a ``method_id`` string (``str(MethodSig)``) through the renames."""
+    from ..ir.parser import _SIG_RE  # shared signature grammar
+    from ..ir.types import parse_type
+
+    m = _SIG_RE.match(method_id)
+    if not m:
+        raise ValueError(f"bad method id {method_id!r}")
+    sig = MethodSig(
+        m.group("cls"),
+        m.group("name"),
+        tuple(
+            parse_type(p.strip())
+            for p in m.group("params").split(",")
+            if p.strip()
+        ),
+        parse_type(m.group("ret")),
+    )
+    return str(_Rewriter(renames).method_sig(sig))
+
+
+__all__ = ["RenameMap", "rename_method_id", "rename_program"]

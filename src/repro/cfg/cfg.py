@@ -1,0 +1,101 @@
+"""Intra-procedural control-flow graph.
+
+The CFG is block-level (for signature building's topological traversal) and
+also exposes statement-level successor/predecessor maps (for the taint
+engine's flow-sensitive propagation, forward and — with edges flipped —
+backward, per paper §3.1).
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+
+from ..ir.method import Method
+from ..ir.statements import GotoStmt, IfStmt, Stmt
+from .blocks import BasicBlock, partition_blocks
+
+
+class ControlFlowGraph:
+    def __init__(self, method: Method) -> None:
+        self.method = method
+        self.blocks: list[BasicBlock] = partition_blocks(method)
+        self._block_of_stmt: dict[int, BasicBlock] = {}
+        for block in self.blocks:
+            for stmt in block:
+                self._block_of_stmt[stmt.index] = block
+        self.succ: dict[int, list[int]] = {b.bid: [] for b in self.blocks}
+        self.pred: dict[int, list[int]] = {b.bid: [] for b in self.blocks}
+        self._build_edges()
+
+    def _build_edges(self) -> None:
+        body = self.method.body
+        assert body is not None
+        start_to_block = {b.start: b.bid for b in self.blocks}
+        for block in self.blocks:
+            term = block.terminator
+            targets: list[int] = []
+            if isinstance(term, (IfStmt, GotoStmt)):
+                for label in term.branch_targets():
+                    targets.append(start_to_block[body.label_index(label)])
+            if term.falls_through:
+                nxt = term.index + 1
+                if nxt in start_to_block:
+                    targets.append(start_to_block[nxt])
+            for t in targets:
+                if t not in self.succ[block.bid]:
+                    self.succ[block.bid].append(t)
+                    self.pred[t].append(block.bid)
+
+    # -- block-level queries -------------------------------------------------
+    @property
+    def entry(self) -> BasicBlock | None:
+        return self.blocks[0] if self.blocks else None
+
+    def successors(self, block: BasicBlock) -> list[BasicBlock]:
+        return [self.blocks[i] for i in self.succ[block.bid]]
+
+    def predecessors(self, block: BasicBlock) -> list[BasicBlock]:
+        return [self.blocks[i] for i in self.pred[block.bid]]
+
+    def block_of(self, stmt: Stmt) -> BasicBlock:
+        return self._block_of_stmt[stmt.index]
+
+    # -- statement-level adjacency ---------------------------------------------
+    @cached_property
+    def stmt_succ(self) -> dict[int, list[int]]:
+        """Successor statement indices for every statement index."""
+        out: dict[int, list[int]] = {}
+        for block in self.blocks:
+            for si, stmt in enumerate(block.statements):
+                if si + 1 < len(block.statements):
+                    out[stmt.index] = [block.statements[si + 1].index]
+                else:
+                    out[stmt.index] = [self.blocks[b].start for b in self.succ[block.bid]]
+        return out
+
+    @cached_property
+    def stmt_pred(self) -> dict[int, list[int]]:
+        out: dict[int, list[int]] = {s: [] for s in self.stmt_succ}
+        for src, dests in self.stmt_succ.items():
+            for d in dests:
+                out[d].append(src)
+        return out
+
+    def __repr__(self) -> str:
+        return f"CFG({self.method.method_id}, {len(self.blocks)} blocks)"
+
+
+_CFG_CACHE: dict[int, ControlFlowGraph] = {}
+
+
+def cfg_of(method: Method) -> ControlFlowGraph:
+    """Memoised CFG construction (bodies are immutable once sealed)."""
+    key = id(method)
+    cached = _CFG_CACHE.get(key)
+    if cached is None or cached.method is not method:
+        cached = ControlFlowGraph(method)
+        _CFG_CACHE[key] = cached
+    return cached
+
+
+__all__ = ["ControlFlowGraph", "cfg_of"]

@@ -1,0 +1,190 @@
+"""Command-line interface.
+
+::
+
+    python -m repro corpus                      # list corpus apps
+    python -m repro analyze diode               # analyze a corpus app
+    python -m repro analyze path/to/app.sapk    # analyze an .sapk bundle
+    python -m repro fuzz diode --mode manual    # run a fuzzing baseline
+    python -m repro export diode out.sapk       # save a corpus app to disk
+    python -m repro eval table1|table2|figures|casestudies
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def _load(target: str):
+    """Resolve a corpus key or .sapk path into (Apk, AnalysisConfig)."""
+    from repro import AnalysisConfig
+    from repro.apk.loader import load_apk
+    from repro.corpus import app_keys, get_spec
+
+    if target in app_keys():
+        spec = get_spec(target)
+        return spec.build_apk(), AnalysisConfig(
+            async_heuristic=(spec.kind == "closed"),
+            scope_prefixes=spec.scope_prefixes,
+        )
+    path = Path(target)
+    if path.exists():
+        return load_apk(path), AnalysisConfig()
+    raise SystemExit(
+        f"'{target}' is neither a corpus app key nor an .sapk bundle; "
+        f"known keys: {', '.join(app_keys())}"
+    )
+
+
+def cmd_corpus(args) -> int:
+    from repro.corpus import app_keys, get_spec
+
+    for key in app_keys(args.kind):
+        spec = get_spec(key)
+        print(f"{key:16s} {spec.kind:6s} {spec.protocol:8s} {spec.name}")
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    from repro import Extractocol
+
+    apk, config = _load(args.target)
+    if args.no_async_heuristic:
+        config.async_heuristic = False
+    if args.async_heuristic:
+        config.async_heuristic = True
+    report = Extractocol(config).analyze(apk)
+    if args.json:
+        print(json.dumps(report_to_dict(report), indent=2))
+        return 0
+    print(report.summary())
+    print()
+    for txn in report.transactions:
+        print(f"#{txn.txn_id}")
+        print("  " + txn.describe().replace("\n", "\n  "))
+    for txn in report.unidentified:
+        print(f"#{txn.txn_id} [unidentified] {txn.request.method} "
+              f"{txn.request.uri_regex}")
+    return 0
+
+
+def cmd_fuzz(args) -> int:
+    from repro.corpus import get_spec
+    from repro.runtime import AutoUiFuzzer, ManualUiFuzzer
+
+    spec = get_spec(args.target)
+    fuzzer = ManualUiFuzzer() if args.mode == "manual" else AutoUiFuzzer()
+    result = fuzzer.fuzz(spec.build_apk(), spec.build_network())
+    print(f"{args.mode} fuzzing of {spec.name}: {len(result.trace)} transactions")
+    for captured in result.trace:
+        print(f"  {captured}")
+    for name, reason in result.skipped:
+        print(f"  [skipped] {name}: {reason}")
+    return 0
+
+
+def cmd_export(args) -> int:
+    from repro.apk.loader import save_apk
+    from repro.corpus import build_app
+
+    path = save_apk(build_app(args.target), args.output)
+    print(f"wrote {path}")
+    return 0
+
+
+def cmd_eval(args) -> int:
+    from repro import evalx
+
+    what = args.what
+    if what == "table1":
+        print(evalx.render_table1())
+    elif what == "table2":
+        print(evalx.render_table2())
+    elif what == "figures":
+        print(evalx.render_figures("open"))
+        print(evalx.render_figures("closed"))
+    elif what == "casestudies":
+        print(evalx.table3())
+        print()
+        print(evalx.render_table4())
+        print()
+        print(evalx.render_table5())
+        print()
+        print(evalx.render_table6())
+    return 0
+
+
+def report_to_dict(report) -> dict:
+    """JSON-serialisable view of an AnalysisReport."""
+
+    def txn_dict(txn) -> dict:
+        return {
+            "id": txn.txn_id,
+            "method": txn.request.method,
+            "uri_regex": txn.request.uri_regex,
+            "headers": {k: str(v) for k, v in txn.request.headers},
+            "body": str(txn.request.body) if txn.request.body is not None else None,
+            "body_kind": txn.request.body_kind,
+            "response_kind": txn.response.kind,
+            "response_body": (
+                str(txn.response.body) if txn.response.body is not None else None
+            ),
+            "consumers": sorted(txn.response.consumers),
+            "depends_on": [str(d) for d in txn.depends_on],
+            "dynamic_uri": txn.request.is_dynamic,
+        }
+
+    return {
+        "app": report.app,
+        "stats": report.stats().as_row(),
+        "slice_fraction": report.slice_fraction,
+        "demarcation_points": report.demarcation_points,
+        "transactions": [txn_dict(t) for t in report.transactions],
+        "unidentified": [txn_dict(t) for t in report.unidentified],
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Extractocol (CoNEXT 2016) reproduction"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_corpus = sub.add_parser("corpus", help="list corpus apps")
+    p_corpus.add_argument("--kind", choices=["open", "closed"], default=None)
+    p_corpus.set_defaults(fn=cmd_corpus)
+
+    p_analyze = sub.add_parser("analyze", help="analyze an app")
+    p_analyze.add_argument("target", help="corpus key or .sapk path")
+    p_analyze.add_argument("--json", action="store_true")
+    p_analyze.add_argument("--no-async-heuristic", action="store_true",
+                           help="disable §3.4's async-event handling")
+    p_analyze.add_argument("--async-heuristic", action="store_true",
+                           help="force-enable §3.4's async-event handling")
+    p_analyze.set_defaults(fn=cmd_analyze)
+
+    p_fuzz = sub.add_parser("fuzz", help="run a UI-fuzzing baseline")
+    p_fuzz.add_argument("target")
+    p_fuzz.add_argument("--mode", choices=["manual", "auto"], default="manual")
+    p_fuzz.set_defaults(fn=cmd_fuzz)
+
+    p_export = sub.add_parser("export", help="save a corpus app as .sapk")
+    p_export.add_argument("target")
+    p_export.add_argument("output")
+    p_export.set_defaults(fn=cmd_export)
+
+    p_eval = sub.add_parser("eval", help="regenerate evaluation artefacts")
+    p_eval.add_argument(
+        "what", choices=["table1", "table2", "figures", "casestudies"]
+    )
+    p_eval.set_defaults(fn=cmd_eval)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,7 @@
+"""Pipeline core: configuration, the Extractocol analyzer, reports."""
+
+from .config import AnalysisConfig
+from .extractocol import Extractocol
+from .report import AnalysisReport, SignatureStats
+
+__all__ = ["AnalysisConfig", "AnalysisReport", "Extractocol", "SignatureStats"]

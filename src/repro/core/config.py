@@ -1,0 +1,47 @@
+"""Analysis configuration (the knobs paper §5 varies)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class AnalysisConfig:
+    """Configuration for one Extractocol run.
+
+    ``async_heuristic`` — §3.4's asynchronous-event handling.  The paper
+    disables it for open-source apps and enables it for closed-source apps
+    (§5.1); disabled means implicit data flows across event boundaries are
+    not tracked (0 hops), enabled tracks one hop.
+
+    ``scope_prefixes`` — restrict reported transactions to demarcation
+    points inside the given class-name prefixes (the Kayak case study
+    scopes to ``com.kayak`` to exclude external libraries, §5.3).
+
+    ``use_slicing`` — when True (default), signature building is scoped to
+    the methods the network-aware slices identified; False interprets every
+    entry point unrestricted (slower, used for ablation).
+
+    ``rounds`` — global signature-building iterations; 2 lets values stored
+    by one event (login response tokens, DB rows) surface in signatures of
+    other events.
+    """
+
+    async_heuristic: bool = True
+    scope_prefixes: tuple[str, ...] = ()
+    use_slicing: bool = True
+    rounds: int = 2
+    max_async_hops_override: int | None = None
+    #: §4 extensions (off by default, as in the paper's prototype):
+    #: model intra-app Intent messaging / direct java.net.Socket use.
+    model_intents: bool = False
+    model_sockets: bool = False
+
+    @property
+    def max_async_hops(self) -> int:
+        if self.max_async_hops_override is not None:
+            return self.max_async_hops_override
+        return 1 if self.async_heuristic else 0
+
+
+__all__ = ["AnalysisConfig"]

@@ -1,0 +1,198 @@
+"""The Extractocol pipeline (paper Figure 2).
+
+``Extractocol().analyze(apk)`` runs the three phases end to end:
+
+1. **Network-aware program slicing** — scan demarcation points, run
+   bidirectional taint propagation, augment forward slices (§3.1).
+2. **Signature extraction** — flow-sensitive abstract interpretation scoped
+   to the slices, producing request/response signatures (§3.2).
+3. **Message dependency analysis** — request-response pairing and
+   field-granularity inter-transaction dependencies (§3.3).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+
+from ..apk.model import Apk, TriggerKind
+from ..cfg.callgraph import build_callgraph
+from ..deps.interdep import infer_dependencies
+from ..deps.transactions import Transaction, from_record
+from ..semantics.async_model import compute_event_roots, discover_callbacks
+from ..semantics.model import SemanticModel
+from ..signature.builder import SignatureInterpreter
+from ..slicing.demarcation import DemarcationRegistry
+from ..slicing.slicer import NetworkSlicer
+from ..taint.engine import TaintConfig
+from .config import AnalysisConfig
+from .report import AnalysisReport
+
+
+class Extractocol:
+    """The analysis entry point.  Stateless across :meth:`analyze` calls."""
+
+    def __init__(
+        self,
+        config: AnalysisConfig | None = None,
+        *,
+        model: SemanticModel | None = None,
+        registry: DemarcationRegistry | None = None,
+    ) -> None:
+        self.config = config or AnalysisConfig()
+        self.model = model
+        self.registry = registry
+
+    # ------------------------------------------------------------------ phases
+    def analyze(self, apk: Apk) -> AnalysisReport:
+        started = time.perf_counter()
+        program = apk.program
+        callgraph = build_callgraph(program)
+
+        # Implicit call flows (AsyncTask & friends, §3.4) extend the call
+        # graph before slicing so backward/forward propagation crosses them.
+        cbinfo = discover_callbacks(program, callgraph)
+        if self.config.model_intents:
+            from ..semantics.extensions import discover_intent_edges
+
+            discover_intent_edges(program, callgraph)
+        event_roots = compute_event_roots(
+            program,
+            callgraph,
+            [ep.method_id for ep in apk.entrypoints],
+            cbinfo.boundary_methods,
+        )
+
+        # Phase 1 — network-aware program slicing.
+        slicer = NetworkSlicer(
+            program,
+            callgraph,
+            config=TaintConfig(max_async_hops=self.config.max_async_hops),
+            registry=self.registry,
+            event_roots=event_roots,
+            linked_returns=cbinfo.linked_returns,
+        )
+        slicing = slicer.slice_all()
+
+        relevant = None
+        if self.config.use_slicing:
+            relevant = self._relevant_methods(slicing, callgraph)
+        blocked = slicing.missed_async_flows - slicing.sliced_statements
+
+        # Phase 2 — signature extraction over the slices.
+        model = self.model
+        if model is None and (self.config.model_intents or self.config.model_sockets):
+            from ..semantics.extensions import build_model
+
+            model = build_model(
+                model_intents=self.config.model_intents,
+                model_sockets=self.config.model_sockets,
+            )
+        interp = SignatureInterpreter(
+            program,
+            callgraph,
+            model=model,
+            resources=apk.resources,
+            relevant_methods=relevant,
+            blocked_field_stores=blocked,
+            rounds=self.config.rounds,
+        )
+        roots = [(ep.method_id, ep.kind.value) for ep in apk.entrypoints]
+        result = interp.run(roots)
+
+        # Phase 3 — transactions + dependencies.
+        transactions = [from_record(r) for r in result.transactions]
+        transactions = self._scope_filter(transactions, program)
+        infer_dependencies(transactions)
+        transactions = _dedupe(transactions)
+
+        report = AnalysisReport(
+            app=apk.name,
+            transactions=[t for t in transactions if t.is_identified],
+            unidentified=[t for t in transactions if not t.is_identified],
+            slice_fraction=slicing.slice_fraction,
+            demarcation_points=len(slicing.slices),
+            analysis_seconds=time.perf_counter() - started,
+        )
+        report.dependencies = [d for t in report.transactions for d in t.depends_on]
+        return report
+
+    # ------------------------------------------------------------------ helpers
+    def _relevant_methods(self, slicing, callgraph) -> set[str]:
+        """Slice methods plus everything that can call into them — the scope
+        signature building interprets (the slice-efficiency win of §3.2)."""
+        slice_methods: set[str] = set()
+        for s in slicing.slices:
+            slice_methods |= s.methods
+        # reverse closure over the call graph
+        out = set(slice_methods)
+        changed = True
+        while changed:
+            changed = False
+            for mid in list(out):
+                for site in callgraph.callers_of(mid):
+                    if site.method_id not in out:
+                        out.add(site.method_id)
+                        changed = True
+        return out
+
+    def _scope_filter(
+        self, transactions: list[Transaction], program
+    ) -> list[Transaction]:
+        prefixes = self.config.scope_prefixes
+        if not prefixes:
+            return transactions
+        out = []
+        for txn in transactions:
+            cls = txn.site.method_id.strip("<").split(":", 1)[0]
+            if any(cls.startswith(p) for p in prefixes):
+                out.append(txn)
+        return out
+
+
+def _dedupe(transactions: list[Transaction]) -> list[Transaction]:
+    """Collapse identical signatures recorded from different contexts,
+    remapping dependency edges onto the representatives."""
+    by_key: dict[tuple, Transaction] = {}
+    rep_of: dict[int, int] = {}
+    for txn in sorted(transactions, key=lambda t: t.txn_id):
+        key = (
+            txn.request.method,
+            txn.request.uri_regex,
+            str(txn.request.body),
+            str(txn.response.body),
+            # distinct dependency sources keep dynamically derived requests
+            # apart (TED's ad video vs talk video are both `GET (.*)`)
+            tuple(sorted((d.src_txn, d.src_path) for d in txn.depends_on)),
+        )
+        rep = by_key.get(key)
+        if rep is None:
+            by_key[key] = txn
+            rep_of[txn.txn_id] = txn.txn_id
+        else:
+            rep_of[txn.txn_id] = rep.txn_id
+            rep.response = replace(
+                rep.response,
+                consumers=rep.response.consumers | txn.response.consumers,
+            )
+            rep.depends_on.extend(txn.depends_on)
+    final = list(by_key.values())
+    for txn in final:
+        remapped = []
+        seen: set[str] = set()
+        for d in txn.depends_on:
+            d = replace(
+                d,
+                src_txn=rep_of.get(d.src_txn, d.src_txn),
+                dst_txn=rep_of.get(d.dst_txn, d.dst_txn),
+            )
+            if d.src_txn == d.dst_txn:
+                continue
+            if str(d) not in seen:
+                seen.add(str(d))
+                remapped.append(d)
+        txn.depends_on = remapped
+    return final
+
+
+__all__ = ["Extractocol"]

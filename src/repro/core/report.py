@@ -1,0 +1,135 @@
+"""The analysis report — everything Extractocol outputs for one APK."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from ..deps.transactions import Dependency, Transaction
+from ..signature.lang import Const
+
+
+@dataclass
+class SignatureStats:
+    """Counts in the shape of the paper's Table 1 row."""
+
+    get: int = 0
+    post: int = 0
+    put: int = 0
+    delete: int = 0
+    query_string: int = 0
+    json_body: int = 0
+    xml_body: int = 0
+    pairs: int = 0
+
+    def as_row(self) -> dict[str, int]:
+        return {
+            "GET": self.get,
+            "POST": self.post,
+            "PUT": self.put,
+            "DELETE": self.delete,
+            "query": self.query_string,
+            "json": self.json_body,
+            "xml": self.xml_body,
+            "pairs": self.pairs,
+        }
+
+
+@dataclass
+class AnalysisReport:
+    app: str
+    transactions: list[Transaction] = field(default_factory=list)
+    dependencies: list[Dependency] = field(default_factory=list)
+    #: transactions whose signatures are wildcard-only (missed, §5.1)
+    unidentified: list[Transaction] = field(default_factory=list)
+    #: slicing coverage: fraction of program statements inside slices
+    slice_fraction: float = 0.0
+    demarcation_points: int = 0
+    analysis_seconds: float = 0.0
+
+    # -- derived views ----------------------------------------------------
+    def stats(self) -> SignatureStats:
+        s = SignatureStats()
+        for txn in self.transactions:
+            method = txn.request.method
+            if method == "GET":
+                s.get += 1
+            elif method == "POST":
+                s.post += 1
+            elif method == "PUT":
+                s.put += 1
+            elif method == "DELETE":
+                s.delete += 1
+            kind = txn.request.body_kind
+            if kind == "query":
+                s.query_string += 1
+            if kind == "json" or txn.response.kind == "json":
+                s.json_body += 1
+            if kind == "xml" or txn.response.kind == "xml":
+                s.xml_body += 1
+            if txn.has_pair:
+                s.pairs += 1
+        return s
+
+    def request_signatures(self) -> list[str]:
+        return [f"{t.request.method} {t.request.uri_regex}" for t in self.transactions]
+
+    def unique_uri_signatures(self) -> set[str]:
+        return {t.request.uri_regex for t in self.transactions}
+
+    def unique_request_body_signatures(self) -> set[str]:
+        """Unique request body/query-string signatures, keyed per endpoint
+        (two endpoints with structurally identical bodies are still two
+        signatures, as in Table 1's per-message counting)."""
+        out = set()
+        for t in self.transactions:
+            if t.request.body is not None:
+                out.add(f"{t.request.uri_regex}::{t.request.body}")
+        return out
+
+    def unique_response_body_signatures(self) -> set[str]:
+        return {
+            f"{t.request.uri_regex}::{t.response.body}"
+            for t in self.transactions
+            if t.response.has_body
+        }
+
+    def keywords(self) -> Counter:
+        """Constant keywords across all signatures (Figure 7's unit)."""
+        out: Counter = Counter()
+        for t in self.transactions:
+            for kw in t.request.keywords:
+                out[("request", kw)] += 1
+            for kw in t.response.keywords:
+                out[("response", kw)] += 1
+        return out
+
+    def transaction(self, txn_id: int) -> Transaction:
+        for t in self.transactions:
+            if t.txn_id == txn_id:
+                return t
+        raise KeyError(txn_id)
+
+    def consumers(self) -> dict[str, list[int]]:
+        out: dict[str, list[int]] = {}
+        for t in self.transactions:
+            for c in t.response.consumers:
+                out.setdefault(c, []).append(t.txn_id)
+        return out
+
+    def summary(self) -> str:
+        s = self.stats()
+        lines = [
+            f"app: {self.app}",
+            f"transactions: {len(self.transactions)} "
+            f"(GET {s.get} / POST {s.post} / PUT {s.put} / DELETE {s.delete})",
+            f"request-response pairs: {s.pairs}",
+            f"dependencies: {len(self.dependencies)}",
+            f"unidentified (wildcard-only): {len(self.unidentified)}",
+            f"slice fraction: {self.slice_fraction:.1%}",
+            f"demarcation points: {self.demarcation_points}",
+        ]
+        return "\n".join(lines)
+
+
+__all__ = ["AnalysisReport", "SignatureStats"]

@@ -1,0 +1,73 @@
+"""The evaluation corpus: 14 open-source + 20 closed-source apps (Table 1).
+
+Usage::
+
+    from repro.corpus import app_keys, build_app, get_spec
+
+    apk = build_app("diode")
+    spec = get_spec("ted")
+    network = spec.build_network()
+"""
+
+from __future__ import annotations
+
+from ..apk.model import Apk
+from .base import AppSpec, EndpointTruth, GroundTruth
+from .closedsource import all_fleet_apps, kayak, ted
+from .generator import GenApp, GenEndpoint, build_generated_app
+from .opensource import ALL_SIMPLE_OPEN, diode, radioreddit, weather_notification
+
+_REGISTRY: dict[str, AppSpec] | None = None
+
+
+def registry() -> dict[str, AppSpec]:
+    """All corpus app specs, keyed by app key (built lazily and cached)."""
+    global _REGISTRY
+    if _REGISTRY is None:
+        specs: list[AppSpec] = []
+        for factory in ALL_SIMPLE_OPEN:
+            specs.append(build_generated_app(factory()))
+        specs.append(build_generated_app(diode()))
+        specs.append(build_generated_app(radioreddit()))
+        specs.append(build_generated_app(weather_notification()))
+        specs.append(build_generated_app(ted()))
+        specs.append(build_generated_app(kayak()))
+        for gen in all_fleet_apps():
+            specs.append(build_generated_app(gen))
+        _REGISTRY = {s.key: s for s in specs}
+    return _REGISTRY
+
+
+def get_spec(key: str) -> AppSpec:
+    try:
+        return registry()[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown corpus app {key!r}; available: {sorted(registry())}"
+        ) from None
+
+
+def build_app(key: str) -> Apk:
+    """Build the APK model for a corpus app."""
+    return get_spec(key).build_apk()
+
+
+def app_keys(kind: str | None = None) -> list[str]:
+    """Corpus app keys, optionally filtered by kind ("open"/"closed")."""
+    return sorted(
+        k for k, s in registry().items() if kind is None or s.kind == kind
+    )
+
+
+__all__ = [
+    "AppSpec",
+    "EndpointTruth",
+    "GenApp",
+    "GenEndpoint",
+    "GroundTruth",
+    "app_keys",
+    "build_app",
+    "build_generated_app",
+    "get_spec",
+    "registry",
+]

@@ -1,0 +1,7 @@
+"""Closed-source corpus apps (the Google-Play top-chart set of Table 1)."""
+
+from .fleet import ROWS, all_fleet_apps, fleet_app
+from .kayak import kayak
+from .ted import ted
+
+__all__ = ["ROWS", "all_fleet_apps", "fleet_app", "kayak", "ted"]

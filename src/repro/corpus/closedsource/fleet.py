@@ -1,0 +1,282 @@
+"""The remaining closed-source corpus apps, derived from their Table 1 rows.
+
+Each row gives, per HTTP method, the triple (Extractocol / manual fuzzing /
+automatic fuzzing).  The translator decomposes the triples into endpoint
+classes:
+
+* ``shared``  = min(E, M)   — endpoints both static analysis and a human see;
+  of those, A are automation-reachable, the rest sit behind login walls or
+  custom UI;
+* ``E - shared`` — static-only endpoints: timers, server pushes and
+  side-effect actions no fuzzer may trigger;
+* ``M - E``   — intent-fed, multi-hop-async endpoints (ad/analytics
+  libraries): dynamic traffic shows them, static analysis degrades them to
+  wildcards (§5.1's discussion of Lucktastic's ad libraries).
+
+Endpoint bodies/responses are synthesised so the query-string/JSON column
+targets and the pair counts land near the row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...apk.model import TriggerKind
+from ..generator import GenApp, GenEndpoint
+
+E = GenEndpoint
+
+
+@dataclass(frozen=True)
+class Row:
+    key: str
+    name: str
+    host: str
+    #: per-method (extractocol, manual, auto)
+    get: tuple[int, int, int] = (0, 0, 0)
+    post: tuple[int, int, int] = (0, 0, 0)
+    put: tuple[int, int, int] = (0, 0, 0)
+    delete: tuple[int, int, int] = (0, 0, 0)
+    #: Table 1 body/response columns (Extractocol values)
+    query: int = 0
+    json: int = 0
+    pairs: int = 0
+    #: the whole app sits behind a login wall (auto fuzzing gets nothing)
+    login_wall: bool = False
+    protocol: str = "HTTPS"
+
+
+# Table 1, closed-source block (excluding TED and KAYAK, hand-written).
+ROWS: tuple[Row, ...] = (
+    Row("fivemiles", "5miles", "api.5milesapp.com",
+        get=(24, 25, 0), post=(51, 12, 0), query=16, json=16, pairs=71,
+        login_wall=True),
+    Row("acapp", "AC App for Android", "api.acapp.example",
+        get=(9, 9, 7), post=(15, 15, 5), query=15, json=23, pairs=23,
+        protocol="HTTP(S)"),
+    Row("aol", "AOL: Mail, News & Video", "api.aol.com",
+        get=(9, 9, 6), query=0, json=9, pairs=9, protocol="HTTP"),
+    Row("accuweather", "AccuWeather", "api.accuweather.com",
+        get=(15, 15, 0), post=(3, 3, 0), query=3, json=16, pairs=16,
+        login_wall=True, protocol="HTTP"),
+    Row("buzzfeed", "Buzzfeed", "api.buzzfeed.com",
+        get=(16, 5, 5), post=(12, 5, 1), query=12, json=6, pairs=27,
+        protocol="HTTP(S)"),
+    Row("flipboard", "Flipboard", "fbprod.flipboard.com",
+        get=(23, 24, 0), post=(41, 13, 0), query=28, json=8, pairs=63,
+        login_wall=True),
+    Row("geek", "GEEK", "api.geek.com",
+        get=(0, 1, 0), post=(97, 48, 18), query=41, json=11, pairs=97),
+    Row("letgo", "Letgo", "api.letgo.com",
+        get=(38, 32, 10), post=(10, 14, 2), put=(2, 2, 0), delete=(3, 0, 0),
+        query=20, json=18, pairs=40),
+    Row("linkedin", "LinkedIn", "api.linkedin.com",
+        get=(38, 42, 16), post=(49, 17, 8), put=(0, 3, 0),
+        query=46, json=47, pairs=85),
+    Row("lucktastic", "Lucktastic", "api.lucktastic.com",
+        get=(16, 2, 0), post=(9, 15, 0), put=(2, 0, 0), delete=(4, 0, 0),
+        query=5, json=19, pairs=31, login_wall=True),
+    Row("musicdownloader", "MusicDownloader", "api.musicdl.example",
+        get=(3, 10, 0), post=(0, 1, 0), query=0, json=4, pairs=2,
+        login_wall=True),
+    Row("offerup", "Offerup", "api.offerup.com",
+        get=(33, 20, 0), post=(23, 21, 0), put=(8, 1, 0), delete=(3, 0, 0),
+        query=12, json=25, pairs=63, login_wall=True),
+    Row("pandora", "Pandora Radio", "tuner.pandora.com",
+        get=(7, 0, 0), post=(53, 20, 2), query=53, json=26, pairs=60,
+        protocol="HTTP(S)"),
+    Row("pinterest", "Pinterest", "api.pinterest.com",
+        get=(60, 62, 26), post=(36, 19, 16), put=(32, 8, 3),
+        delete=(20, 10, 2), query=88, json=148, pairs=148),
+    Row("tophatter", "Tophatter", "api.tophatter.com",
+        get=(33, 24, 0), post=(32, 14, 0), put=(1, 0, 0), delete=(4, 1, 0),
+        query=18, json=32, pairs=62, login_wall=True),
+    Row("tumblr", "Tumblr", "api.tumblr.com",
+        get=(12, 13, 15), post=(8, 5, 5), delete=(1, 1, 0),
+        query=5, json=14, pairs=20),
+    Row("watchespn", "WatchESPN", "espn.go.com",
+        get=(33, 33, 17), query=0, json=32, pairs=32, protocol="HTTP"),
+    Row("wishlocal", "Wish Local", "api.wish.com",
+        get=(0, 1, 0), post=(106, 48, 21), query=15, json=28, pairs=106),
+)
+
+_PATH_WORDS = (
+    "feed", "profile", "items", "search", "detail", "comments", "likes",
+    "follow", "notifications", "messages", "upload", "settings", "friends",
+    "categories", "trending", "nearby", "history", "recommend", "tags",
+    "stories", "orders", "cart", "offers", "reviews", "media", "boards",
+    "pins", "collections", "sessions", "devices", "alerts", "topics",
+)
+
+
+def _payload(name: str, rich: bool) -> tuple[dict, tuple[str, ...]]:
+    """A response body plus the subset of keys the app reads (~60%)."""
+    payload = {
+        "status": "ok",
+        f"{name}_id": f"id-{abs(hash(name)) % 10_000}",
+        "permalink": f"https://cdn.service.example/{name}/detail/page?ref=app",
+        "cursor": f"cursor-{name}-0001",
+        "ts": 1480000000,
+        # keys the app never reads — the paper's dynamically generated /
+        # uninspected response content (Table 2's Rn share)
+        "tracking_meta": {"impression_id": f"imp-{abs(hash(name)) % 99999}",
+                          "ab_bucket": "variant-b", "region": "us-west"},
+        "etag": f"W/\"{abs(hash(name)) % 10**8:08x}\"",
+    }
+    reads: tuple[str, ...] = (f"{name}_id", "cursor", "permalink")
+    if rich:
+        payload[f"{name}_tag"] = "featured"
+        reads = (f"{name}_id", "cursor", "permalink", f"{name}_tag")
+    return payload, reads
+
+
+def _endpoints_for(row: Row) -> list[GenEndpoint]:
+    out: list[GenEndpoint] = []
+    json_budget = row.json
+    query_budget = row.query
+    pair_budget = row.pairs
+    login_needed = row.login_wall or any(
+        t[0] > t[2] for t in (row.get, row.post, row.put, row.delete)
+    )
+    login_emitted = False
+    idx = 0
+
+    def next_path(method: str) -> str:
+        nonlocal idx
+        word = _PATH_WORDS[idx % len(_PATH_WORDS)]
+        version = idx // len(_PATH_WORDS) + 1
+        idx += 1
+        return f"/v{version}/{word}/{method.lower()}{idx}"
+
+    for method, (e_count, m_count, a_count) in (
+        ("GET", row.get), ("POST", row.post), ("PUT", row.put),
+        ("DELETE", row.delete),
+    ):
+        shared = min(e_count, m_count)
+        auto_n = min(a_count, shared) if not row.login_wall else 0
+        e_only = max(0, e_count - shared)
+        m_only = max(0, m_count - e_count)
+        auto_extra = max(0, a_count - auto_n) if not row.login_wall else 0
+
+        for i in range(shared):
+            if method == "POST" and login_needed and not login_emitted:
+                out.append(E(
+                    name="login", method="POST", path="/v1/auth/login",
+                    body=(("user", "input"), ("passwd", "input")),
+                    body_format="form" if query_budget > 0 else "json",
+                    response={"token": f"tok-{row.key}", "uid": "u-1"},
+                    reads=("token",), store={"token": "token"},
+                    custom_ui=row.login_wall,
+                ))
+                if query_budget > 0:
+                    query_budget -= 1
+                else:
+                    json_budget -= 1
+                json_budget -= 1  # the token response
+                pair_budget -= 1
+                login_emitted = True
+                continue
+            nonlocal_name = f"{method.lower()}_{idx}"
+            kwargs: dict = {}
+            responded = False
+            # body assignment: form bodies first (the query-string column),
+            # then JSON bodies paired with JSON responses so the JSON column
+            # counts each endpoint once
+            if method in ("POST", "PUT", "DELETE"):
+                if query_budget > 0:
+                    kwargs["body"] = ((f"q_{nonlocal_name}", "input"),
+                                      ("ts", "clock"), ("sig", "device"))
+                    kwargs["body_format"] = "form"
+                    query_budget -= 1
+                elif json_budget > 0 and pair_budget > 0:
+                    kwargs["body"] = ((f"data_{nonlocal_name}", "input"),
+                                      ("client_ts", "clock"))
+                    kwargs["body_format"] = "json"
+                    payload, reads = _payload(nonlocal_name, rich=i % 3 == 0)
+                    kwargs["response"] = payload
+                    kwargs["reads"] = reads
+                    json_budget -= 1
+                    pair_budget -= 1
+                    responded = True
+            if not responded:
+                if pair_budget > 0 and json_budget > 0:
+                    payload, reads = _payload(nonlocal_name, rich=i % 3 == 0)
+                    kwargs["response"] = payload
+                    kwargs["reads"] = reads
+                    pair_budget -= 1
+                    json_budget -= 1
+                elif pair_budget > 0:
+                    kwargs["display_text"] = True
+                    pair_budget -= 1
+            gated = i >= auto_n
+            out.append(E(
+                name=nonlocal_name, method=method, path=next_path(method),
+                headers=(("Authorization", "field:token"),) if login_emitted else (),
+                requires_login=gated and login_emitted,
+                custom_ui=(gated and not login_emitted) or row.login_wall,
+                trigger=TriggerKind.UI,
+                **kwargs,
+            ))
+
+        for i in range(e_only):
+            name = f"{method.lower()}_static_{idx}"
+            kwargs = {}
+            if method in ("POST", "PUT", "DELETE") and query_budget > 0:
+                kwargs["body"] = ((f"q_{name}", "device"), ("ts", "clock"))
+                kwargs["body_format"] = "form"
+                query_budget -= 1
+            if pair_budget > 0 and json_budget > 0:
+                payload, reads = _payload(name, rich=True)
+                kwargs["response"] = payload
+                kwargs["reads"] = reads
+                pair_budget -= 1
+                json_budget -= 1
+            elif pair_budget > 0:
+                kwargs["display_text"] = True
+                pair_budget -= 1
+            if i % 2 == 0:
+                kwargs["trigger"] = TriggerKind.TIMER
+            else:
+                kwargs["side_effect"] = True
+            out.append(E(name=name, method=method, path=next_path(method),
+                         **kwargs))
+
+        for i in range(m_only):
+            out.append(E(
+                name=f"{method.lower()}_ad_{idx}",
+                method=method,
+                path=f"/ads/{method.lower()}/{idx}",
+                via_intent=True,
+                custom_ui=i >= auto_extra,
+            ))
+            idx += 1
+    return out
+
+
+#: transport diversity across the fleet — these apps are built on Volley
+#: or HttpURLConnection instead of Apache HttpClient, exercising the
+#: listener-callback and connection-style demarcation points corpus-wide.
+_TRANSPORTS = {"aol": "volley", "watchespn": "urlconn"}
+
+
+def fleet_app(row: Row) -> GenApp:
+    return GenApp(
+        key=row.key,
+        name=row.name,
+        kind="closed",
+        package=f"com.{row.key}.android",
+        host=row.host,
+        https="HTTPS" in row.protocol,
+        protocol=row.protocol,
+        endpoints=_endpoints_for(row),
+        transport=_TRANSPORTS.get(row.key, "apache"),
+        filler_methods=30,
+        notes=f"Derived from the {row.name} row of Table 1.",
+    )
+
+
+def all_fleet_apps() -> list[GenApp]:
+    return [fleet_app(row) for row in ROWS]
+
+
+__all__ = ["ROWS", "Row", "all_fleet_apps", "fleet_app"]

@@ -1,0 +1,276 @@
+"""Kayak — the §5.3 reverse-engineering case study.
+
+Hand-written: the three Table 6 signatures (`/k/authajax` registration,
+`/api/search/V8/flight/start`, `/api/search/V8/flight/poll`) including the
+app-specific ``User-Agent: kayakandroidphone/8.1`` header Kayak uses for
+access control.  The remaining Table 5 API surface (43 APIs over 8 URI
+prefixes) is generated, and an embedded advertising library hits its own
+host — excluded when the analysis is scoped to ``com.kayak`` classes.
+"""
+
+from __future__ import annotations
+
+from ...apk.model import TriggerKind
+from ...runtime.httpstack import HttpResponse
+from ..base import EndpointTruth
+from ..generator import GenApp, GenEndpoint
+
+E = GenEndpoint
+
+USER_AGENT = "kayakandroidphone/8.1"
+HOST = "www.kayak.com"
+
+
+def _build(emitter) -> None:
+    cb = emitter.cb
+    cls = emitter.main_cls
+    cb.field("mSid", "java.lang.String")
+    cb.field("mSearchId", "java.lang.String")
+
+    def client_of(m):
+        client = m.local("client", "org.apache.http.client.HttpClient")
+        m.assign(client, None)
+        return client
+
+    # -- /k/authajax: session registration (Table 6 row 1) ---------------------
+    m1 = cb.method("registerSession")
+    pairs = m1.new("java.util.ArrayList")
+    uuid = m1.scall("java.util.UUID", "randomUUID", [],
+                    returns="java.util.UUID")
+    uuid_s = m1.vcall(uuid, "toString", [], returns="java.lang.String")
+    device_hash = m1.scall("android.provider.Settings$Secure", "getString",
+                           ["android_id"], returns="java.lang.String")
+    for key, value in (
+        ("action", "registerandroid"),
+        ("uuid", uuid_s),
+        ("hash", device_hash),
+        ("model", None),  # Build.MODEL — device-specific
+        ("platform", "android"),
+        ("os", None),
+        ("locale", None),
+        ("tz", None),
+    ):
+        v = value
+        if v is None:
+            v = m1.scall("android.provider.Settings$Secure", "getString",
+                         ["device_prop"], returns="java.lang.String")
+        p = m1.new("org.apache.http.message.BasicNameValuePair", [key, v])
+        m1.vcall(pairs, "add", [p], returns="boolean")
+    entity = m1.new("org.apache.http.client.entity.UrlEncodedFormEntity", [pairs])
+    req1 = m1.new("org.apache.http.client.methods.HttpPost",
+                  [f"https://{HOST}/k/authajax"])
+    m1.vcall(req1, "setEntity", [entity])
+    m1.vcall(req1, "setHeader", ["User-Agent", USER_AGENT])
+    resp1 = m1.vcall(client_of(m1), "execute", [req1],
+                     returns="org.apache.http.HttpResponse",
+                     on="org.apache.http.client.HttpClient")
+    body1 = m1.scall("org.apache.http.util.EntityUtils", "toString", [resp1],
+                     returns="java.lang.String")
+    j1 = m1.new("org.json.JSONObject", [body1])
+    sid = m1.vcall(j1, "getString", ["sid"], returns="java.lang.String")
+    m1.putfield(m1.this, "mSid", sid, cls=cls)
+    m1.ret_void()
+    emitter.add_entrypoint("registerSession", TriggerKind.LIFECYCLE,
+                           "session registration")
+    emitter.truth.endpoints.append(EndpointTruth(
+        name="session registration", method="POST", request_body="query",
+        response_body="json"))
+
+    # -- /api/search/V8/flight/start (Table 6 row 2) -------------------------------
+    m2 = cb.method("startFlightSearch",
+                   params=["java.lang.String", "java.lang.String",
+                           "java.lang.String"])
+    sid2 = m2.getfield(m2.this, "mSid", cls=cls)
+    url2 = m2.concat(
+        f"https://{HOST}/api/search/V8/flight/start?cabin=e",
+        "&travelers=1",
+        "&origin=", m2.param(0),
+        "&nearbyO=false",
+        "&destination=", m2.param(1),
+        "&nearbyD=false",
+        "&depart_date=", m2.param(2),
+        "&depart_time=a",
+        "&depart_date_flex=exact",
+        "&_sid_=", sid2,
+    )
+    req2 = m2.new("org.apache.http.client.methods.HttpGet", [url2])
+    m2.vcall(req2, "setHeader", ["User-Agent", USER_AGENT])
+    resp2 = m2.vcall(client_of(m2), "execute", [req2],
+                     returns="org.apache.http.HttpResponse",
+                     on="org.apache.http.client.HttpClient")
+    body2 = m2.scall("org.apache.http.util.EntityUtils", "toString", [resp2],
+                     returns="java.lang.String")
+    j2 = m2.new("org.json.JSONObject", [body2])
+    searchid = m2.vcall(j2, "getString", ["searchid"], returns="java.lang.String")
+    m2.putfield(m2.this, "mSearchId", searchid, cls=cls)
+    m2.ret_void()
+    emitter.add_entrypoint("startFlightSearch", TriggerKind.UI, "flight search")
+    emitter.truth.endpoints.append(EndpointTruth(
+        name="flight search", method="GET", response_body="json"))
+
+    # -- /api/search/V8/flight/poll (Table 6 row 3) ------------------------------------
+    m3 = cb.method("pollFlightSearch")
+    searchid3 = m3.getfield(m3.this, "mSearchId", cls=cls)
+    nc = m3.scall("java.lang.System", "currentTimeMillis", [], returns="long")
+    url3 = m3.concat(
+        f"https://{HOST}/api/search/V8/flight/poll?searchid=", searchid3,
+        "&nc=", nc,
+        "&c=15&s=price&d=up&currency=USD&includeopaques=true&includeSplit=false",
+    )
+    req3 = m3.new("org.apache.http.client.methods.HttpGet", [url3])
+    m3.vcall(req3, "setHeader", ["User-Agent", USER_AGENT])
+    resp3 = m3.vcall(client_of(m3), "execute", [req3],
+                     returns="org.apache.http.HttpResponse",
+                     on="org.apache.http.client.HttpClient")
+    body3 = m3.scall("org.apache.http.util.EntityUtils", "toString", [resp3],
+                     returns="java.lang.String")
+    j3 = m3.new("org.json.JSONObject", [body3])
+    trips = m3.vcall(j3, "getJSONArray", ["tripset"], returns="org.json.JSONArray")
+    t0 = m3.vcall(trips, "getJSONObject", [0], returns="org.json.JSONObject")
+    m3.vcall(t0, "getString", ["price"], returns="java.lang.String")
+    m3.vcall(t0, "getString", ["airline"], returns="java.lang.String")
+    m3.vcall(j3, "getBoolean", ["morepending"], returns="boolean")
+    m3.ret_void()
+    emitter.add_entrypoint("pollFlightSearch", TriggerKind.UI, "flight poll")
+    emitter.truth.endpoints.append(EndpointTruth(
+        name="flight poll", method="GET", response_body="json"))
+
+    # -- embedded ad library (outside com.kayak — excluded by scoping) ----------------
+    ad = emitter.pb.class_("com.admarvel.sdk.Tracker")
+    am = ad.method("ping")
+    adreq = am.new("org.apache.http.client.methods.HttpGet",
+                   ["https://tracking.admarvel.net/ping?partner=kayak"])
+    adclient = am.local("client", "org.apache.http.client.HttpClient")
+    am.assign(adclient, None)
+    am.vcall(adclient, "execute", [adreq],
+             returns="org.apache.http.HttpResponse",
+             on="org.apache.http.client.HttpClient")
+    am.ret_void()
+    emitter.add_entrypoint("ping", TriggerKind.LIFECYCLE, "ad tracking", cls=_Shim(ad))
+    # Scoped out of the analysis (com.kayak only, §5.3) — static_visible
+    # False here means "not reported", though fuzzers still see its traffic.
+    emitter.truth.endpoints.append(EndpointTruth(
+        name="ad tracking", method="GET", static_visible=False))
+
+
+class _Shim:
+    """Adapter so add_entrypoint can address a non-main class builder."""
+
+    def __init__(self, cb) -> None:
+        self.cls = cb.cls
+
+
+def _generated_endpoints() -> list[GenEndpoint]:
+    out: list[GenEndpoint] = []
+    ua = (("User-Agent", f"const:{USER_AGENT}"),)
+    # Travel Planner: GET https://www.kayak.com/trips/v2/... (11 APIs)
+    # the trip planner sits behind a sign-in drawer PUMA cannot open
+    for sub in ("list", "detail", "edit/trip", "create", "delete", "share",
+                "events", "flightstatus", "notes", "collaborators", "summary"):
+        out.append(E(name=f"trips_{sub.replace('/', '_')}", method="GET",
+                     path=f"/trips/v2/{sub}", headers=ua, custom_ui=True))
+    # Authentication: POST /k/authajax variants (3 more beyond Table 6's)
+    for action in ("login", "logout", "refresh"):
+        out.append(E(name=f"auth_{action}", method="POST",
+                     path=f"/k/authajax/{action}",
+                     body=(("action", f"const:{action}"),
+                           ("_sid_", "field:mSid")),
+                     body_format="form", headers=ua, custom_ui=True))
+    # Facebook auth: POST /k/run/fbauth (2 APIs)
+    for sub in ("login", "link"):
+        out.append(E(name=f"fbauth_{sub}", method="POST",
+                     path=f"/k/run/fbauth/{sub}",
+                     body=(("fb_token", "input"),), body_format="form",
+                     headers=ua, custom_ui=True))
+    # Flight: 4 more GET /api/search/V8/flight APIs (detail parsed → JSON)
+    out.append(E(name="flight_detail", method="GET",
+                 path="/api/search/V8/flight/detail", headers=ua,
+                 query=(("resultid", "input"),),
+                 response={"legs": [{"segments": []}], "price": "$420"},
+                 reads=("legs", "price"), custom_ui=True))
+    for sub in ("airports", "airlines", "fees"):
+        out.append(E(name=f"flight_{sub}", method="GET",
+                     path=f"/api/search/V8/flight/{sub}", headers=ua,
+                     custom_ui=True))
+    # Hotel: GET /api/search/V8/hotel (2 APIs, detail parsed)
+    out.append(E(name="hotel_detail", method="GET",
+                 path="/api/search/V8/hotel/detail", headers=ua,
+                 query=(("hotelid", "input"),), custom_ui=True))
+    out.append(E(name="hotel_poll", method="GET",
+                 path="/api/search/V8/hotel/poll", headers=ua,
+                 custom_ui=True))
+    # Car: GET /api/search/V8/car/poll (1 API, parsed)
+    out.append(E(name="car_poll", method="GET",
+                 path="/api/search/V8/car/poll", headers=ua,
+                 response={"cars": [{"agency": "Avis", "price": "$40"}]},
+                 reads=("cars",), custom_ui=True))
+    # Mobile-specific: GET /h/mobileapis (12 APIs)
+    for sub in ("currency/allRates", "airports/list", "flighttracker/search",
+                "pricealerts/list", "pricealerts/create", "profile/get",
+                "settings/get", "notifications/register", "translations/get",
+                "servers/list", "featureflags", "appversion"):
+        out.append(E(name=f"mobile_{sub.replace('/', '_')}", method="GET",
+                     path=f"/h/mobileapis/{sub}", headers=ua))
+    # Advertising: GET /s/mobileads (1 API, parsed JSON)
+    out.append(E(name="mobileads", method="GET", path="/s/mobileads",
+                 headers=ua,
+                 response={"ads": [{"unit": "front-door", "img":
+                                    "https://content.kayak.com/ad1.png"}]},
+                 reads=("ads",)))
+    # Etc: POST /k/... (4 APIs)
+    for sub in ("cookie", "geo", "clickthrough", "feedback"):
+        out.append(E(name=f"k_{sub}", method="POST", path=f"/k/{sub}",
+                     body=(("payload", "input"),), body_format="form",
+                     headers=ua))
+    return out
+
+
+def _routes():
+    def authajax(request, state):
+        state["sid"] = "sid-kayak-91"
+        return HttpResponse.json_response({"sid": "sid-kayak-91",
+                                           "status": "registered"})
+
+    def flight_start(request, state):
+        if request.headers.get("User-Agent") != USER_AGENT:
+            return HttpResponse(status=403, body="bad client")
+        state["searchid"] = "search-777"
+        return HttpResponse.json_response({"searchid": "search-777",
+                                           "status": "started"})
+
+    def flight_poll(request, state):
+        if request.headers.get("User-Agent") != USER_AGENT:
+            return HttpResponse(status=403, body="bad client")
+        return HttpResponse.json_response({
+            "tripset": [{"price": "$423", "airline": "KE",
+                         "duration": "11h 5m"}],
+            "morepending": False,
+        })
+
+    return (
+        (HOST, "POST", r"/k/authajax", authajax),
+        (HOST, "GET", r"/api/search/V8/flight/start", flight_start),
+        (HOST, "GET", r"/api/search/V8/flight/poll", flight_poll),
+        ("tracking.admarvel.net", "GET", r"/ping",
+         lambda req, state: HttpResponse.json_response({"ok": 1})),
+    )
+
+
+def kayak() -> GenApp:
+    return GenApp(
+        key="kayak",
+        name="KAYAK",
+        kind="closed",
+        package="com.kayak.android",
+        host=HOST,
+        protocol="HTTPS",
+        endpoints=_generated_endpoints(),
+        custom=_build,
+        extra_routes=_routes(),
+        filler_methods=60,
+        scope_prefixes=("com.kayak",),
+        notes="§5.3 / Tables 5-6 reverse-engineering case study.",
+    )
+
+
+__all__ = ["USER_AGENT", "kayak"]

@@ -1,0 +1,320 @@
+"""TED — the Table 4 / Figure 1 case study, hand-written core.
+
+The eight notable transactions and their dependency graph:
+
+#1 speakers.json      (S)  → JSON, name/description inserted into SQLite
+#2 graph.facebook.com (S)  → string (Facebook share, third-party library)
+#3 android_ad.json    (S)  → JSON carrying the ad-query URI        ┐ Fig. 1
+#4 GET (.*) ad query  (D)  → XML carrying ad video URIs            │ prefetch
+#5 GET (.*) ad video  (D)  → binary, streamed into the MediaPlayer ┘
+#6 talk_catalogs      (S)  → JSON, thumbnail/video URIs → SQLite
+#7 GET (.*) thumbnail (D, from DB) → binary
+#8 GET (.*) video     (D, from DB) → binary, into the MediaPlayer
+
+(S) static URI / (D) dynamically derived — the paper's classification.
+The remaining Table 1 volume (GET 16, POST 2, JSON 10, pairs 10) comes
+from generated endpoints.
+"""
+
+from __future__ import annotations
+
+from ...apk.model import TriggerKind
+from ...runtime.httpstack import HttpResponse
+from ..base import EndpointTruth
+from ..generator import GenApp, GenEndpoint
+
+E = GenEndpoint
+
+_AD_QUERY_URL = "https://ad.doubleclick.net/tedad/query"
+_AD_VIDEO_URL = "https://ad-video.cdn.ted.com/preroll/42.mp4"
+_THUMB_URL = "https://tedcdnpi.ted.com/images/talk_1234_thumb.jpg"
+_VIDEO_URL = "https://download.ted.com/talks/Talk1234.mp4"
+
+_SPEAKERS_JSON = {
+    "speakers": [
+        {"speaker": {"name": "Jane Doe", "description": "Roboticist",
+                     "whotheyare": "Builds robots", "photo_url":
+                     "https://pe.tedcdn.com/images/speaker_1.jpg"}},
+    ],
+    "counts": {"total": 1},
+}
+
+_AD_JSON = {
+    "companions": {
+        "on_page": {"height": 250, "width": 300},
+        "preroll": {"height": 360, "width": 640},
+    },
+    "url": _AD_QUERY_URL,
+}
+
+# The real ad query returns VAST XML; we use its JSON envelope so the TED
+# Table 1 row (JSON 10, XML —) reconciles — see EXPERIMENTS.md deviations.
+_AD_QUERY_JSON = {
+    "mediafiles": [{"url": _AD_VIDEO_URL, "bitrate": 800,
+                    "type": "video/mp4"}],
+    "tracking": {"impression": "https://ad.doubleclick.net/imp/1"},
+}
+
+_CATALOG_JSON = {
+    "talks": [
+        {"talk": {"id": 1234, "duration_in_seconds": 1060,
+                  "thumbnail_url": _THUMB_URL,
+                  "video_url": _VIDEO_URL,
+                  "title": "How slicing works"}},
+    ]
+}
+
+
+def _build(emitter) -> None:
+    cb = emitter.cb
+    cls = emitter.main_cls
+    cb.field("mLastSync", "java.lang.String")
+    cb.field("mAdQueryUri", "java.lang.String")
+    cb.field("mAdVideoUri", "java.lang.String")
+
+    def http_get(m, url, *, into="resp"):
+        req = m.new("org.apache.http.client.methods.HttpGet", [url])
+        client = m.local("client", "org.apache.http.client.HttpClient")
+        m.assign(client, None)
+        return m.vcall(client, "execute", [req],
+                       returns="org.apache.http.HttpResponse",
+                       on="org.apache.http.client.HttpClient", into=into)
+
+    def api_key(m):
+        rid = emitter.resources.string_id("api_key")
+        res = m.vcall(m.this, "getResources", [],
+                      returns="android.content.res.Resources",
+                      on="android.app.Activity")
+        return m.vcall(res, "getString", [rid], returns="java.lang.String")
+
+    def open_db(m):
+        helper = m.local("helper", "android.database.sqlite.SQLiteOpenHelper")
+        m.assign(helper, None)
+        return m.vcall(helper, "getWritableDatabase", [],
+                       returns="android.database.sqlite.SQLiteDatabase")
+
+    # -- #1 speakers ---------------------------------------------------------
+    m1 = cb.method("syncSpeakers")
+    last = m1.getfield(m1.this, "mLastSync", cls=cls)
+    url1 = m1.concat(
+        "https://app-api.ted.com/v1/speakers.json?limit=2000&api-key=",
+        api_key(m1), "&filter=updated_at:%3E", last,
+    )
+    resp1 = http_get(m1, url1)
+    body1 = m1.scall("org.apache.http.util.EntityUtils", "toString", [resp1],
+                     returns="java.lang.String")
+    j1 = m1.new("org.json.JSONObject", [body1])
+    speakers = m1.vcall(j1, "getJSONArray", ["speakers"],
+                        returns="org.json.JSONArray")
+    item = m1.vcall(speakers, "getJSONObject", [0],
+                    returns="org.json.JSONObject")
+    sp = m1.vcall(item, "getJSONObject", ["speaker"],
+                  returns="org.json.JSONObject")
+    name = m1.vcall(sp, "getString", ["name"], returns="java.lang.String")
+    desc = m1.vcall(sp, "getString", ["description"], returns="java.lang.String")
+    photo = m1.vcall(sp, "getString", ["photo_url"], returns="java.lang.String")
+    cv1 = m1.new("android.content.ContentValues")
+    m1.vcall(cv1, "put", ["name", name])
+    m1.vcall(cv1, "put", ["description", desc])
+    m1.vcall(cv1, "put", ["photo_url", photo])
+    db1 = open_db(m1)
+    m1.vcall(db1, "insert", ["speakers", None, cv1], returns="long")
+    m1.ret_void()
+    emitter.add_entrypoint("syncSpeakers", TriggerKind.LIFECYCLE, "speaker sync")
+    emitter.truth.endpoints.append(EndpointTruth(
+        name="speaker sync", method="GET", response_body="json"))
+
+    # -- #2 facebook share ------------------------------------------------------
+    m2 = cb.method("shareOnFacebook")
+    http_get(m2, "https://graph.facebook.com/me/photos")
+    m2.ret_void()
+    emitter.add_entrypoint("shareOnFacebook", TriggerKind.UI, "facebook share")
+    emitter.truth.endpoints.append(EndpointTruth(
+        name="facebook share", method="GET"))
+
+    # -- #3 ad query metadata (Figure 1, request 1) --------------------------------
+    m3 = cb.method("fetchTalkAd", params=["java.lang.String"])
+    url3 = m3.concat("https://app-api.ted.com/v1/talks/", m3.param(0),
+                     "/android_ad.json?api-key=", api_key(m3))
+    resp3 = http_get(m3, url3)
+    body3 = m3.scall("org.apache.http.util.EntityUtils", "toString", [resp3],
+                     returns="java.lang.String")
+    j3 = m3.new("org.json.JSONObject", [body3])
+    comp = m3.vcall(j3, "getJSONObject", ["companions"],
+                    returns="org.json.JSONObject")
+    onpage = m3.vcall(comp, "getJSONObject", ["on_page"],
+                      returns="org.json.JSONObject")
+    m3.vcall(onpage, "getInt", ["height"], returns="int")
+    m3.vcall(onpage, "getInt", ["width"], returns="int")
+    preroll = m3.vcall(comp, "getJSONObject", ["preroll"],
+                       returns="org.json.JSONObject")
+    m3.vcall(preroll, "getInt", ["height"], returns="int")
+    m3.vcall(preroll, "getInt", ["width"], returns="int")
+    adurl = m3.vcall(j3, "getString", ["url"], returns="java.lang.String")
+    m3.putfield(m3.this, "mAdQueryUri", adurl, cls=cls)
+    m3.ret_void()
+    emitter.add_entrypoint("fetchTalkAd", TriggerKind.UI, "talk ad metadata",
+                           custom_ui=True)
+    emitter.truth.endpoints.append(EndpointTruth(
+        name="talk ad metadata", method="GET", response_body="json",
+        auto_visible=False))
+
+    # -- #4 ad query (dynamic URI from #3) -------------------------------------------
+    m4 = cb.method("fetchAdQuery")
+    adq = m4.getfield(m4.this, "mAdQueryUri", cls=cls)
+    resp4 = http_get(m4, adq)
+    body4 = m4.scall("org.apache.http.util.EntityUtils", "toString", [resp4],
+                     returns="java.lang.String")
+    j4 = m4.new("org.json.JSONObject", [body4])
+    files = m4.vcall(j4, "getJSONArray", ["mediafiles"],
+                     returns="org.json.JSONArray")
+    mf = m4.vcall(files, "getJSONObject", [0], returns="org.json.JSONObject")
+    video = m4.vcall(mf, "getString", ["url"], returns="java.lang.String")
+    m4.putfield(m4.this, "mAdVideoUri", video, cls=cls)
+    m4.ret_void()
+    emitter.add_entrypoint("fetchAdQuery", TriggerKind.UI, "ad query",
+                           custom_ui=True)
+    emitter.truth.endpoints.append(EndpointTruth(
+        name="ad query", method="GET", response_body="json",
+        auto_visible=False))
+
+    # -- #5 ad video stream into the player (Figure 1, request 2) --------------------
+    m5 = cb.method("playAdVideo")
+    adv = m5.getfield(m5.this, "mAdVideoUri", cls=cls)
+    mp5 = m5.new("android.media.MediaPlayer")
+    m5.vcall(mp5, "setDataSource", [adv])
+    m5.vcall(mp5, "prepare", [])
+    m5.vcall(mp5, "start", [])
+    m5.ret_void()
+    emitter.add_entrypoint("playAdVideo", TriggerKind.UI, "ad video",
+                           custom_ui=True)
+    emitter.truth.endpoints.append(EndpointTruth(
+        name="ad video", method="GET", auto_visible=False))
+
+    # -- #6 talk catalog → DB ----------------------------------------------------------
+    m6 = cb.method("syncTalkCatalog", params=["java.lang.String"])
+    url6 = m6.concat(
+        "https://app-api.ted.com/v1/talk_catalogs/android_v1.json?api-key=",
+        api_key(m6), "&fields=duration_in_seconds&filter=id:", m6.param(0),
+    )
+    resp6 = http_get(m6, url6)
+    body6 = m6.scall("org.apache.http.util.EntityUtils", "toString", [resp6],
+                     returns="java.lang.String")
+    j6 = m6.new("org.json.JSONObject", [body6])
+    talks = m6.vcall(j6, "getJSONArray", ["talks"], returns="org.json.JSONArray")
+    t0 = m6.vcall(talks, "getJSONObject", [0], returns="org.json.JSONObject")
+    talk = m6.vcall(t0, "getJSONObject", ["talk"], returns="org.json.JSONObject")
+    m6.vcall(talk, "getInt", ["duration_in_seconds"], returns="int")
+    thumb = m6.vcall(talk, "getString", ["thumbnail_url"],
+                     returns="java.lang.String")
+    video6 = m6.vcall(talk, "getString", ["video_url"], returns="java.lang.String")
+    cv6 = m6.new("android.content.ContentValues")
+    m6.vcall(cv6, "put", ["thumb_url", thumb])
+    m6.vcall(cv6, "put", ["video_url", video6])
+    db6 = open_db(m6)
+    m6.vcall(db6, "insert", ["talks", None, cv6], returns="long")
+    m6.ret_void()
+    emitter.add_entrypoint("syncTalkCatalog", TriggerKind.LIFECYCLE, "talk sync")
+    emitter.truth.endpoints.append(EndpointTruth(
+        name="talk sync", method="GET", response_body="json"))
+
+    # -- #7 thumbnail from DB -------------------------------------------------------------
+    m7 = cb.method("loadThumbnail")
+    db7 = open_db(m7)
+    cur7 = m7.vcall(db7, "rawQuery",
+                    ["SELECT thumb_url FROM talks", None],
+                    returns="android.database.Cursor")
+    m7.vcall(cur7, "moveToFirst", [], returns="boolean")
+    turl = m7.vcall(cur7, "getString", [0], returns="java.lang.String")
+    http_get(m7, turl)
+    m7.ret_void()
+    emitter.add_entrypoint("loadThumbnail", TriggerKind.UI, "thumbnail",
+                           custom_ui=True)
+    emitter.truth.endpoints.append(EndpointTruth(
+        name="thumbnail", method="GET", auto_visible=False))
+
+    # -- #8 talk video from DB into the player ----------------------------------------------
+    m8 = cb.method("playTalk")
+    db8 = open_db(m8)
+    cur8 = m8.vcall(db8, "rawQuery",
+                    ["SELECT video_url FROM talks", None],
+                    returns="android.database.Cursor")
+    m8.vcall(cur8, "moveToFirst", [], returns="boolean")
+    vurl = m8.vcall(cur8, "getString", [0], returns="java.lang.String")
+    mp8 = m8.new("android.media.MediaPlayer")
+    m8.vcall(mp8, "setDataSource", [vurl])
+    m8.vcall(mp8, "prepareAsync", [])
+    m8.ret_void()
+    emitter.add_entrypoint("playTalk", TriggerKind.UI, "play talk",
+                           custom_ui=True)
+    emitter.truth.endpoints.append(EndpointTruth(
+        name="play talk", method="GET", auto_visible=False))
+
+
+def _routes():
+    def ok_json(payload):
+        return lambda req, state: HttpResponse.json_response(payload)
+
+    return (
+        ("app-api.ted.com", "GET", r"/v1/speakers\.json", ok_json(_SPEAKERS_JSON)),
+        ("app-api.ted.com", "GET", r"/v1/talks/[^/]+/android_ad\.json",
+         ok_json(_AD_JSON)),
+        ("app-api.ted.com", "GET", r"/v1/talk_catalogs/android_v1\.json",
+         ok_json(_CATALOG_JSON)),
+        ("graph.facebook.com", "GET", r"/me/photos", ok_json({"data": []})),
+        ("ad.doubleclick.net", "GET", r"/tedad/query",
+         lambda req, state: HttpResponse.json_response(_AD_QUERY_JSON)),
+        ("ad-video.cdn.ted.com", "GET", r"/preroll/.*",
+         lambda req, state: HttpResponse.binary(65536)),
+        ("tedcdnpi.ted.com", "GET", r"/images/.*",
+         lambda req, state: HttpResponse.binary(8192)),
+        ("download.ted.com", "GET", r"/talks/.*",
+         lambda req, state: HttpResponse.binary(1 << 20)),
+    )
+
+
+def _generated_endpoints() -> list[GenEndpoint]:
+    """The rest of the Table 1 volume: 8 GET + 2 POST."""
+    out: list[GenEndpoint] = []
+    reads_map = {
+        "talks_list": ({"talks": [{"title": "t", "slug": "s"}]}, ("talks",)),
+        "playlists": ({"playlists": [{"name": "favorites"}]}, ("playlists",)),
+        "languages": ({"languages": [{"code": "en"}]}, ("languages",)),
+        "translations": ({"paragraphs": [{"cues": []}]}, ("paragraphs",)),
+        "events": ({"events": [{"name": "TED2016"}]}, ("events",)),
+        "ratings": ({"ratings": [{"id": 1, "name": "inspiring"}]}, ("ratings",)),
+    }
+    for name, (payload, reads) in reads_map.items():
+        out.append(E(name=name, method="GET", path=f"/v1/{name}.json",
+                     query=(("api-key", "resource:api_key"),),
+                     response=payload, reads=reads))
+    out.append(E(name="static_config", method="GET", path="/v1/config.json"))
+    out.append(E(name="banner", method="GET", path="/v1/banner.png",
+                 binary_response=True, custom_ui=True))
+    out.append(E(name="track_event", method="POST", path="/v1/track",
+                 body=(("event", "const:play"), ("talk_id", "input")),
+                 body_format="form"))
+    out.append(E(name="survey", method="POST", path="/v1/survey",
+                 body=(("answers", "input"),), body_format="form",
+                 custom_ui=True))
+    return out
+
+
+def ted() -> GenApp:
+    return GenApp(
+        key="ted",
+        name="TED",
+        kind="closed",
+        package="com.ted.android",
+        host="app-api.ted.com",
+        protocol="HTTP(S)",
+        endpoints=_generated_endpoints(),
+        resources={"api_key": "TEDAPIKEY-a7e52cd3"},
+        custom=_build,
+        extra_routes=_routes(),
+        filler_methods=60,
+        notes="Table 4 / Figure 1 case study; closed-source set.",
+    )
+
+
+__all__ = ["ted"]

@@ -1,0 +1,8 @@
+"""Open-source corpus apps (the F-Droid set of Table 1)."""
+
+from .diode import diode
+from .radioreddit import radioreddit
+from .simple import ALL_SIMPLE_OPEN
+from .weather import weather_notification
+
+__all__ = ["ALL_SIMPLE_OPEN", "diode", "radioreddit", "weather_notification"]

@@ -1,0 +1,218 @@
+"""Diode — the reddit client of paper Figure 3.
+
+The ``doInBackground`` method reproduces the figure: a branchy
+StringBuilder URI construction (front page / search / subreddit, each with
+optional before/after pagination) flowing into an Apache HttpClient
+demarcation point, with the JSON listing parsed afterwards.  The remaining
+GET endpoints (Table 1 counts 24 GET signatures, 2 JSON bodies, 5 pairs)
+are generated.
+"""
+
+from __future__ import annotations
+
+from ...apk.model import TriggerKind
+from ...runtime.httpstack import HttpResponse
+from ..base import EndpointTruth
+from ..generator import GenApp, GenEndpoint
+
+E = GenEndpoint
+
+REDDIT_BASE_URL = "http://www.reddit.com"
+MAIN = "in.shick.diode.ThreadsListActivity"
+
+
+def _figure3_method(emitter) -> None:
+    """The request/response slice example of Figure 3."""
+    cb = emitter.cb
+    cb.field("mSubreddit", "java.lang.String")
+    cb.field("mSearchQuery", "java.lang.String")
+    cb.field("mSortByUrl", "java.lang.String")
+    cb.field("mAfter", "java.lang.String")
+    cb.field("mBefore", "java.lang.String")
+    cb.field("mCount", "java.lang.String")
+
+    m = cb.method("doInBackground", returns="boolean")
+    cls = emitter.main_cls
+    sub = m.getfield(m.this, "mSubreddit", cls=cls)
+    sort = m.getfield(m.this, "mSortByUrl", cls=cls)
+    sb = m.local("sb", "java.lang.StringBuilder")
+
+    # if (FRONTPAGE.equals(mSubreddit)) { base + sort + .json? }
+    is_front = m.scall("java.lang.String", "valueOf", [sub],
+                       returns="java.lang.String")
+    front_flag = m.vcall(is_front, "isEmpty", [], returns="boolean")
+    m.if_goto(front_flag, "==", 0, "NOTFRONT")
+    sb1 = m.new("java.lang.StringBuilder", [REDDIT_BASE_URL + "/"])
+    m.vcall(sb1, "append", [sort], returns="java.lang.StringBuilder")
+    m.vcall(sb1, "append", [".json?"], returns="java.lang.StringBuilder")
+    m.assign(sb, sb1)
+    m.goto("PAGINATE")
+
+    m.label("NOTFRONT")
+    query = m.getfield(m.this, "mSearchQuery", cls=cls)
+    has_query = m.vcall(query, "isEmpty", [], returns="boolean")
+    m.if_goto(has_query, "!=", 0, "SUBREDDIT")
+    sb2 = m.new("java.lang.StringBuilder", [REDDIT_BASE_URL + "/search/"])
+    m.vcall(sb2, "append", [".json?q="], returns="java.lang.StringBuilder")
+    encoded = m.scall("java.net.URLEncoder", "encode", [query, "UTF-8"],
+                      returns="java.lang.String")
+    m.vcall(sb2, "append", [encoded], returns="java.lang.StringBuilder")
+    m.vcall(sb2, "append", ["&sort="], returns="java.lang.StringBuilder")
+    m.vcall(sb2, "append", [sort], returns="java.lang.StringBuilder")
+    m.assign(sb, sb2)
+    m.goto("PAGINATE")
+
+    m.label("SUBREDDIT")
+    sb3 = m.new("java.lang.StringBuilder", [REDDIT_BASE_URL + "/r/"])
+    trimmed = m.vcall(sub, "trim", [], returns="java.lang.String")
+    m.vcall(sb3, "append", [trimmed], returns="java.lang.StringBuilder")
+    m.vcall(sb3, "append", ["/"], returns="java.lang.StringBuilder")
+    m.vcall(sb3, "append", [sort], returns="java.lang.StringBuilder")
+    m.vcall(sb3, "append", [".json?"], returns="java.lang.StringBuilder")
+    m.assign(sb, sb3)
+
+    m.label("PAGINATE")
+    after = m.getfield(m.this, "mAfter", cls=cls)
+    count = m.getfield(m.this, "mCount", cls=cls)
+    m.if_goto(after, "==", None, "TRYBEFORE")
+    m.vcall(sb, "append", ["count="], returns="java.lang.StringBuilder")
+    m.vcall(sb, "append", [count], returns="java.lang.StringBuilder")
+    m.vcall(sb, "append", ["&after="], returns="java.lang.StringBuilder")
+    m.vcall(sb, "append", [after], returns="java.lang.StringBuilder")
+    m.vcall(sb, "append", ["&"], returns="java.lang.StringBuilder")
+    m.goto("EXECUTE")
+    m.label("TRYBEFORE")
+    before = m.getfield(m.this, "mBefore", cls=cls)
+    m.if_goto(before, "==", None, "EXECUTE")
+    m.vcall(sb, "append", ["count="], returns="java.lang.StringBuilder")
+    m.vcall(sb, "append", [count], returns="java.lang.StringBuilder")
+    m.vcall(sb, "append", ["&before="], returns="java.lang.StringBuilder")
+    m.vcall(sb, "append", [before], returns="java.lang.StringBuilder")
+    m.vcall(sb, "append", ["&"], returns="java.lang.StringBuilder")
+
+    m.label("EXECUTE")
+    url = m.vcall(sb, "toString", [], returns="java.lang.String", into="url")
+    request = m.new("org.apache.http.client.methods.HttpGet", [url],
+                    into="request")
+    client = m.local("mClient", "org.apache.http.client.HttpClient")
+    m.assign(client, None)
+    response = m.vcall(client, "execute", [request],
+                       returns="org.apache.http.HttpResponse",
+                       on="org.apache.http.client.HttpClient", into="response")
+    entity = m.vcall(response, "getEntity", [],
+                     returns="org.apache.http.HttpEntity", into="in")
+    body = m.scall("org.apache.http.util.EntityUtils", "toString", [entity],
+                   returns="java.lang.String", into="body")
+    m.call_this("parseSubredditJSON", [body])
+    m.ret(1)
+
+    p = cb.method("parseSubredditJSON", params=["java.lang.String"])
+    listing = p.new("org.json.JSONObject", [p.param(0)], into="listing")
+    data = p.vcall(listing, "getJSONObject", ["data"],
+                   returns="org.json.JSONObject", into="data")
+    after2 = p.vcall(data, "getString", ["after"], returns="java.lang.String",
+                     into="after2")
+    p.putfield(p.this, "mAfter", after2, cls=cls)
+    children = p.vcall(data, "getJSONArray", ["children"],
+                       returns="org.json.JSONArray", into="children")
+    n = p.vcall(children, "length", [], returns="int", into="n")
+    i = p.let("i", "int", 0)
+    p.label("LOOP")
+    p.if_goto(i, ">=", n, "DONE")
+    child = p.vcall(children, "getJSONObject", [i],
+                    returns="org.json.JSONObject", into="child")
+    cdata = p.vcall(child, "getJSONObject", ["data"],
+                    returns="org.json.JSONObject", into="cdata")
+    p.vcall(cdata, "getString", ["title"], returns="java.lang.String")
+    p.vcall(cdata, "getString", ["permalink"], returns="java.lang.String")
+    p.vcall(cdata, "getInt", ["score"], returns="int")
+    i2 = p.binop("+", i, 1)
+    p.assign(i, i2)
+    p.goto("LOOP")
+    p.label("DONE")
+    p.ret_void()
+
+    emitter.add_entrypoint("doInBackground", TriggerKind.UI, "load listing")
+    emitter.truth.endpoints.append(
+        EndpointTruth(name="load listing", method="GET",
+                      response_body="json")
+    )
+
+
+_LISTING_JSON = {
+    "data": {
+        "after": "t3_3gu1nn",
+        "children": [
+            {"data": {"title": "TIL about slicing", "permalink": "/r/til/1",
+                      "score": 1234, "author": "alice"}},
+            {"data": {"title": "Extractocol is neat", "permalink": "/r/prog/2",
+                      "score": 99, "author": "bob"}},
+        ],
+    }
+}
+
+
+def _listing_route(request, state):
+    return HttpResponse.json_response(_LISTING_JSON)
+
+
+def diode() -> GenApp:
+    """Diode: GET 24; JSON 2; 5 pairs (Table 1)."""
+    # 23 further GET endpoints beyond the Figure-3 listing fetch.
+    endpoints: list[GenEndpoint] = []
+    # 4 with processed responses (pairs #2..#5); one JSON body elsewhere.
+    endpoints.append(
+        E(name="comments", method="GET",
+          path="/r/pics/comments/3gu1nn/.json",
+          response={"data": {"children": [{"data": {"body": "comment",
+                                                    "ups": 10}}]}},
+          reads=("data",))
+    )
+    # three text pages rendered in the UI (pairs without JSON structure)
+    endpoints.append(
+        E(name="user_profile", method="GET", path="/user/alice/about",
+          display_text=True, text_response="alice: redditor for 4 years")
+    )
+    endpoints.append(
+        E(name="sidebar", method="GET", path="/r/pics/sidebar",
+          display_text=True, text_response="welcome to /r/pics")
+    )
+    endpoints.append(
+        E(name="wiki_page", method="GET", path="/r/pics/wiki/rules",
+          display_text=True, text_response="1. no screenshots")
+    )
+    # 19 plain GETs: thumbnails, static pages, captcha, rss variants ...
+    for i, path in enumerate(
+        [
+            "/r/pics/new/.json", "/r/pics/top/.json", "/r/pics/controversial/.json",
+            "/r/all/.json", "/message/inbox/.json", "/message/unread/.json",
+            "/message/sent/.json", "/prefs/friends/.json", "/subreddits/mine.json",
+            "/subreddits/popular.json", "/api/needs_captcha.json",
+            "/captcha/abcd.png", "/static/award.png", "/favicon.ico",
+            "/r/random/.json", "/by_id/t3_1.json", "/duplicates/3gu1nn.json",
+            "/r/pics/wiki/index.json", "/live/updates.json",
+        ]
+    ):
+        binary = path.endswith((".png", ".ico"))
+        endpoints.append(E(name=f"get_{i}", method="GET", path=path,
+                           binary_response=binary))
+    return GenApp(
+        key="diode",
+        name="Diode",
+        kind="open",
+        package="in.shick.diode",
+        host="www.reddit.com",
+        protocol="HTTP(S)",
+        https=False,
+        endpoints=endpoints,
+        custom=_figure3_method,
+        extra_routes=(
+            ("www.reddit.com", "GET", r"/(r/\w+/)?(search/)?(\w+/)?\.json.*",
+             _listing_route),
+        ),
+        filler_methods=40,
+        notes="Figure 3's request/response slices come from doInBackground.",
+    )
+
+
+__all__ = ["diode"]

@@ -1,0 +1,299 @@
+"""radio reddit — the Table 3 case study, hand-written.
+
+Six transactions with the exact dependency structure of the paper:
+
+#1 GET  http://www.reddit.com/api/info.json?                → JSON
+#2 GET  http://www.radioreddit.com/<station>/status.json    → JSON (relay…)
+#3 POST https://ssl.reddit.com/api/login   user=&passwd=&api_type=json
+        → JSON {modhash, cookie, need_https}
+#4 POST http://www.reddit.com/api/(unsave|save)   id=…&uh=<modhash>
+#5 POST http://www.reddit.com/api/vote   id=…&dir=…&uh=<modhash>
+#6 GET  (.*)  — the station relay stream, fed to MediaPlayer
+
+Plus the paper's §5.1 keyword subtlety: the vote direction is built as a
+``"dir=" + value`` pair inside a *UI callback* and stored on the heap; a
+later event embeds it in #5's body.  With the async-event heuristic off
+(the paper's open-source configuration) that one keyword is lost —
+"Extractocol identifies all but one [keyword]".
+"""
+
+from __future__ import annotations
+
+import json
+
+from ...apk.model import TriggerKind
+from ...runtime.httpstack import HttpResponse
+from ..base import EndpointTruth
+from ..generator import GenApp
+
+MAIN = "com.radioreddit.android.MainActivity"
+
+_STATUS_JSON = {
+    "all_listeners": "99999",
+    "listeners": "13586",
+    "online": "TRUE",
+    "playlist": "hiphop",
+    "relay": "http://cdn.audiopump.co/radioreddit/hiphop_mp3_128k",
+    "songs": {
+        "song": [
+            {
+                "album": "",
+                "artist": "stirus",
+                "download_url": "http://radioreddit.com/dl/837",
+                "genre": "Hip-Hop",
+                "id": "837",
+                "preview_url": "http://radioreddit.com/pv/837",
+                "reddit_title": "stirus(/u/sonus) - Surviving Minds",
+                "reddit_url": "http://reddit.com/r/radioreddit/837",
+                "redditor": "sonus",
+                "score": "6",
+                "title": "Surviving Minds",
+            }
+        ]
+    },
+}
+
+_LOGIN_JSON = {
+    "json": {
+        "data": {
+            "modhash": "mh-radioreddit-1",
+            "cookie": "reddit_session=abc123",
+            "need_https": True,
+        }
+    }
+}
+
+_INFO_JSON = {"data": {"children": [{"data": {"id": "t3_837", "likes": True}}]}}
+
+
+def _build(emitter) -> None:
+    cb = emitter.cb
+    cls = emitter.main_cls
+    cb.field("mModhash", "java.lang.String")
+    cb.field("mCookie", "java.lang.String")
+    cb.field("mSongFullname", "java.lang.String")
+    cb.field("mDirPair", "java.lang.String")
+    cb.field("mRelay", "java.lang.String")
+    cb.field("mStation", "java.lang.String")
+
+    # -- transaction #1: song info --------------------------------------------
+    m1 = cb.method("fetchSongInfo")
+    name1 = m1.getfield(m1.this, "mSongFullname", cls=cls)
+    url1 = m1.concat("http://www.reddit.com/api/info.json?", "id=", name1)
+    req1 = m1.new("org.apache.http.client.methods.HttpGet", [url1])
+    client1 = m1.local("client", "org.apache.http.client.HttpClient")
+    m1.assign(client1, None)
+    resp1 = m1.vcall(client1, "execute", [req1],
+                     returns="org.apache.http.HttpResponse",
+                     on="org.apache.http.client.HttpClient")
+    body1 = m1.scall("org.apache.http.util.EntityUtils", "toString", [resp1],
+                     returns="java.lang.String")
+    j1 = m1.new("org.json.JSONObject", [body1])
+    d1 = m1.vcall(j1, "getJSONObject", ["data"], returns="org.json.JSONObject")
+    ch1 = m1.vcall(d1, "getJSONArray", ["children"], returns="org.json.JSONArray")
+    c0 = m1.vcall(ch1, "getJSONObject", [0], returns="org.json.JSONObject")
+    cd = m1.vcall(c0, "getJSONObject", ["data"], returns="org.json.JSONObject")
+    m1.vcall(cd, "getBoolean", ["likes"], returns="boolean")
+    m1.ret_void()
+    emitter.add_entrypoint("fetchSongInfo", TriggerKind.UI, "song info")
+    emitter.truth.endpoints.append(EndpointTruth(
+        name="song info", method="GET", response_body="json"))
+
+    # -- transaction #2: station status (Figure 8) ------------------------------
+    m2 = cb.method("fetchStatus")
+    station = m2.getfield(m2.this, "mStation", cls=cls)
+    sb = m2.new("java.lang.StringBuilder", ["http://www.radioreddit.com/"])
+    m2.vcall(sb, "append", [station], returns="java.lang.StringBuilder")
+    m2.vcall(sb, "append", ["/status.json"], returns="java.lang.StringBuilder")
+    url2 = m2.vcall(sb, "toString", [], returns="java.lang.String")
+    req2 = m2.new("org.apache.http.client.methods.HttpGet", [url2])
+    client2 = m2.local("client", "org.apache.http.client.HttpClient")
+    m2.assign(client2, None)
+    resp2 = m2.vcall(client2, "execute", [req2],
+                     returns="org.apache.http.HttpResponse",
+                     on="org.apache.http.client.HttpClient")
+    body2 = m2.scall("org.apache.http.util.EntityUtils", "toString", [resp2],
+                     returns="java.lang.String")
+    j2 = m2.new("org.json.JSONObject", [body2])
+    relay = m2.vcall(j2, "getString", ["relay"], returns="java.lang.String")
+    m2.putfield(m2.this, "mRelay", relay, cls=cls)
+    m2.vcall(j2, "getString", ["listeners"], returns="java.lang.String")
+    m2.vcall(j2, "getString", ["playlist"], returns="java.lang.String")
+    m2.vcall(j2, "getString", ["online"], returns="java.lang.String")
+    m2.vcall(j2, "getString", ["all_listeners"], returns="java.lang.String")
+    songs = m2.vcall(j2, "getJSONObject", ["songs"], returns="org.json.JSONObject")
+    arr = m2.vcall(songs, "getJSONArray", ["song"], returns="org.json.JSONArray")
+    song = m2.vcall(arr, "getJSONObject", [0], returns="org.json.JSONObject")
+    for key in ("artist", "title", "genre", "id", "reddit_title", "reddit_url",
+                "redditor", "download_url", "preview_url"):
+        m2.vcall(song, "getString", [key], returns="java.lang.String")
+    m2.ret_void()
+    emitter.add_entrypoint("fetchStatus", TriggerKind.LIFECYCLE, "station status")
+    emitter.truth.endpoints.append(EndpointTruth(
+        name="station status", method="GET", response_body="json"))
+
+    # -- transaction #3: login over HTTPS ----------------------------------------
+    m3 = cb.method("login", params=["java.lang.String", "java.lang.String"])
+    pairs = m3.new("java.util.ArrayList")
+    p_user = m3.new("org.apache.http.message.BasicNameValuePair",
+                    ["user", m3.param(0)])
+    m3.vcall(pairs, "add", [p_user], returns="boolean")
+    p_pass = m3.new("org.apache.http.message.BasicNameValuePair",
+                    ["passwd", m3.param(1)])
+    m3.vcall(pairs, "add", [p_pass], returns="boolean")
+    p_type = m3.new("org.apache.http.message.BasicNameValuePair",
+                    ["api_type", "json"])
+    m3.vcall(pairs, "add", [p_type], returns="boolean")
+    entity = m3.new("org.apache.http.client.entity.UrlEncodedFormEntity", [pairs])
+    req3 = m3.new("org.apache.http.client.methods.HttpPost",
+                  ["https://ssl.reddit.com/api/login"])
+    m3.vcall(req3, "setEntity", [entity])
+    client3 = m3.local("client", "org.apache.http.client.HttpClient")
+    m3.assign(client3, None)
+    resp3 = m3.vcall(client3, "execute", [req3],
+                     returns="org.apache.http.HttpResponse",
+                     on="org.apache.http.client.HttpClient")
+    body3 = m3.scall("org.apache.http.util.EntityUtils", "toString", [resp3],
+                     returns="java.lang.String")
+    j3 = m3.new("org.json.JSONObject", [body3])
+    inner = m3.vcall(j3, "getJSONObject", ["json"], returns="org.json.JSONObject")
+    data3 = m3.vcall(inner, "getJSONObject", ["data"], returns="org.json.JSONObject")
+    modhash = m3.vcall(data3, "getString", ["modhash"], returns="java.lang.String")
+    m3.putfield(m3.this, "mModhash", modhash, cls=cls)
+    cookie = m3.vcall(data3, "getString", ["cookie"], returns="java.lang.String")
+    m3.putfield(m3.this, "mCookie", cookie, cls=cls)
+    m3.vcall(data3, "getBoolean", ["need_https"], returns="boolean")
+    m3.ret_void()
+    emitter.add_entrypoint("login", TriggerKind.UI, "login")
+    emitter.truth.endpoints.append(EndpointTruth(
+        name="login", method="POST", request_body="query", response_body="json"))
+
+    # -- a UI callback stores the user-selected vote direction on the heap.
+    # The "dir=" keyword is only recoverable across this event boundary with
+    # the async heuristic enabled (§5.1's single missed keyword).
+    md = cb.method("onDirectionSelected", params=["java.lang.String"])
+    pair = md.concat("dir=", md.param(0))
+    md.putfield(md.this, "mDirPair", pair, cls=cls)
+    md.ret_void()
+    emitter.add_entrypoint("onDirectionSelected", TriggerKind.UI, "pick vote direction")
+
+    # -- transaction #4: save / unsave (shared slice → disjunction) ---------------
+    m4 = cb.method("saveOrUnsave", params=["boolean"])
+    action = m4.local("action", "java.lang.String")
+    m4.if_goto(m4.param(0), "==", 0, "UNSAVE")
+    m4.assign(action, "save")
+    m4.goto("BUILD")
+    m4.label("UNSAVE")
+    m4.assign(action, "unsave")
+    m4.label("BUILD")
+    url4 = m4.concat("http://www.reddit.com/api/", action)
+    fullname4 = m4.getfield(m4.this, "mSongFullname", cls=cls)
+    uh4 = m4.getfield(m4.this, "mModhash", cls=cls)
+    body4 = m4.concat("id=", fullname4, "&uh=", uh4)
+    entity4 = m4.new("org.apache.http.entity.StringEntity", [body4])
+    req4 = m4.new("org.apache.http.client.methods.HttpPost", [url4])
+    m4.vcall(req4, "setEntity", [entity4])
+    cookie4 = m4.getfield(m4.this, "mCookie", cls=cls)
+    m4.vcall(req4, "setHeader", ["Cookie", cookie4])
+    client4 = m4.local("client", "org.apache.http.client.HttpClient")
+    m4.assign(client4, None)
+    resp4 = m4.vcall(client4, "execute", [req4],
+                     returns="org.apache.http.HttpResponse",
+                     on="org.apache.http.client.HttpClient")
+    body4r = m4.scall("org.apache.http.util.EntityUtils", "toString", [resp4],
+                      returns="java.lang.String")
+    j4 = m4.new("org.json.JSONObject", [body4r])
+    m4.vcall(j4, "getJSONArray", ["jquery"], returns="org.json.JSONArray")
+    m4.ret_void()
+    emitter.add_entrypoint("saveOrUnsave", TriggerKind.UI, "save song",
+                           requires_login=True)
+    emitter.truth.endpoints.append(EndpointTruth(
+        name="save song", method="POST", request_body="query",
+        response_body="json", auto_visible=False))
+
+    # -- transaction #5: vote ------------------------------------------------------
+    m5 = cb.method("vote")
+    fullname5 = m5.getfield(m5.this, "mSongFullname", cls=cls)
+    uh5 = m5.getfield(m5.this, "mModhash", cls=cls)
+    dirpair = m5.getfield(m5.this, "mDirPair", cls=cls)
+    body5 = m5.concat("id=", fullname5, "&", dirpair, "&uh=", uh5)
+    entity5 = m5.new("org.apache.http.entity.StringEntity", [body5])
+    req5 = m5.new("org.apache.http.client.methods.HttpPost",
+                  ["http://www.reddit.com/api/vote"])
+    m5.vcall(req5, "setEntity", [entity5])
+    cookie5 = m5.getfield(m5.this, "mCookie", cls=cls)
+    m5.vcall(req5, "setHeader", ["Cookie", cookie5])
+    client5 = m5.local("client", "org.apache.http.client.HttpClient")
+    m5.assign(client5, None)
+    m5.vcall(client5, "execute", [req5],
+             returns="org.apache.http.HttpResponse",
+             on="org.apache.http.client.HttpClient")
+    m5.ret_void()
+    emitter.add_entrypoint("vote", TriggerKind.UI, "vote", requires_login=True)
+    emitter.truth.endpoints.append(EndpointTruth(
+        name="vote", method="POST", request_body="query",
+        auto_visible=False))
+
+    # -- transaction #6: the relay stream into the media player --------------------
+    m6 = cb.method("playStream")
+    relay6 = m6.getfield(m6.this, "mRelay", cls=cls)
+    mp = m6.new("android.media.MediaPlayer")
+    m6.vcall(mp, "setDataSource", [relay6])
+    m6.vcall(mp, "prepareAsync", [])
+    m6.vcall(mp, "start", [])
+    m6.ret_void()
+    emitter.add_entrypoint("playStream", TriggerKind.UI, "play stream")
+    emitter.truth.endpoints.append(EndpointTruth(name="play stream", method="GET"))
+
+    # seed state used by the UI flows
+    init = cb.method("onCreate")
+    init.putfield(init.this, "mStation", "hiphop", cls=cls)
+    init.putfield(init.this, "mSongFullname", "t3_837", cls=cls)
+    init.ret_void()
+    emitter.add_entrypoint("onCreate", TriggerKind.LIFECYCLE, "launch")
+
+
+def _routes():
+    def status(request, state):
+        return HttpResponse.json_response(_STATUS_JSON)
+
+    def info(request, state):
+        return HttpResponse.json_response(_INFO_JSON)
+
+    def login(request, state):
+        state["session"] = "abc123"
+        return HttpResponse.json_response(_LOGIN_JSON)
+
+    def api_action(request, state):
+        return HttpResponse.json_response({"jquery": []})
+
+    def stream(request, state):
+        return HttpResponse.binary(32768)
+
+    return (
+        ("www.radioreddit.com", "GET", r"/\w+/status\.json", status),
+        ("www.reddit.com", "GET", r"/api/info\.json", info),
+        ("ssl.reddit.com", "POST", r"/api/login", login),
+        ("www.reddit.com", "POST", r"/api/(save|unsave|vote)", api_action),
+        ("cdn.audiopump.co", "GET", r"/radioreddit/\w+", stream),
+    )
+
+
+def radioreddit() -> GenApp:
+    return GenApp(
+        key="radioreddit",
+        name="radio reddit",
+        kind="open",
+        package="com.radioreddit.android",
+        host="www.radioreddit.com",
+        protocol="HTTP(S)",
+        https=False,
+        endpoints=[],
+        custom=_build,
+        extra_routes=_routes(),
+        filler_methods=16,
+        notes="Table 3 / Figure 8 case study.",
+    )
+
+
+__all__ = ["radioreddit"]

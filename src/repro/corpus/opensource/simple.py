@@ -1,0 +1,428 @@
+"""The simpler open-source corpus apps (F-Droid set, paper Table 1).
+
+Each spec mirrors the real app's API surface: hosts, paths, body formats
+and response structures are modeled on the actual services (reddit,
+arxiv, qBittorrent's WebUI, Twister's JSON-RPC, wallabag, ...), with the
+endpoint counts matching the Table 1 row.  Diode, radio reddit and
+Weather Notification are hand-written in their own modules.
+"""
+
+from __future__ import annotations
+
+from ..generator import GenApp, GenEndpoint
+
+E = GenEndpoint
+
+
+def adblock_plus() -> GenApp:
+    """Adblock Plus: GET 2, POST 1; query 1; XML response 1; 1 pair."""
+    return GenApp(
+        key="adblock",
+        name="Adblock Plus",
+        kind="open",
+        package="org.adblockplus.android",
+        host="adblockplus.org",
+        protocol="HTTPS",
+        endpoints=[
+            E(name="filter_list", method="GET",
+              path="/easylist/easylist.txt"),
+            E(name="update_check", method="GET", path="/android/update.xml",
+              query=(("lastversion", "const:1.3"),),
+              response_xml=(
+                  "<updates><application><version>1.3.1</version>"
+                  "<url>https://adblockplus.org/android/apk</url>"
+                  "</application></updates>"
+              ),
+              xml_reads=("version", "url")),
+            E(name="report_issue", method="POST", path="/usercounter",
+              body=(("addon", "const:adblockplusandroid"),
+                    ("version", "const:1.3"), ("filters", "input")),
+              body_format="form",
+              response={"ok": True}),
+        ],
+    )
+
+
+def anarxiv() -> GenApp:
+    """AnarXiv (arXiv reader): GET 2; XML 2; 2 pairs."""
+    return GenApp(
+        key="anarxiv",
+        name="AnarXiv",
+        kind="open",
+        package="org.anarxiv",
+        host="export.arxiv.org",
+        protocol="HTTP",
+        https=False,
+        endpoints=[
+            E(name="query_papers", method="GET", path="/api/query",
+              query=(("search_query", "input"), ("max_results", "int:20")),
+              response_xml=(
+                  "<feed><entry><title>Paper title</title>"
+                  "<summary>abstract text</summary>"
+                  "<author><name>A. Author</name></author>"
+                  "<published>2016-01-01</published></entry></feed>"
+              ),
+              xml_reads=("entry", "title", "summary", "author")),
+            E(name="paper_detail", method="GET", path="/api/query/id",
+              response_xml=(
+                  "<feed><entry><id>arXiv:1600.00001</id>"
+                  "<title>Paper title</title><link>http://arxiv.org/pdf</link>"
+                  "</entry></feed>"
+              ),
+              xml_reads=("id", "link")),
+        ],
+    )
+
+
+def blippex() -> GenApp:
+    """blippex: GET 1; JSON 1; 1 pair."""
+    return GenApp(
+        key="blippex",
+        name="blippex",
+        kind="open",
+        package="com.blippex.app",
+        host="api.blippex.org",
+        protocol="HTTPS",
+        endpoints=[
+            E(name="search", method="GET", path="/search",
+              query=(("q", "input"), ("page", "int:1")),
+              response={
+                  "results": [{"url": "https://example.org", "title": "hit",
+                               "dwelltime": 42}],
+                  "total": 1,
+              },
+              reads=("results", "total")),
+        ],
+    )
+
+
+def diaspora_webclient() -> GenApp:
+    """Diaspora WebClient: GET 1; JSON 1; 1 pair."""
+    return GenApp(
+        key="diaspora",
+        name="Diaspora WebClient",
+        kind="open",
+        package="com.github.dfa.diaspora_android",
+        host="podupti.me",
+        protocol="HTTP",
+        https=False,
+        endpoints=[
+            E(name="pod_list", method="GET", path="/v1/pods.json",
+              response={
+                  "pods": [{"host": "pod.geraspora.de", "score": 95,
+                            "uptime": "99.9"}],
+              },
+              reads=("pods",)),
+        ],
+    )
+
+
+def ifixit() -> GenApp:
+    """iFixIt: GET 15, POST 7; query 3; JSON 14; 14 pairs."""
+    gets = []
+    # Browsing endpoints with JSON responses (11 of the GETs are paired).
+    browse = [
+        ("categories", "/api/2.0/categories",
+         {"Electronics": {"Phone": {}}, "Vehicle": {}}, ("Electronics",)),
+        ("guides", "/api/2.0/guides",
+         {"guides": [{"guideid": 101, "title": "Battery swap",
+                      "image": "https://guide-images.cdn.ifixit.com/1.jpg"}]},
+         ("guides",)),
+        ("guide_detail", "/api/2.0/guides/101",
+         {"title": "Battery swap", "steps": [{"text": "Remove screws"}],
+          "tools": ["spudger"], "difficulty": "Moderate"},
+         ("title", "steps", "difficulty")),
+        ("teardowns", "/api/2.0/teardowns",
+         {"teardowns": [{"title": "Phone X Teardown"}]}, ("teardowns",)),
+        ("wikis", "/api/2.0/wikis/CATEGORY",
+         {"display_title": "Phone", "contents_rendered": "<p>..</p>"},
+         ("display_title", "contents_rendered")),
+        ("users_me", "/api/2.0/users/me",
+         {"userid": 7, "username": "fixer", "reputation": 12},
+         ("userid", "username")),
+        ("tags", "/api/2.0/tags",
+         {"tags": [{"name": "battery", "count": 9}]}, ("tags",)),
+        ("comments", "/api/2.0/comments",
+         {"comments": [{"text": "worked!", "author": "bob"}]}, ("comments",)),
+        ("badges", "/api/2.0/badges",
+         {"badges": [{"name": "helper"}]}, ("badges",)),
+        ("collections", "/api/2.0/collections",
+         {"collections": [{"title": "my fixes"}]}, ("collections",)),
+        ("stories", "/api/2.0/stories", None, ()),
+    ]
+    for name, path, payload, reads in browse:
+        gets.append(E(name=name, method="GET", path=path,
+                      response=payload if reads else None, reads=reads))
+    # Search GETs with query strings (3 query-string signatures).
+    gets.append(E(name="search", method="GET", path="/api/2.0/search",
+                  query=(("query", "input"), ("limit", "int:20"))))
+    gets.append(E(name="suggest", method="GET", path="/api/2.0/suggest",
+                  query=(("q", "input"),)))
+    gets.append(E(name="image_meta", method="GET", path="/api/2.0/media/images",
+                  query=(("guid", "device"),)))
+    # Unpaired GET (response ignored — a cache warm-up ping).
+    gets.append(E(name="ping", method="GET", path="/api/2.0/ping"))
+
+    posts = [
+        E(name="login", method="POST", path="/api/2.0/user/token",
+          body=(("email", "input"), ("password", "input")),
+          body_format="json",
+          response={"authToken": "tok-ifixit", "userid": 7},
+          reads=("authToken",), store={"authToken": "token"}),
+    ]
+    # 3 JSON-bodied POSTs whose JSON responses are parsed
+    for name, path, payload, reads in [
+        ("create_guide", "/api/2.0/guides",
+         {"guideid": 202, "revisionid": 1}, ("guideid",)),
+        ("add_comment", "/api/2.0/comments",
+         {"commentid": 9, "status": "public"}, ("commentid",)),
+        ("favorite", "/api/2.0/user/favorites/guides/101",
+         {"favorited": True, "count": 3}, ("count",)),
+    ]:
+        posts.append(
+            E(name=name, method="POST", path=path,
+              body=(("data", "input"),), body_format="json",
+              headers=(("Authorization", "field:token"),),
+              response=payload, reads=reads,
+              requires_login=True)
+        )
+    # 2 form-bodied POSTs (plus login's JSON body) — the query-string rows
+    posts.append(E(name="upload_image", method="POST",
+                   path="/api/2.0/user/media/images",
+                   body=(("file", "input"), ("cropSize", "const:300x300")),
+                   body_format="form",
+                   headers=(("Authorization", "field:token"),),
+                   requires_login=True))
+    posts.append(E(name="report_abuse", method="POST", path="/api/2.0/flags",
+                   body=(("reason", "input"), ("itemid", "const:101")),
+                   body_format="form"))
+    posts.append(E(name="logout", method="POST", path="/api/2.0/user/token/revoke",
+                   body=(("token", "field:token"),), body_format="form",
+                   requires_login=True))
+    return GenApp(
+        key="ifixit",
+        name="iFixIt",
+        kind="open",
+        package="com.dozuki.ifixit",
+        host="www.ifixit.com",
+        protocol="HTTP",
+        https=False,
+        endpoints=gets + posts,
+        filler_methods=20,
+    )
+
+
+def lightning() -> GenApp:
+    """Lightning (browser): GET 2; XML 1; 1 pair."""
+    return GenApp(
+        key="lightning",
+        name="Lightning",
+        kind="open",
+        package="acr.browser.lightning",
+        host="www.bing.com",
+        protocol="HTTP",
+        https=False,
+        endpoints=[
+            E(name="suggestions", method="GET", path="/osjson.aspx",
+              query=(("query", "input"),),
+              response_xml=(
+                  "<SearchSuggestion><Section><Item><Text>cats videos</Text>"
+                  "</Item></Section></SearchSuggestion>"
+              ),
+              xml_reads=("Item", "Text")),
+            E(name="homepage", method="GET", path="/"),
+        ],
+    )
+
+
+def qbittorrent() -> GenApp:
+    """qBittorrent controller: GET 3, POST 13; query 13; JSON 3; 3 pairs.
+
+    Mirrors qBittorrent's WebUI command API: a login form POST plus a
+    command POST per torrent action, and JSON polling GETs."""
+    posts = [
+        E(name="login", method="POST", path="/login",
+          body=(("username", "input"), ("password", "input")),
+          body_format="form",
+          response={"status": "Ok."}),
+    ]
+    for cmd in ("pause", "resume", "delete", "deletePerm", "pauseAll",
+                "resumeAll", "recheck", "increasePrio", "decreasePrio",
+                "topPrio", "bottomPrio"):
+        posts.append(
+            E(name=f"cmd_{cmd}", method="POST", path=f"/command/{cmd}",
+              body=(("hash", "field:selected_hash"),), body_format="form")
+        )
+    posts.append(
+        E(name="add_torrent", method="POST", path="/command/download",
+          body=(("urls", "input"),), body_format="form")
+    )
+    gets = [
+        E(name="torrent_list", method="GET", path="/json/torrents",
+          response={"torrents": [{"hash": "abcd", "name": "distro.iso",
+                                  "progress": 0.5, "state": "downloading"}]},
+          reads=("torrents",), store={"torrents": "selected_hash"}),
+        E(name="transfer_info", method="GET", path="/json/transferInfo",
+          response={"dl_info_speed": 1000, "up_info_speed": 200,
+                    "dl_info": "1 MB/s"},
+          reads=("dl_info",)),
+        E(name="preferences", method="GET", path="/json/preferences",
+          response={"save_path": "/downloads", "max_ratio": 2.0,
+                    "dht": True},
+          reads=("save_path",)),
+    ]
+    return GenApp(
+        key="qbittorrent",
+        name="qBittorrent",
+        kind="open",
+        package="com.qbittorrent.client",
+        host="192.168.0.10:8080",
+        protocol="HTTP",
+        https=False,
+        endpoints=gets + posts,
+    )
+
+
+def reddinator() -> GenApp:
+    """Reddinator (widget): GET 3, POST 3; JSON 6; 6 pairs."""
+    return GenApp(
+        key="reddinator",
+        name="Reddinator",
+        kind="open",
+        package="au.com.wallaceit.reddinator",
+        host="www.reddit.com",
+        protocol="HTTPS",
+        endpoints=[
+            E(name="feed", method="GET", path="/.json",
+              response={"data": {"children": [{"data": {"title": "post",
+                                                        "permalink": "/r/x/1"}}],
+                        "after": "t3_zz"}},
+              reads=("data",)),
+            E(name="subreddit_search", method="GET", path="/subreddits/search.json",
+              response={"data": {"children": [{"data": {"display_name": "pics"}}]}},
+              reads=("data",)),
+            E(name="comments", method="GET", path="/r/pics/comments/1.json",
+              response={"data": {"children": [{"data": {"body": "nice"}}]}},
+              reads=("data",)),
+            E(name="login", method="POST", path="/api/login",
+              body=(("user", "input"), ("passwd", "input")),
+              body_format="json",
+              response={"json": {"data": {"modhash": "mh-1",
+                                          "cookie": "reddit_session=s"}}},
+              reads=("json",), store={"json": "modhash"}),
+            E(name="vote", method="POST", path="/api/vote",
+              body=(("id", "const:t3_1"), ("dir", "int:1"),
+                    ("uh", "field:modhash")),
+              body_format="json",
+              response={"json": {"errors": []}},
+              reads=("json",), requires_login=True),
+            E(name="save", method="POST", path="/api/save",
+              body=(("id", "const:t3_1"), ("uh", "field:modhash")),
+              body_format="json",
+              response={"json": {"errors": []}},
+              reads=("json",), requires_login=True),
+        ],
+    )
+
+
+def twister() -> GenApp:
+    """Twister (P2P microblog client): POST 11; query 11; JSON 8; 8 pairs.
+
+    Twister exposes a JSON-RPC-over-HTTP daemon; every call is a POST with
+    a form-encoded RPC envelope."""
+    rpcs = [
+        ("getposts", {"result": [{"userpost": {"msg": "hello", "n": "alice",
+                                               "time": 1480000000}}]},
+         ("result",)),
+        ("getfollowing", {"result": ["bob", "carol"]}, ("result",)),
+        ("follow", {"result": None, "error": None}, ("error",)),
+        ("unfollow", {"result": None, "error": None}, ("error",)),
+        ("newpostmsg", {"result": "ok"}, ("result",)),
+        ("getdhtprofile", {"result": {"bio": "hi", "fullname": "Alice"}},
+         ("result",)),
+        ("dhtget", {"result": [{"p": {"v": {"sig_userpost": "aa"}}}]},
+         ("result",)),
+        ("getlasthave", {"result": {"alice": 7}}, ("result",)),
+        ("getblockcount", None, ()),
+        ("getinfo", None, ()),
+        ("createwalletuser", None, ()),
+    ]
+    endpoints = []
+    for name, payload, reads in rpcs:
+        endpoints.append(
+            E(name=name, method="POST", path=f"/rpc/{name}",
+              body=(("method", f"const:{name}"), ("params", "input")),
+              body_format="form",
+              response=payload if payload is not None else {"ok": 1},
+              reads=reads)
+        )
+    return GenApp(
+        key="twister",
+        name="Twister",
+        kind="open",
+        package="com.twister.android",
+        host="127.0.0.1:28332",
+        protocol="HTTP",
+        https=False,
+        endpoints=endpoints,
+    )
+
+
+def tzm() -> GenApp:
+    """TZM: GET 2; JSON 1; 1 pair."""
+    return GenApp(
+        key="tzm",
+        name="TZM",
+        kind="open",
+        package="org.tzm.android",
+        host="www.thezeitgeistmovement.com",
+        protocol="HTTPS",
+        endpoints=[
+            E(name="newsfeed", method="GET", path="/api/news.json",
+              response={"articles": [{"title": "chapter news",
+                                      "link": "https://tzm.org/a/1"}]},
+              reads=("articles",)),
+            E(name="banner", method="GET", path="/static/banner.png",
+              binary_response=True),
+        ],
+    )
+
+
+def wallabag() -> GenApp:
+    """Wallabag (read-it-later): GET 1; XML 1; 1 pair."""
+    return GenApp(
+        key="wallabag",
+        name="Wallabag",
+        kind="open",
+        package="fr.gaulupeau.apps.InThePoche",
+        host="v2.wallabag.org",
+        protocol="HTTP",
+        https=False,
+        endpoints=[
+            E(name="unread_feed", method="GET", path="/feed/unread",
+              query=(("user_id", "int:1"), ("token", "field:feed_token")),
+              response_xml=(
+                  "<rss><channel><title>wallabag — unread</title>"
+                  "<item><title>article</title><link>http://example.org/a</link>"
+                  "</item></channel></rss>"
+              ),
+              xml_reads=("item", "title", "link")),
+        ],
+    )
+
+
+ALL_SIMPLE_OPEN = (
+    adblock_plus,
+    anarxiv,
+    blippex,
+    diaspora_webclient,
+    ifixit,
+    lightning,
+    qbittorrent,
+    reddinator,
+    twister,
+    tzm,
+    wallabag,
+)
+
+__all__ = ["ALL_SIMPLE_OPEN"]

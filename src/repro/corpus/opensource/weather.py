@@ -1,0 +1,132 @@
+"""Weather Notification — the §3.4 asynchronous-event example, hand-written.
+
+"A weather notification app sets its location inside a callback invoked by
+a location service.  It constructs a part of query string that contains
+city names and GPS locations into a heap object.  Later, another event,
+such as a user click, actually reads the object to generate an HTTP
+request."
+
+With the async-event heuristic disabled (the open-source configuration)
+the location part of the query string degrades to a wildcard; the two
+messages themselves are still identified (Table 1: 2 / 2 / 2).
+"""
+
+from __future__ import annotations
+
+from ...apk.model import TriggerKind
+from ...runtime.httpstack import HttpResponse
+from ..base import EndpointTruth
+from ..generator import GenApp
+
+_FORECAST_XML = (
+    "<weatherdata><location><name>Seoul</name></location>"
+    "<forecast><time><temperature value=\"21\" unit=\"celsius\"/>"
+    "<symbol name=\"clear sky\"/></time></forecast></weatherdata>"
+)
+_ALERTS_XML = (
+    "<alerts><alert><severity>minor</severity>"
+    "<headline>wind advisory</headline></alert></alerts>"
+)
+
+
+def _build(emitter) -> None:
+    cb = emitter.cb
+    cls = emitter.main_cls
+    cb.field("mLocationQuery", "java.lang.String")
+
+    # Location-service callback: builds the query-string fragment on the heap.
+    cbm = cb.method("onLocationChanged", params=["android.location.Location"])
+    lat = cbm.vcall(cbm.param(0), "getLatitude", [], returns="double")
+    lon = cbm.vcall(cbm.param(0), "getLongitude", [], returns="double")
+    fragment = cbm.concat("lat=", lat, "&lon=", lon)
+    cbm.putfield(cbm.this, "mLocationQuery", fragment, cls=cls)
+    cbm.ret_void()
+    emitter.add_entrypoint("onLocationChanged", TriggerKind.LOCATION,
+                           "location update")
+
+    # User-triggered refresh: embeds the heap fragment into the URI.
+    m = cb.method("refreshForecast")
+    frag = m.getfield(m.this, "mLocationQuery", cls=cls)
+    url = m.concat("http://api.openweathermap.org/data/2.5/forecast?", frag,
+                   "&mode=xml")
+    req = m.new("org.apache.http.client.methods.HttpGet", [url])
+    client = m.local("client", "org.apache.http.client.HttpClient")
+    m.assign(client, None)
+    resp = m.vcall(client, "execute", [req],
+                   returns="org.apache.http.HttpResponse",
+                   on="org.apache.http.client.HttpClient")
+    body = m.scall("org.apache.http.util.EntityUtils", "toString", [resp],
+                   returns="java.lang.String")
+    dbf = m.scall("javax.xml.parsers.DocumentBuilderFactory", "newInstance", [],
+                  returns="javax.xml.parsers.DocumentBuilderFactory")
+    builder = m.vcall(dbf, "newDocumentBuilder", [],
+                      returns="javax.xml.parsers.DocumentBuilder")
+    doc = m.vcall(builder, "parse", [body], returns="org.w3c.dom.Document")
+    temps = m.vcall(doc, "getElementsByTagName", ["temperature"],
+                    returns="org.w3c.dom.NodeList")
+    temp = m.vcall(temps, "item", [0], returns="org.w3c.dom.Element")
+    m.vcall(temp, "getAttribute", ["value"], returns="java.lang.String")
+    syms = m.vcall(doc, "getElementsByTagName", ["symbol"],
+                   returns="org.w3c.dom.NodeList")
+    sym = m.vcall(syms, "item", [0], returns="org.w3c.dom.Element")
+    m.vcall(sym, "getAttribute", ["name"], returns="java.lang.String")
+    m.ret_void()
+    emitter.add_entrypoint("refreshForecast", TriggerKind.UI, "refresh")
+    emitter.truth.endpoints.append(EndpointTruth(
+        name="refresh", method="GET", response_body="xml"))
+
+    # Severe-weather alerts: a plain static-URI fetch.
+    m2 = cb.method("fetchAlerts")
+    req2 = m2.new(
+        "org.apache.http.client.methods.HttpGet",
+        ["http://api.openweathermap.org/data/2.5/alerts.xml"],
+    )
+    client2 = m2.local("client", "org.apache.http.client.HttpClient")
+    m2.assign(client2, None)
+    resp2 = m2.vcall(client2, "execute", [req2],
+                     returns="org.apache.http.HttpResponse",
+                     on="org.apache.http.client.HttpClient")
+    body2 = m2.scall("org.apache.http.util.EntityUtils", "toString", [resp2],
+                     returns="java.lang.String")
+    dbf2 = m2.scall("javax.xml.parsers.DocumentBuilderFactory", "newInstance", [],
+                    returns="javax.xml.parsers.DocumentBuilderFactory")
+    builder2 = m2.vcall(dbf2, "newDocumentBuilder", [],
+                        returns="javax.xml.parsers.DocumentBuilder")
+    doc2 = m2.vcall(builder2, "parse", [body2], returns="org.w3c.dom.Document")
+    sev = m2.vcall(doc2, "getElementsByTagName", ["severity"],
+                   returns="org.w3c.dom.NodeList")
+    el = m2.vcall(sev, "item", [0], returns="org.w3c.dom.Element")
+    m2.vcall(el, "getTextContent", [], returns="java.lang.String")
+    m2.ret_void()
+    emitter.add_entrypoint("fetchAlerts", TriggerKind.UI, "alerts")
+    emitter.truth.endpoints.append(EndpointTruth(
+        name="alerts", method="GET", response_body="xml"))
+
+
+def _routes():
+    return (
+        ("api.openweathermap.org", "GET", r"/data/2\.5/forecast",
+         lambda req, state: HttpResponse.xml_response(_FORECAST_XML)),
+        ("api.openweathermap.org", "GET", r"/data/2\.5/alerts\.xml",
+         lambda req, state: HttpResponse.xml_response(_ALERTS_XML)),
+    )
+
+
+def weather_notification() -> GenApp:
+    return GenApp(
+        key="weather",
+        name="Weather Notification",
+        kind="open",
+        package="ru.gelin.android.weather.notification",
+        host="api.openweathermap.org",
+        protocol="HTTP",
+        https=False,
+        endpoints=[],
+        custom=_build,
+        extra_routes=_routes(),
+        filler_methods=10,
+        notes="§3.4 asynchronous-event example.",
+    )
+
+
+__all__ = ["weather_notification"]

@@ -1,0 +1,133 @@
+"""Slice-based request↔response pairing via disjoint sub-slices (paper
+§3.3, Figure 5).
+
+When multiple requests and responses share a demarcation point through
+reused code (a common ``common2()`` helper), context-insensitive
+information-flow analysis finds paths from every request to every response.
+The paper's fix: preprocess the slices into *disjoint* code segments —
+parts reachable from exactly one request (or response) context — and pair
+request context A with response handler X only when a path connects their
+disjoint segments.
+
+The production pipeline pairs by construction (context-sensitive signature
+interpretation); this module implements the paper's slice-level algorithm
+for validation and for regenerating Figure 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cfg.callgraph import CallGraph
+from ..taint.slices import SliceResult
+
+
+@dataclass
+class SliceContexts:
+    """A slice split into per-context disjoint segments."""
+
+    #: context id (an entry/terminal method id) -> methods only it reaches
+    disjoint: dict[str, set[str]] = field(default_factory=dict)
+    #: methods shared by more than one context
+    shared: set[str] = field(default_factory=set)
+
+
+def split_contexts(sl: SliceResult, *, entries: bool,
+                   exclude: set[str] | frozenset[str] = frozenset()) -> SliceContexts:
+    """Split a slice into contexts.
+
+    ``entries=True`` (request slices): contexts are *entry* methods — slice
+    methods never called from inside the slice.  ``entries=False``
+    (response slices): contexts are *terminal* handlers — slice methods
+    that call no further slice methods.  ``exclude`` removes methods that
+    must not become contexts (the demarcation point's own method is plumbing,
+    not a handler).
+    """
+    methods = sl.methods
+    out_edges: dict[str, set[str]] = {m: set() for m in methods}
+    in_edges: dict[str, set[str]] = {m: set() for m in methods}
+    for site, callee in sl.call_edges:
+        if site.method_id in methods and callee in methods:
+            out_edges[site.method_id].add(callee)
+            in_edges[callee].add(site.method_id)
+
+    if entries:
+        roots = [m for m in methods if not in_edges[m] and m not in exclude]
+        adjacency = out_edges
+    else:
+        roots = [m for m in methods if not out_edges[m] and m not in exclude]
+        adjacency = in_edges  # walk towards callers: who feeds this handler
+
+    reach: dict[str, set[str]] = {}
+    for root in roots:
+        seen: set[str] = set()
+        stack = [root]
+        while stack:
+            m = stack.pop()
+            if m in seen:
+                continue
+            seen.add(m)
+            stack.extend(adjacency.get(m, ()))
+        reach[root] = seen
+
+    counts: dict[str, int] = {}
+    for seen in reach.values():
+        for m in seen:
+            counts[m] = counts.get(m, 0) + 1
+    result = SliceContexts()
+    for root, seen in reach.items():
+        result.disjoint[root] = {m for m in seen if counts[m] == 1}
+    result.shared = {m for m, c in counts.items() if c > 1}
+    return result
+
+
+@dataclass
+class Pairing:
+    request_context: str
+    response_context: str
+
+
+def pair_slices(
+    request_slice: SliceResult,
+    response_slice: SliceResult,
+    callgraph: CallGraph,
+    dp_method: str | None = None,
+) -> list[Pairing]:
+    """Pair request contexts with response handlers through disjoint
+    segments: context A pairs with handler X when X is call-reachable from
+    A's disjoint segment without passing through another request context's
+    disjoint segment.  ``dp_method`` — the method containing the shared
+    demarcation point — never counts as a context of its own."""
+    exclude = {dp_method} if dp_method else set()
+    req = split_contexts(request_slice, entries=True, exclude=exclude)
+    resp = split_contexts(response_slice, entries=False, exclude=exclude)
+
+    pairings: list[Pairing] = []
+    for r_ctx, r_disjoint in req.disjoint.items():
+        start = r_disjoint | {r_ctx}
+        forbidden = set()
+        for other, other_disjoint in req.disjoint.items():
+            if other != r_ctx:
+                forbidden |= other_disjoint
+        reachable: set[str] = set()
+        stack = list(start)
+        while stack:
+            m = stack.pop()
+            if m in reachable or m in forbidden:
+                continue
+            reachable.add(m)
+            for site in callgraph.sites_in(m):
+                stack.extend(callgraph.callees_of(site.ref))
+        for t_ctx, t_disjoint in resp.disjoint.items():
+            targets = t_disjoint | {t_ctx}
+            if targets & reachable:
+                pairings.append(Pairing(r_ctx, t_ctx))
+    # Degenerate case: everything shared (a single context) — pair directly.
+    if not pairings and len(req.disjoint) == 1 and len(resp.disjoint) >= 1:
+        r_ctx = next(iter(req.disjoint))
+        for t_ctx in resp.disjoint:
+            pairings.append(Pairing(r_ctx, t_ctx))
+    return pairings
+
+
+__all__ = ["Pairing", "SliceContexts", "pair_slices", "split_contexts"]

@@ -1,0 +1,257 @@
+"""Regenerate the case studies: Tables 3-6, Figures 1, 3 and 8."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..deps.interdep import render_graph
+from ..signature.matcher import signature_keywords, traffic_keywords
+from .runner import evaluate_app
+
+
+# ------------------------------------------------------------------- Table 3
+def table3() -> str:
+    """radio reddit: reconstructed transactions + dependency graph."""
+    ev = evaluate_app("radioreddit")
+    lines = ["radio reddit — reconstructed HTTP transactions (Table 3)"]
+    for txn in sorted(ev.report.transactions, key=lambda t: t.txn_id):
+        lines.append(f"#{txn.txn_id} {txn.describe()}")
+    lines.append("")
+    lines.append("dependency graph:")
+    lines.append(render_graph(ev.report.transactions))
+    return "\n".join(lines)
+
+
+# ------------------------------------------------------------------- Table 4
+@dataclass
+class Table4Row:
+    txn_id: int
+    request: str
+    derivation: str  # "S" static / "D" dynamically derived
+    response: str
+    consumers: tuple[str, ...]
+
+
+def table4() -> list[Table4Row]:
+    ev = evaluate_app("ted")
+    rows = []
+    for txn in sorted(ev.report.transactions, key=lambda t: t.txn_id):
+        rows.append(
+            Table4Row(
+                txn_id=txn.txn_id,
+                request=f"{txn.request.method} {txn.request.uri_regex}",
+                derivation="D" if txn.request.is_dynamic else "S",
+                response=txn.response.kind,
+                consumers=tuple(sorted(txn.response.consumers)),
+            )
+        )
+    return rows
+
+
+def render_table4() -> str:
+    lines = ["TED — transactions and dependency graph (Table 4)"]
+    for row in table4():
+        cons = f" => {','.join(row.consumers)}" if row.consumers else ""
+        lines.append(
+            f"#{row.txn_id:2d} ({row.derivation}) {row.request[:80]} "
+            f"-> {row.response}{cons}"
+        )
+    ev = evaluate_app("ted")
+    lines.append("")
+    lines.append(render_graph(ev.report.transactions))
+    return "\n".join(lines)
+
+
+# ------------------------------------------------------------------- Table 5
+_KAYAK_CATEGORIES = (
+    ("Travel Planner", "GET", "/trips/v2"),
+    ("Authentication", "POST", "/k/authajax"),
+    ("Facebook Auth", "POST", "/k/run/fbauth"),
+    ("Flight", "GET", "/api/search/V8/flight"),
+    ("Hotel", "GET", "/api/search/V8/hotel"),
+    ("Car", "GET", "/api/search/V8/car"),
+    ("Mobile Specific", "GET", "/h/mobileapis"),
+    ("Advertising", "GET", "/s/mobileads"),
+    ("Etc.", "POST", "/k"),
+)
+
+
+@dataclass
+class Table5Row:
+    category: str
+    method: str
+    prefix: str
+    apis: int
+    response_json: bool
+
+
+def table5() -> list[Table5Row]:
+    ev = evaluate_app("kayak")
+    rows = []
+    remaining = list(ev.report.transactions)
+    for category, method, prefix in _KAYAK_CATEGORIES:
+        matched = [
+            t
+            for t in remaining
+            if t.request.method == method
+            and prefix in t.request.uri_regex.replace("\\", "")
+        ]
+        for t in matched:
+            remaining.remove(t)
+        rows.append(
+            Table5Row(
+                category=category,
+                method=method,
+                prefix=f"https://www.kayak.com{prefix}",
+                apis=len(matched),
+                response_json=any(t.response.kind == "json" for t in matched),
+            )
+        )
+    return rows
+
+
+def render_table5() -> str:
+    lines = ["KAYAK API summary (Table 5)",
+             f"{'Category':16s} {'Method':6s} {'URI Prefix':44s} {'#APIs':>5s} {'Resp':>5s}"]
+    for row in table5():
+        lines.append(
+            f"{row.category:16s} {row.method:6s} {row.prefix:44s} "
+            f"{row.apis:>5d} {'JSON' if row.response_json else '-':>5s}"
+        )
+    lines.append(f"{'Total':16s} {'':6s} {'':44s} {sum(r.apis for r in table5()):>5d}")
+    return "\n".join(lines)
+
+
+# ------------------------------------------------------------------- Table 6
+def table6() -> dict[str, str]:
+    """The selected Kayak request signatures (sub URI -> query/body)."""
+    ev = evaluate_app("kayak")
+    out: dict[str, str] = {}
+    for txn in ev.report.transactions:
+        uri = txn.request.uri_regex.replace("\\", "")
+        if uri.endswith("/k/authajax$") and txn.request.method == "POST":
+            out["/k/authajax"] = txn.request.body_regex or ""
+        elif "flight/start" in uri:
+            out["/api/search/V8/flight/start"] = uri
+        elif "flight/poll" in uri:
+            out["/api/search/V8/flight/poll"] = uri
+    return out
+
+
+def render_table6() -> str:
+    lines = ["KAYAK selected request signatures (Table 6)"]
+    for sub, sig in table6().items():
+        lines.append(f"  {sub}")
+        lines.append(f"    {sig[:110]}")
+    return "\n".join(lines)
+
+
+# ------------------------------------------------------------------ Figure 8
+@dataclass
+class Figure8Result:
+    total_traffic_keywords: int
+    matched_keywords: int
+    unmatched: tuple[str, ...]
+
+
+def figure8() -> Figure8Result:
+    """RRD transaction #2: constant keywords of the status.json response
+    covered by the signature (the paper: 16 of 18)."""
+    ev = evaluate_app("radioreddit")
+    status = next(
+        t
+        for t in ev.report.transactions
+        if "status" in t.request.uri_regex
+    )
+    captured = next(
+        c for c in ev.manual.trace if "status.json" in c.request.url
+    )
+    _, traffic_resp = traffic_keywords(
+        ("GET", captured.request.url, None), captured.response.body
+    )
+    _, sig_resp = signature_keywords(status)
+    matched = traffic_resp & sig_resp
+    return Figure8Result(
+        total_traffic_keywords=len(traffic_resp),
+        matched_keywords=len(matched),
+        unmatched=tuple(sorted(traffic_resp - sig_resp)),
+    )
+
+
+# ------------------------------------------------------------------ Figure 1
+def figure1_chain() -> list[str]:
+    """TED ad prefetch chain: android_ad.json → ad query → ad video →
+    media player (the dependency knowledge a prefetcher needs)."""
+    ev = evaluate_app("ted")
+    txns = {t.txn_id: t for t in ev.report.transactions}
+    chain: list[str] = []
+    # find the android_ad.json transaction and walk dependents
+    ad_meta = next(
+        t for t in ev.report.transactions if "android_ad" in t.request.uri_regex
+    )
+    chain.append(f"#{ad_meta.txn_id} {ad_meta.request.method} android_ad.json")
+    frontier = [ad_meta.txn_id]
+    while frontier:
+        nxt = [
+            t
+            for t in ev.report.transactions
+            if any(d.src_txn in frontier for d in t.depends_on)
+        ]
+        frontier = [t.txn_id for t in nxt if f"#{t.txn_id}" not in " ".join(chain)]
+        for t in nxt:
+            label = f"#{t.txn_id} {t.request.method} {t.request.uri_regex}"
+            if t.response.consumers:
+                label += f" => {','.join(sorted(t.response.consumers))}"
+            if label not in chain:
+                chain.append(label)
+    return chain
+
+
+# ------------------------------------------------------------------ Figure 3
+@dataclass
+class Figure3Result:
+    slice_fraction: float
+    uri_patterns: int
+    search_regex_matches: bool
+
+
+def figure3() -> Figure3Result:
+    """Diode: slices are a small fraction of the code; the Figure-3 method
+    yields the multi-pattern URI disjunction including the /search/ form."""
+    import re
+
+    ev = evaluate_app("diode")
+    listing = next(
+        t
+        for t in ev.report.transactions
+        if "doInBackground" in t.site.method_id
+    )
+    from ..signature.lang import Alt
+
+    alts = [t for t in listing.request.uri.walk() if isinstance(t, Alt)]
+    patterns = max((len(a.options) for a in alts), default=1)
+    rx = re.compile(listing.request.uri_regex)
+    ok = bool(rx.match("http://www.reddit.com/search/.json?q=cats&sort=top"))
+    return Figure3Result(
+        slice_fraction=ev.report.slice_fraction,
+        uri_patterns=patterns,
+        search_regex_matches=ok,
+    )
+
+
+__all__ = [
+    "Figure3Result",
+    "Figure8Result",
+    "Table4Row",
+    "Table5Row",
+    "figure1_chain",
+    "figure3",
+    "figure8",
+    "render_table4",
+    "render_table5",
+    "render_table6",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+]

@@ -1,0 +1,185 @@
+"""The paper's published numbers, transcribed for paper-vs-measured reports.
+
+Table 1 cells are (Extractocol, manual fuzzing, third) where *third* is
+source-code analysis for open-source apps and automatic fuzzing (PUMA) for
+closed-source apps.  Figure values were extracted from the paper text; the
+closed-source Figure 6 series are marked approximate (the source rendering
+interleaves the numbers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class PaperRow:
+    app: str
+    key: str
+    kind: str
+    protocol: str
+    get: tuple[int, int, int] = (0, 0, 0)
+    post: tuple[int, int, int] = (0, 0, 0)
+    put: tuple[int, int, int] = (0, 0, 0)
+    delete: tuple[int, int, int] = (0, 0, 0)
+    query: tuple[int, int, int] = (0, 0, 0)
+    json: tuple[int, int, int] = (0, 0, 0)
+    xml: tuple[int, int, int] = (0, 0, 0)
+    pairs: int = 0
+
+
+TABLE1: tuple[PaperRow, ...] = (
+    # ---- open source: (Extractocol / manual fuzzing / source code) -------
+    PaperRow("Adblock Plus", "adblock", "open", "HTTPS",
+             get=(2, 2, 2), post=(1, 1, 1), query=(1, 1, 1), xml=(1, 1, 1),
+             pairs=1),
+    PaperRow("AnarXiv", "anarxiv", "open", "HTTP",
+             get=(2, 2, 2), xml=(2, 2, 2), pairs=2),
+    PaperRow("blippex", "blippex", "open", "HTTPS",
+             get=(1, 1, 1), json=(1, 1, 1), pairs=1),
+    PaperRow("Diaspora WebClient", "diaspora", "open", "HTTP",
+             get=(1, 1, 1), json=(1, 1, 1), pairs=1),
+    PaperRow("Diode", "diode", "open", "HTTP(S)",
+             get=(24, 24, 24), json=(2, 2, 2), pairs=5),
+    PaperRow("iFixIt", "ifixit", "open", "HTTP",
+             get=(15, 15, 15), post=(7, 7, 7), query=(3, 3, 3),
+             json=(14, 14, 14), pairs=14),
+    PaperRow("Lightning", "lightning", "open", "HTTP(S)",
+             get=(2, 2, 2), xml=(1, 1, 1), pairs=1),
+    PaperRow("qBittorrent", "qbittorrent", "open", "HTTP",
+             get=(3, 3, 2), post=(13, 13, 2), query=(13, 13, 13),
+             json=(3, 3, 3), pairs=3),
+    PaperRow("radio reddit", "radioreddit", "open", "HTTP(S)",
+             get=(3, 3, 3), post=(3, 3, 3), query=(3, 3, 3), json=(4, 4, 4),
+             pairs=4),
+    PaperRow("Reddinator", "reddinator", "open", "HTTP(S)",
+             get=(3, 3, 3), post=(3, 3, 3), json=(6, 6, 6), pairs=6),
+    PaperRow("Twister", "twister", "open", "HTTP",
+             post=(11, 11, 11), query=(11, 11, 11), json=(8, 8, 8), pairs=8),
+    PaperRow("TZM", "tzm", "open", "HTTPS",
+             get=(2, 2, 2), json=(1, 1, 1), pairs=1),
+    PaperRow("Wallabag", "wallabag", "open", "HTTP",
+             get=(1, 1, 1), xml=(1, 1, 1), pairs=1),
+    PaperRow("Weather Notification", "weather", "open", "HTTP",
+             get=(2, 2, 2), xml=(2, 2, 2), pairs=2),
+    # ---- closed source: (Extractocol / manual fuzzing / auto fuzzing) -----
+    PaperRow("5miles", "fivemiles", "closed", "HTTPS",
+             get=(24, 25, 0), post=(51, 12, 0), query=(16, 6, 0),
+             json=(16, 8, 0), pairs=71),
+    PaperRow("AC App for Android", "acapp", "closed", "HTTP(S)",
+             get=(9, 9, 7), post=(15, 15, 5), query=(15, 15, 15),
+             json=(23, 23, 23), pairs=23),
+    PaperRow("AOL: Mail, News & Video", "aol", "closed", "HTTP",
+             get=(9, 9, 6), json=(9, 9, 9), pairs=9),
+    PaperRow("AccuWeather", "accuweather", "closed", "HTTP",
+             get=(15, 15, 0), post=(3, 3, 0), query=(3, 3, 3),
+             json=(16, 16, 16), pairs=16),
+    PaperRow("Buzzfeed", "buzzfeed", "closed", "HTTP(S)",
+             get=(16, 5, 5), post=(12, 5, 1), query=(28, 5, 5),
+             json=(6, 5, 5), pairs=27),
+    PaperRow("Flipboard", "flipboard", "closed", "HTTPS",
+             get=(23, 24, 0), post=(41, 13, 0), query=(28, 13, 0),
+             json=(8, 7, 0), pairs=63),
+    PaperRow("GEEK", "geek", "closed", "HTTPS",
+             get=(0, 1, 0), post=(97, 48, 18), query=(41, 48, 18),
+             json=(11, 27, 18), pairs=97),
+    PaperRow("KAYAK", "kayak", "closed", "HTTPS",
+             get=(39, 39, 15), post=(7, 7, 5), query=(7, 7, 7),
+             json=(6, 6, 6), pairs=6),
+    PaperRow("Letgo", "letgo", "closed", "HTTPS",
+             get=(38, 32, 10), post=(10, 14, 2), put=(2, 2, 0),
+             delete=(3, 0, 0), query=(20, 14, 3), json=(18, 13, 6),
+             pairs=40),
+    PaperRow("LinkedIn", "linkedin", "closed", "HTTPS",
+             get=(38, 42, 16), post=(49, 17, 8), put=(0, 3, 0),
+             query=(46, 17, 14), json=(47, 21, 14), pairs=85),
+    PaperRow("Lucktastic", "lucktastic", "closed", "HTTPS",
+             get=(16, 2, 0), post=(9, 15, 0), put=(2, 0, 0),
+             delete=(4, 0, 0), query=(5, 15, 0), json=(19, 14, 0),
+             pairs=31),
+    PaperRow("MusicDownloader", "musicdownloader", "closed", "HTTPS",
+             get=(3, 10, 0), post=(0, 1, 0), query=(0, 1, 0),
+             json=(4, 7, 0), pairs=2),
+    PaperRow("Offerup", "offerup", "closed", "HTTPS",
+             get=(33, 20, 0), post=(23, 21, 0), put=(8, 1, 0),
+             delete=(3, 0, 0), query=(12, 21, 0), json=(25, 16, 0),
+             pairs=63),
+    PaperRow("Pandora Radio", "pandora", "closed", "HTTP(S)",
+             get=(7, 0, 0), post=(53, 20, 2), query=(53, 20, 2),
+             json=(26, 16, 2), pairs=60),
+    PaperRow("Pinterest", "pinterest", "closed", "HTTPS",
+             get=(60, 62, 26), post=(36, 19, 16), put=(32, 8, 3),
+             delete=(20, 10, 2), query=(88, 19, 36), json=(236, 58, 46),
+             pairs=148),
+    PaperRow("TED", "ted", "closed", "HTTP(S)",
+             get=(16, 16, 10), post=(2, 2, 1), query=(2, 2, 2),
+             json=(10, 10, 10), pairs=10),
+    PaperRow("Tophatter", "tophatter", "closed", "HTTPS",
+             get=(33, 24, 0), post=(32, 14, 0), put=(1, 0, 0),
+             delete=(4, 1, 0), query=(18, 14, 0), json=(32, 11, 0),
+             pairs=62),
+    PaperRow("Tumblr", "tumblr", "closed", "HTTPS",
+             get=(12, 13, 15), post=(8, 5, 5), delete=(1, 1, 0),
+             query=(5, 5, 15), json=(14, 2, 14), pairs=20),
+    PaperRow("WatchESPN", "watchespn", "closed", "HTTP",
+             get=(33, 33, 17), json=(32, 32, 32), pairs=32),
+    PaperRow("Wish Local", "wishlocal", "closed", "HTTPS",
+             get=(0, 1, 0), post=(106, 48, 21), query=(15, 15, 21),
+             json=(28, 13, 21), pairs=106),
+)
+
+PAPER_TOTAL_PAIRS = 971  # "it identified 971 HTTP (request URI-response body) pairs"
+
+#: Figure 6 — unique signature totals (response body, request body/query
+#: string, URI), per discovery method.
+FIGURE6 = {
+    "open": {
+        "extractocol": (48, 92, 98),
+        "manual": (48, 91, 95),
+        "source": (48, 92, 98),
+    },
+    # approximate — see module docstring
+    "closed": {
+        "auto": (222, 141, 216),
+        "manual": (314, 240, 732),
+        "extractocol": (586, 402, 1058),
+    },
+}
+
+#: Figure 7 — constant-keyword totals (response body, request body/query
+#: string), per discovery method.
+FIGURE7 = {
+    "open": {
+        "extractocol": (372, 144),
+        "manual": (616, 145),
+        "source": (372, 145),
+    },
+    "closed": {
+        "auto": (2912, 505),
+        "manual": (13554, 3507),
+        "extractocol": (14120, 7793),
+    },
+}
+
+#: Table 2 — matched byte count %: (Rk, Rv, Rn) per category.
+TABLE2 = {
+    ("open", "request"): (0.47, 0.52, 0.01),
+    ("open", "response"): (0.07, 0.48, 0.45),
+    ("closed", "request"): (0.48, 0.31, 0.21),
+    ("closed", "response"): (0.16, 0.35, 0.49),
+}
+
+#: §5.1 analysis-time anchors (wall-clock, minutes).
+TIMING = {"open_avg_minutes": 4, "closed_min_minutes": 11,
+          "closed_max_minutes": 180}
+
+
+def row_for(key: str) -> PaperRow:
+    for row in TABLE1:
+        if row.key == key:
+            return row
+    raise KeyError(key)
+
+
+__all__ = ["FIGURE6", "FIGURE7", "PAPER_TOTAL_PAIRS", "PaperRow", "TABLE1",
+           "TABLE2", "TIMING", "row_for"]

@@ -1,0 +1,80 @@
+"""Regenerate Table 2: matched byte-count percentages (Rk / Rv / Rn) on
+actual traffic, for request bodies/query strings and response bodies."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..corpus import app_keys
+from ..signature.matcher import (
+    ByteAccount,
+    account_request,
+    account_response,
+    transaction_matches,
+)
+from .runner import evaluate_app
+
+
+@dataclass
+class Table2Row:
+    kind: str
+    request: tuple[float, float, float]
+    response: tuple[float, float, float]
+
+    def as_text(self) -> str:
+        rk, rv, rn = (round(100 * x) for x in self.request)
+        sk, sv, sn = (round(100 * x) for x in self.response)
+        return (
+            f"{self.kind:8s}  request {rk}/{rv}/{rn}%   "
+            f"response {sk}/{sv}/{sn}%"
+        )
+
+
+def _account_app(key: str) -> tuple[ByteAccount, ByteAccount]:
+    ev = evaluate_app(key)
+    req_acct = ByteAccount()
+    resp_acct = ByteAccount()
+    # wildcard-only signatures (intent-fed endpoints) still match their
+    # traffic — their bytes land in Rn, "covered by the wildcard part of
+    # our regex signature" (§5.1)
+    for captured in ev.manual.trace:
+        match = next(
+            (
+                t
+                for t in ev.report.transactions + ev.report.unidentified
+                if transaction_matches(
+                    t, captured.request.method, captured.request.url,
+                    captured.request.body,
+                )
+            ),
+            None,
+        )
+        if match is None:
+            continue
+        req_acct.add(
+            account_request(match, captured.request.url, captured.request.body)
+        )
+        if "json" in captured.response.content_type:
+            resp_acct.add(account_response(match, captured.response.body))
+    return req_acct, resp_acct
+
+
+def table2(kind: str) -> Table2Row:
+    req_total = ByteAccount()
+    resp_total = ByteAccount()
+    for key in app_keys(kind):
+        req, resp = _account_app(key)
+        req_total.add(req)
+        resp_total.add(resp)
+    return Table2Row(
+        kind=kind,
+        request=req_total.fractions(),
+        response=resp_total.fractions(),
+    )
+
+
+def render_table2() -> str:
+    return "\n".join(table2(kind).as_text() for kind in ("open", "closed"))
+
+
+__all__ = ["Table2Row", "render_table2", "table2"]

@@ -1,0 +1,135 @@
+"""Summarise traffic traces into the units Table 1 / Figures 6-7 count."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from urllib.parse import parse_qsl, urlsplit
+
+from ..runtime.httpstack import TrafficTrace
+from ..signature.matcher import _body_keywords, _json_keys  # shared helpers
+
+
+@dataclass
+class EndpointObservation:
+    method: str
+    host: str
+    path: str
+    has_form_body: bool = False
+    has_json: bool = False
+    has_xml: bool = False
+    has_processed_response: bool = False
+    request_body_shape: str = ""
+    response_body_shape: str = ""
+    request_keywords: set[str] = field(default_factory=set)
+    response_keywords: set[str] = field(default_factory=set)
+
+
+def summarize_trace(trace: TrafficTrace) -> dict[tuple, EndpointObservation]:
+    """Collapse a trace into unique endpoints (method, host, path)."""
+    out: dict[tuple, EndpointObservation] = {}
+    for captured in trace:
+        req, resp = captured.request, captured.response
+        key = (req.method, req.host, req.path)
+        obs = out.get(key)
+        if obs is None:
+            obs = EndpointObservation(req.method, req.host, req.path)
+            out[key] = obs
+        # request side
+        for k, _ in parse_qsl(urlsplit(req.url).query, keep_blank_values=True):
+            obs.request_keywords.add(k)
+        body = (req.body or "").strip()
+        if body:
+            if body.startswith(("{", "[")):
+                obs.has_json = True
+                obs.request_body_shape = _shape(body)
+                obs.request_keywords |= _body_keywords(body)
+            elif body.startswith("<"):
+                obs.has_xml = True
+            else:
+                obs.has_form_body = True
+                obs.request_body_shape = "&".join(
+                    sorted(k for k, _ in parse_qsl(body, keep_blank_values=True))
+                )
+                obs.request_keywords |= _body_keywords(body)
+        # response side
+        ctype = resp.content_type
+        if resp.status < 400 and resp.body:
+            if "json" in ctype:
+                obs.has_json = True
+                obs.has_processed_response = True
+                obs.response_body_shape = _shape(resp.body)
+                obs.response_keywords |= _body_keywords(resp.body)
+            elif "xml" in ctype:
+                obs.has_xml = True
+                obs.has_processed_response = True
+                obs.response_body_shape = "xml:" + ",".join(
+                    sorted(_body_keywords(resp.body))
+                )
+                obs.response_keywords |= _body_keywords(resp.body)
+            elif "text" in ctype:
+                obs.has_processed_response = True
+                obs.response_body_shape = "text"
+    return out
+
+
+def _shape(body: str) -> str:
+    try:
+        return ",".join(sorted(_json_keys(json.loads(body))))
+    except ValueError:
+        return body[:40]
+
+
+@dataclass
+class TraceCounts:
+    by_method: dict[str, int]
+    query: int
+    json: int
+    xml: int
+    pairs: int
+    unique_uris: int
+    unique_request_bodies: int
+    unique_response_bodies: int
+    request_keywords: set[str]
+    response_keywords: set[str]
+
+
+def count_trace(trace: TrafficTrace) -> TraceCounts:
+    endpoints = summarize_trace(trace)
+    by_method: dict[str, int] = {}
+    query = json_n = xml = pairs = 0
+    req_bodies: set[str] = set()
+    resp_bodies: set[str] = set()
+    req_kws: set[str] = set()
+    resp_kws: set[str] = set()
+    for obs in endpoints.values():
+        by_method[obs.method] = by_method.get(obs.method, 0) + 1
+        if obs.has_form_body:
+            query += 1
+        if obs.has_json:
+            json_n += 1
+        if obs.has_xml:
+            xml += 1
+        if obs.has_processed_response:
+            pairs += 1
+            if obs.response_body_shape:
+                resp_bodies.add((obs.path, obs.response_body_shape))
+        if obs.request_body_shape:
+            req_bodies.add((obs.path, obs.request_body_shape))
+        req_kws |= obs.request_keywords
+        resp_kws |= obs.response_keywords
+    return TraceCounts(
+        by_method=by_method,
+        query=query,
+        json=json_n,
+        xml=xml,
+        pairs=pairs,
+        unique_uris=len(endpoints),
+        unique_request_bodies=len(req_bodies),
+        unique_response_bodies=len(resp_bodies),
+        request_keywords=req_kws,
+        response_keywords=resp_kws,
+    )
+
+
+__all__ = ["EndpointObservation", "TraceCounts", "count_trace", "summarize_trace"]

@@ -1,0 +1,56 @@
+"""Pretty-printer producing a Jimple-like textual form of the IR.
+
+The output round-trips through :mod:`repro.ir.parser` and is what the
+``.sapk`` on-disk bundle stores for each class.
+"""
+
+from __future__ import annotations
+
+from .classes import ClassDef
+from .method import Method
+from .program import Program
+
+
+def print_method(method: Method) -> str:
+    lines: list[str] = []
+    mods = "static " if method.is_static else ""
+    params = ", ".join(str(p) for p in method.sig.param_types)
+    lines.append(f"  {mods}{method.sig.return_type} {method.sig.name}({params}) {{")
+    if method.body is None:
+        lines.append("    // abstract")
+    else:
+        for local in sorted(method.body.locals.values(), key=lambda l: l.name):
+            lines.append(f"    {local.type} {local.name};")
+        by_index: dict[int, list[str]] = {}
+        for name, idx in method.body.labels.items():
+            by_index.setdefault(idx, []).append(name)
+        for stmt in method.body:
+            for label in by_index.get(stmt.index, ()):
+                lines.append(f"   {label}:")
+            lines.append(f"    {stmt};")
+    lines.append("  }")
+    return "\n".join(lines)
+
+
+def print_class(cls: ClassDef) -> str:
+    kind = "interface" if cls.is_interface else "class"
+    header = f"{kind} {cls.name}"
+    if cls.superclass:
+        header += f" extends {cls.superclass}"
+    if cls.interfaces:
+        header += " implements " + ", ".join(cls.interfaces)
+    lines = [header + " {"]
+    for fld in cls.fields.values():
+        lines.append(f"  {fld.type} {fld.name};")
+    for method in cls.methods():
+        lines.append("")
+        lines.append(print_method(method))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def print_program(program: Program) -> str:
+    return "\n\n".join(print_class(c) for c in program.classes.values())
+
+
+__all__ = ["print_class", "print_method", "print_program"]

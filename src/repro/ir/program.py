@@ -1,0 +1,126 @@
+"""Whole-program container and hierarchy queries.
+
+A :class:`Program` holds the application classes extracted from an APK.
+Library APIs (``java.lang.StringBuilder``, ``org.apache.http...``) are *not*
+present as classes; call sites naming them stay unresolved and are handled
+by the semantic models (static analysis) or the runtime stdlib (dynamic
+execution) — mirroring how Extractocol models rather than analyses the
+Android framework.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from .classes import ClassDef
+from .method import Method
+from .values import MethodSig
+
+
+class Program:
+    """The set of application classes plus hierarchy/resolution helpers."""
+
+    def __init__(self) -> None:
+        self.classes: dict[str, ClassDef] = {}
+        self._method_index: dict[str, Method] | None = None
+
+    # -- construction -------------------------------------------------------
+    def add_class(self, cls: ClassDef) -> ClassDef:
+        if cls.name in self.classes:
+            raise ValueError(f"duplicate class {cls.name}")
+        self.classes[cls.name] = cls
+        self._method_index = None
+        return cls
+
+    # -- lookup ---------------------------------------------------------------
+    def class_of(self, name: str) -> ClassDef | None:
+        return self.classes.get(name)
+
+    def has_class(self, name: str) -> bool:
+        return name in self.classes
+
+    def methods(self) -> Iterator[Method]:
+        for cls in self.classes.values():
+            yield from cls.methods()
+
+    def method_by_id(self, method_id: str) -> Method:
+        if self._method_index is None:
+            self._method_index = {m.method_id: m for m in self.methods()}
+        return self._method_index[method_id]
+
+    # -- hierarchy ------------------------------------------------------------
+    def superclasses(self, name: str) -> Iterator[str]:
+        """Yield ``name`` and its superclass chain, innermost first.
+
+        The chain stops at the first class not defined in the program (i.e.
+        a library superclass such as ``android.os.AsyncTask``), after
+        yielding its name so callers can detect the library boundary.
+        """
+        current: str | None = name
+        while current is not None:
+            yield current
+            cls = self.classes.get(current)
+            if cls is None:
+                return
+            current = cls.superclass
+
+    def library_ancestors(self, name: str) -> set[str]:
+        """Superclass and interface names that are *not* program classes."""
+        out: set[str] = set()
+        seen: set[str] = set()
+        stack = [name]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            cls = self.classes.get(current)
+            if cls is None:
+                if current != name:
+                    out.add(current)
+                continue
+            if cls.superclass:
+                stack.append(cls.superclass)
+            stack.extend(cls.interfaces)
+        return out
+
+    def subclasses(self, name: str) -> set[str]:
+        """All program classes that transitively extend/implement ``name``."""
+        direct: dict[str, set[str]] = {}
+        for cls in self.classes.values():
+            for parent in ((cls.superclass,) if cls.superclass else ()) + cls.interfaces:
+                direct.setdefault(parent, set()).add(cls.name)
+        out: set[str] = set()
+        stack = [name]
+        while stack:
+            for child in direct.get(stack.pop(), ()):
+                if child not in out:
+                    out.add(child)
+                    stack.append(child)
+        return out
+
+    def resolve_dispatch(self, receiver_class: str, sig: MethodSig) -> Method | None:
+        """Resolve a virtual call on a receiver of dynamic type
+        ``receiver_class`` by walking up the superclass chain."""
+        for cname in self.superclasses(receiver_class):
+            cls = self.classes.get(cname)
+            if cls is None:
+                return None
+            found = cls.get_method(sig)
+            if found is not None and not found.is_abstract:
+                return found
+        return None
+
+    def resolve_static(self, sig: MethodSig) -> Method | None:
+        """Resolve a call site against the static receiver type; returns
+        ``None`` for library methods (handled by semantic models)."""
+        return self.resolve_dispatch(sig.class_name, sig)
+
+    def statement_count(self) -> int:
+        return sum(len(m.body) for m in self.methods() if m.body is not None)
+
+    def __repr__(self) -> str:
+        return f"Program({len(self.classes)} classes)"
+
+
+__all__ = ["Program"]

@@ -1,0 +1,90 @@
+"""Structural validation of IR programs.
+
+Run after building a program (the corpus test-suite validates every app).
+Catches the authoring mistakes that would otherwise surface as confusing
+analysis results: dangling branch labels, use of undeclared locals,
+fall-through off the end of a body, malformed identity statements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .method import Method
+from .program import Program
+from .statements import GotoStmt, IdentityStmt, IfStmt
+from .values import Local, ParamRef, ThisRef, walk_values
+
+
+@dataclass(frozen=True)
+class ValidationError:
+    method_id: str
+    index: int
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.method_id}#{self.index}: {self.message}"
+
+
+def validate_method(method: Method) -> list[ValidationError]:
+    errors: list[ValidationError] = []
+    body = method.body
+    if body is None:
+        return errors
+
+    def err(index: int, message: str) -> None:
+        errors.append(ValidationError(method.method_id, index, message))
+
+    declared = set(body.locals.values())
+    n = len(body.statements)
+    if n == 0:
+        err(-1, "empty body")
+        return errors
+
+    identities_done = False
+    for stmt in body.statements:
+        if isinstance(stmt, (IfStmt, GotoStmt)):
+            for target in stmt.branch_targets():
+                if target not in body.labels:
+                    err(stmt.index, f"branch to undefined label {target!r}")
+                elif body.labels[target] >= n:
+                    err(stmt.index, f"label {target!r} points past end of body")
+        if isinstance(stmt, IdentityStmt):
+            if identities_done:
+                err(stmt.index, "identity statement after ordinary statements")
+            if not isinstance(stmt.rhs, (ParamRef, ThisRef)):
+                err(stmt.index, "identity rhs must be @this or @parameter")
+        else:
+            identities_done = True
+        for use in stmt.uses():
+            for value in walk_values(use):
+                if isinstance(value, Local) and value not in declared:
+                    err(stmt.index, f"use of undeclared local {value.name!r}")
+        for d in stmt.defs():
+            for value in walk_values(d):
+                if isinstance(value, Local) and value not in declared:
+                    err(stmt.index, f"definition of undeclared local {value.name!r}")
+
+    if body.statements[-1].falls_through:
+        err(n - 1, "control falls off the end of the body")
+    return errors
+
+
+def validate_program(program: Program) -> list[ValidationError]:
+    errors: list[ValidationError] = []
+    for method in program.methods():
+        errors.extend(validate_method(method))
+    for cls in program.classes.values():
+        if cls.superclass and cls.superclass == cls.name:
+            errors.append(ValidationError(cls.name, -1, "class extends itself"))
+    return errors
+
+
+def assert_valid(program: Program) -> None:
+    errors = validate_program(program)
+    if errors:
+        listing = "\n".join(str(e) for e in errors[:20])
+        raise ValueError(f"invalid IR program ({len(errors)} errors):\n{listing}")
+
+
+__all__ = ["ValidationError", "assert_valid", "validate_method", "validate_program"]

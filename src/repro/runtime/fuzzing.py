@@ -1,0 +1,122 @@
+"""UI-fuzzing baselines (paper §5.1).
+
+Two fuzzers drive the interpreted app and capture traffic:
+
+* :class:`ManualUiFuzzer` — a careful human: signs up / logs in, drives
+  standard *and* custom UI, triggers location updates by moving around.
+  Still cannot fire timers, server pushes, or actions with real-world side
+  effects (purchases, job applications).
+* :class:`AutoUiFuzzer` — PUMA-like automation: clicks every *standard*
+  clickable it can recognise, cannot log in, stops at custom UI, never
+  waits for timers.
+
+Extractocol's static analysis sees all of these paths, which is the source
+of its coverage advantage in Table 1 / Figure 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..apk.model import Apk, EntryPoint, TriggerKind
+from .httpstack import Network, TrafficTrace
+from .interpreter import Runtime, RuntimeError_
+
+
+@dataclass
+class FuzzResult:
+    trace: TrafficTrace
+    fired: list[str] = field(default_factory=list)
+    skipped: list[tuple[str, str]] = field(default_factory=list)
+    faults: list[str] = field(default_factory=list)
+
+    @property
+    def transactions(self):
+        return self.trace.transactions
+
+
+class _BaseFuzzer:
+    manual: bool = False
+    #: how long (ms) of scheduled-callback delay a fuzzing session tolerates
+    session_patience_ms: float = 0.0
+
+    def fuzz(self, apk: Apk, network: Network, *, seed: int = 7) -> FuzzResult:
+        runtime = Runtime(apk, network, seed=seed)
+        result = FuzzResult(trace=network.trace)
+        did_login = self._try_login(apk, runtime, result)
+        already_fired = set(result.fired)
+        for ep in apk.entrypoints:
+            if (ep.name or ep.method_id) in already_fired:
+                continue  # the login flow already drove this entry point
+            ok, reason = self._can_fire(ep, did_login)
+            if not ok:
+                result.skipped.append((ep.name or ep.method_id, reason))
+                continue
+            self._fire(runtime, ep, result)
+        # a fuzzing session idles briefly; only near-immediate callbacks run
+        # (drained to a fixpoint — posted runnables may post more)
+        for _ in range(16):
+            if not runtime.drain_scheduled(max_delay_ms=self.session_patience_ms):
+                break
+        return result
+
+    # -- policy -----------------------------------------------------------
+    def _try_login(self, apk: Apk, runtime: Runtime, result: FuzzResult) -> bool:
+        if not self.manual:
+            return False
+        login_eps = [
+            ep
+            for ep in apk.entrypoints
+            if "login" in (ep.name or "").lower() or "sign" in (ep.name or "").lower()
+        ]
+        for ep in login_eps:
+            self._fire(runtime, ep, result)
+        return bool(login_eps)
+
+    def _can_fire(self, ep: EntryPoint, did_login: bool) -> tuple[bool, str]:
+        if ep.side_effect:
+            return False, "side-effect action (purchase/apply) — not fuzzable"
+        if ep.kind in (TriggerKind.TIMER, TriggerKind.SERVER_PUSH):
+            return False, f"{ep.kind.value}-triggered — no UI path"
+        if self.manual:
+            if ep.requires_login and not did_login:
+                return False, "requires login and no login flow exists"
+            return True, ""
+        # automatic (PUMA-like)
+        if ep.requires_login:
+            return False, "requires login — automation cannot authenticate"
+        if ep.custom_ui or ep.kind == TriggerKind.UI_CUSTOM:
+            return False, "custom UI — automation fails to recognise it"
+        if ep.kind == TriggerKind.LOCATION:
+            return False, "location event — device does not move during automation"
+        return True, ""
+
+    def _fire(self, runtime: Runtime, ep: EntryPoint, result: FuzzResult) -> None:
+        try:
+            runtime.fire_entrypoint(ep)
+            result.fired.append(ep.name or ep.method_id)
+        except RuntimeError_ as exc:
+            result.faults.append(f"{ep.name or ep.method_id}: {exc}")
+
+
+class ManualUiFuzzer(_BaseFuzzer):
+    manual = True
+    session_patience_ms = 5_000.0
+
+
+class AutoUiFuzzer(_BaseFuzzer):
+    """PUMA substitute: 'the most advanced UI automation tool ... publicly
+    available' — still blind to login walls, custom widgets and timers."""
+
+    manual = False
+    session_patience_ms = 0.0
+
+
+def run_both(apk: Apk, network_factory) -> tuple[FuzzResult, FuzzResult]:
+    """Run manual and auto fuzzing on fresh networks from ``network_factory``."""
+    manual = ManualUiFuzzer().fuzz(apk, network_factory())
+    auto = AutoUiFuzzer().fuzz(apk, network_factory())
+    return manual, auto
+
+
+__all__ = ["AutoUiFuzzer", "FuzzResult", "ManualUiFuzzer", "run_both"]

@@ -1,0 +1,151 @@
+"""In-process HTTP(S) stack for the dynamic baselines.
+
+Replaces the paper's real network + mitmproxy: corpus apps run on the IR
+interpreter, their HTTP calls route through a :class:`Network` to scripted
+origin servers, and every transaction is captured decrypted in a
+:class:`TrafficTrace` — the artefact UI fuzzing produces in §5.1.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from urllib.parse import parse_qsl, urlsplit
+
+
+@dataclass
+class HttpRequest:
+    method: str
+    url: str
+    headers: dict[str, str] = field(default_factory=dict)
+    body: str | None = None
+
+    @property
+    def scheme(self) -> str:
+        return urlsplit(self.url).scheme or "http"
+
+    @property
+    def host(self) -> str:
+        return urlsplit(self.url).netloc
+
+    @property
+    def path(self) -> str:
+        return urlsplit(self.url).path
+
+    @property
+    def query(self) -> dict[str, str]:
+        return dict(parse_qsl(urlsplit(self.url).query, keep_blank_values=True))
+
+    @property
+    def query_string(self) -> str:
+        return urlsplit(self.url).query
+
+    def json(self):
+        return json.loads(self.body) if self.body else None
+
+
+@dataclass
+class HttpResponse:
+    status: int = 200
+    headers: dict[str, str] = field(default_factory=dict)
+    body: str = ""
+
+    @property
+    def content_type(self) -> str:
+        return self.headers.get("Content-Type", "")
+
+    def json(self):
+        return json.loads(self.body) if self.body else None
+
+    @staticmethod
+    def json_response(payload, status: int = 200) -> "HttpResponse":
+        return HttpResponse(
+            status=status,
+            headers={"Content-Type": "application/json"},
+            body=json.dumps(payload),
+        )
+
+    @staticmethod
+    def xml_response(body: str, status: int = 200) -> "HttpResponse":
+        return HttpResponse(
+            status=status, headers={"Content-Type": "application/xml"}, body=body
+        )
+
+    @staticmethod
+    def text(body: str, status: int = 200) -> "HttpResponse":
+        return HttpResponse(
+            status=status, headers={"Content-Type": "text/plain"}, body=body
+        )
+
+    @staticmethod
+    def binary(size: int = 4096, status: int = 200) -> "HttpResponse":
+        return HttpResponse(
+            status=status,
+            headers={"Content-Type": "application/octet-stream",
+                     "Content-Length": str(size)},
+            body="\x00" * min(size, 4096),
+        )
+
+
+@dataclass
+class CapturedTransaction:
+    request: HttpRequest
+    response: HttpResponse
+
+    def __str__(self) -> str:
+        return f"{self.request.method} {self.request.url} -> {self.response.status}"
+
+
+class TrafficTrace:
+    """The mitmproxy substitute: every transaction, already decrypted."""
+
+    def __init__(self) -> None:
+        self.transactions: list[CapturedTransaction] = []
+
+    def record(self, request: HttpRequest, response: HttpResponse) -> None:
+        self.transactions.append(CapturedTransaction(request, response))
+
+    def __len__(self) -> int:
+        return len(self.transactions)
+
+    def __iter__(self):
+        return iter(self.transactions)
+
+    def urls(self) -> list[str]:
+        return [t.request.url for t in self.transactions]
+
+    def unique_urls(self) -> set[str]:
+        return set(self.urls())
+
+    def by_method(self, method: str) -> list[CapturedTransaction]:
+        return [t for t in self.transactions if t.request.method == method]
+
+
+class Network:
+    """Routes requests by host to registered server handlers and records
+    everything on the trace."""
+
+    def __init__(self, trace: TrafficTrace | None = None) -> None:
+        self.trace = trace if trace is not None else TrafficTrace()
+        self._servers: dict[str, object] = {}
+
+    def register(self, host: str, server) -> None:
+        self._servers[host] = server
+
+    def send(self, request: HttpRequest) -> HttpResponse:
+        server = self._servers.get(request.host)
+        if server is None:
+            response = HttpResponse(status=502, body="no route to host")
+        else:
+            response = server.handle(request)
+        self.trace.record(request, response)
+        return response
+
+
+__all__ = [
+    "CapturedTransaction",
+    "HttpRequest",
+    "HttpResponse",
+    "Network",
+    "TrafficTrace",
+]

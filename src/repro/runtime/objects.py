@@ -1,0 +1,171 @@
+"""Concrete runtime objects backing the library APIs during dynamic
+execution (the counterpart of the *abstract* values in
+:mod:`repro.semantics.avals`)."""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
+
+from .httpstack import HttpResponse
+
+
+@dataclass
+class RtObject:
+    """An instance of an application class."""
+
+    class_name: str
+    fields: dict[str, object] = field(default_factory=dict)
+
+    def __repr__(self) -> str:
+        return f"RtObject({self.class_name})"
+
+
+class RtStringBuilder:
+    def __init__(self, initial: str = "") -> None:
+        self.s = initial
+
+    def __str__(self) -> str:
+        return self.s
+
+
+@dataclass
+class RtRequest:
+    """An HTTP request under construction (HttpGet, Volley request, okhttp
+    builder product, ...)."""
+
+    method: str = "GET"
+    url: str = ""
+    headers: dict[str, str] = field(default_factory=dict)
+    body: str | None = None
+    mime: str | None = None
+    listener: RtObject | None = None
+    error_listener: RtObject | None = None
+
+
+class RtResponse:
+    """Wraps a concrete HttpResponse for the response-side APIs."""
+
+    def __init__(self, response: HttpResponse) -> None:
+        self.response = response
+
+    @property
+    def body(self) -> str:
+        return self.response.body
+
+
+class RtConn:
+    def __init__(self, url: str) -> None:
+        self.url = url
+        self.method = "GET"
+        self.headers: dict[str, str] = {}
+        self.body_parts: list[str] = []
+        self.response: HttpResponse | None = None
+
+
+class RtCursor:
+    def __init__(self, columns: list[str], rows: list[dict]) -> None:
+        self.columns = columns
+        self.rows = rows
+        self.idx = -1
+
+    def move_next(self) -> bool:
+        self.idx += 1
+        return self.idx < len(self.rows)
+
+    def get(self, col_index: int):
+        row = self.rows[self.idx]
+        return row.get(self.columns[col_index], "")
+
+
+class RtDatabase:
+    def __init__(self) -> None:
+        self.tables: dict[str, list[dict]] = {}
+
+    def insert(self, table: str, values: dict) -> None:
+        self.tables.setdefault(table, []).append(dict(values))
+
+    def update(self, table: str, values: dict) -> None:
+        rows = self.tables.setdefault(table, [])
+        if rows:
+            for row in rows:
+                row.update(values)
+        else:
+            rows.append(dict(values))
+
+    def query(self, table: str, columns: list[str] | None) -> RtCursor:
+        rows = self.tables.get(table, [])
+        cols = columns if columns else sorted({k for r in rows for k in r})
+        return RtCursor(cols, rows)
+
+
+class RtXmlNode:
+    def __init__(self, elem: "ET.Element") -> None:
+        self.elem = elem
+
+    def by_tag(self, tag: str) -> "RtNodeList":
+        return RtNodeList([RtXmlNode(e) for e in self.elem.iter(tag)])
+
+    @property
+    def text(self) -> str:
+        return self.elem.text or ""
+
+    def attr(self, name: str) -> str:
+        return self.elem.get(name, "")
+
+
+class RtNodeList:
+    def __init__(self, nodes: list[RtXmlNode]) -> None:
+        self.nodes = nodes
+
+    def item(self, i: int) -> RtXmlNode | None:
+        return self.nodes[i] if 0 <= i < len(self.nodes) else None
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+
+@dataclass
+class RtLocation:
+    lat: float = 37.5665
+    lon: float = 126.9780
+
+
+class RtIntent:
+    def __init__(self) -> None:
+        self.extras: dict[str, object] = {}
+
+
+class RtIterator:
+    def __init__(self, items: list) -> None:
+        self.items = list(items)
+        self.idx = 0
+
+    def has_next(self) -> bool:
+        return self.idx < len(self.items)
+
+    def next(self):
+        value = self.items[self.idx]
+        self.idx += 1
+        return value
+
+
+def parse_xml(body: str) -> RtXmlNode:
+    return RtXmlNode(ET.fromstring(body))
+
+
+__all__ = [
+    "RtConn",
+    "RtCursor",
+    "RtDatabase",
+    "RtIntent",
+    "RtIterator",
+    "RtLocation",
+    "RtNodeList",
+    "RtObject",
+    "RtRequest",
+    "RtResponse",
+    "RtStringBuilder",
+    "RtXmlNode",
+    "parse_xml",
+]

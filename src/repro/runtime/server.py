@@ -1,0 +1,74 @@
+"""Scripted origin servers.
+
+Each corpus app ships a server script producing realistic responses so the
+dynamic baselines generate traffic with genuine bodies — required for the
+keyword and byte-level matching of Fig. 7 / Table 2.  Routes match on
+(method, path regex); handlers may keep session state (login cookies,
+pagination tokens), mirroring the stateful flows the paper fuzzes manually.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .httpstack import HttpRequest, HttpResponse
+
+Handler = Callable[[HttpRequest, dict], HttpResponse]
+
+
+@dataclass
+class Route:
+    method: str
+    pattern: "re.Pattern[str]"
+    handler: Handler
+
+
+class ScriptedServer:
+    def __init__(self, host: str) -> None:
+        self.host = host
+        self.routes: list[Route] = []
+        self.state: dict = {}
+
+    def route(self, method: str, path_pattern: str):
+        """Decorator: register a handler for ``method`` + path regex."""
+
+        def deco(fn: Handler) -> Handler:
+            self.routes.append(Route(method, re.compile(path_pattern + r"$"), fn))
+            return fn
+
+        return deco
+
+    def add(self, method: str, path_pattern: str, handler: Handler) -> None:
+        self.routes.append(Route(method, re.compile(path_pattern + r"$"), handler))
+
+    def handle(self, request: HttpRequest) -> HttpResponse:
+        for route in self.routes:
+            if route.method == request.method and route.pattern.match(request.path):
+                return route.handler(request, self.state)
+        return HttpResponse(status=404, body="not found")
+
+
+def static_json(payload) -> Handler:
+    def handler(request: HttpRequest, state: dict) -> HttpResponse:
+        return HttpResponse.json_response(payload)
+
+    return handler
+
+
+def static_xml(body: str) -> Handler:
+    def handler(request: HttpRequest, state: dict) -> HttpResponse:
+        return HttpResponse.xml_response(body)
+
+    return handler
+
+
+def static_binary(size: int = 4096) -> Handler:
+    def handler(request: HttpRequest, state: dict) -> HttpResponse:
+        return HttpResponse.binary(size)
+
+    return handler
+
+
+__all__ = ["Handler", "Route", "ScriptedServer", "static_binary", "static_json", "static_xml"]

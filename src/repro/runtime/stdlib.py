@@ -1,0 +1,818 @@
+"""Concrete implementations of the modeled Android/Java APIs.
+
+One handler per (class, method), mirroring the static semantic models in
+:mod:`repro.semantics` — the dynamic baselines execute the *same* corpus
+programs the static pipeline analyses, so both sides must agree on API
+behaviour.  Handlers receive the runtime, the receiver and evaluated
+arguments, and return the call result (optionally rebinding the receiver
+local via :class:`Rebind`, for constructors)."""
+
+from __future__ import annotations
+
+import base64 as _base64
+import json
+import re
+from dataclasses import dataclass
+from urllib.parse import quote_plus
+
+from .httpstack import HttpRequest
+from .objects import (
+    RtConn,
+    RtCursor,
+    RtDatabase,
+    RtIntent,
+    RtIterator,
+    RtLocation,
+    RtNodeList,
+    RtObject,
+    RtRequest,
+    RtResponse,
+    RtStringBuilder,
+    RtXmlNode,
+    parse_xml,
+)
+
+
+@dataclass
+class Rebind:
+    """Constructor outcome: bind ``value`` to the receiver local."""
+
+    value: object
+    result: object = None
+
+
+@dataclass
+class RtClassRef:
+    name: str
+
+
+def java_str(v: object) -> str:
+    if v is None:
+        return "null"
+    if isinstance(v, bool):
+        return "true" if v else "false"
+    if isinstance(v, float) and v.is_integer():
+        return str(int(v))
+    if isinstance(v, RtStringBuilder):
+        return v.s
+    if isinstance(v, dict):
+        return json.dumps(v)
+    if isinstance(v, list):
+        return json.dumps(v)
+    return str(v)
+
+
+API: dict[tuple[str, str], object] = {}
+DISPATCH: dict[tuple[str, str], object] = {}
+
+
+def register(classes, methods):
+    classes = (classes,) if isinstance(classes, str) else classes
+    methods = (methods,) if isinstance(methods, str) else methods
+
+    def deco(fn):
+        for c in classes:
+            for m in methods:
+                API[(c, m)] = fn
+        return fn
+
+    return deco
+
+
+def register_dispatch(classes, methods):
+    classes = (classes,) if isinstance(classes, str) else classes
+    methods = (methods,) if isinstance(methods, str) else methods
+
+    def deco(fn):
+        for c in classes:
+            for m in methods:
+                DISPATCH[(c, m)] = fn
+        return fn
+
+    return deco
+
+
+# --------------------------------------------------------------------- strings
+_SB = ("java.lang.StringBuilder", "java.lang.StringBuffer")
+
+
+@register(_SB, "<init>")
+def sb_init(rt, base, args):
+    return Rebind(RtStringBuilder(java_str(args[0]) if args else ""))
+
+
+@register(_SB, "append")
+def sb_append(rt, base, args):
+    base.s += java_str(args[0]) if args else ""
+    return base
+
+
+@register(_SB, "insert")
+def sb_insert(rt, base, args):
+    idx = int(args[0])
+    base.s = base.s[:idx] + java_str(args[1]) + base.s[idx:]
+    return base
+
+
+@register(_SB, "toString")
+def sb_tostring(rt, base, args):
+    return base.s
+
+
+@register("java.lang.String", "<init>")
+def str_init(rt, base, args):
+    return Rebind(java_str(args[0]) if args else "")
+
+
+@register("java.lang.String", "concat")
+def str_concat(rt, base, args):
+    return java_str(base) + java_str(args[0])
+
+
+@register("java.lang.String", "valueOf")
+def str_valueof(rt, base, args):
+    return java_str(args[0]) if args else ""
+
+
+@register("java.lang.String", "format")
+def str_format(rt, base, args):
+    fmt = java_str(args[0])
+    rest = list(args[1:])
+    out = []
+    pos = 0
+    for m in re.finditer(r"%[sdif]", fmt):
+        out.append(fmt[pos : m.start()])
+        out.append(java_str(rest.pop(0)) if rest else "")
+        pos = m.end()
+    out.append(fmt[pos:])
+    return "".join(out)
+
+
+@register("java.lang.String", "trim")
+def str_trim(rt, base, args):
+    return java_str(base).strip()
+
+
+@register("java.lang.String", "toLowerCase")
+def str_lower(rt, base, args):
+    return java_str(base).lower()
+
+
+@register("java.lang.String", "toUpperCase")
+def str_upper(rt, base, args):
+    return java_str(base).upper()
+
+
+@register("java.lang.String", "replace")
+def str_replace(rt, base, args):
+    return java_str(base).replace(java_str(args[0]), java_str(args[1]))
+
+
+@register("java.lang.String", "substring")
+def str_substring(rt, base, args):
+    s = java_str(base)
+    if len(args) == 2:
+        return s[int(args[0]) : int(args[1])]
+    return s[int(args[0]):]
+
+
+@register("java.lang.String", "equals")
+def str_equals(rt, base, args):
+    return java_str(base) == java_str(args[0])
+
+
+@register("java.lang.String", "equalsIgnoreCase")
+def str_equals_ic(rt, base, args):
+    return java_str(base).lower() == java_str(args[0]).lower()
+
+
+@register("java.lang.String", ("startsWith", "endsWith", "contains"))
+def str_preds(rt, base, args, _name=None):
+    return True  # replaced below by per-name lambdas
+
+
+API[("java.lang.String", "startsWith")] = lambda rt, b, a: java_str(b).startswith(java_str(a[0]))
+API[("java.lang.String", "endsWith")] = lambda rt, b, a: java_str(b).endswith(java_str(a[0]))
+API[("java.lang.String", "contains")] = lambda rt, b, a: java_str(a[0]) in java_str(b)
+API[("java.lang.String", "isEmpty")] = lambda rt, b, a: len(java_str(b)) == 0
+API[("java.lang.String", "length")] = lambda rt, b, a: len(java_str(b))
+API[("java.lang.String", "indexOf")] = lambda rt, b, a: java_str(b).find(java_str(a[0]))
+API[("java.lang.String", "split")] = lambda rt, b, a: java_str(b).split(java_str(a[0]))
+API[("java.lang.String", "getBytes")] = lambda rt, b, a: java_str(b)
+API[("java.lang.String", "hashCode")] = lambda rt, b, a: hash(java_str(b)) & 0x7FFFFFFF
+
+for _box in ("java.lang.Integer", "java.lang.Long", "java.lang.Double",
+             "java.lang.Float", "java.lang.Boolean"):
+    API[(_box, "toString")] = lambda rt, b, a: java_str(a[0] if a else b)
+    API[(_box, "valueOf")] = lambda rt, b, a: a[0] if a else b
+API[("java.lang.Integer", "parseInt")] = lambda rt, b, a: int(java_str(a[0]))
+API[("java.lang.Long", "parseLong")] = lambda rt, b, a: int(java_str(a[0]))
+
+API[("java.net.URLEncoder", "encode")] = lambda rt, b, a: quote_plus(java_str(a[0]))
+API[("java.net.URLDecoder", "decode")] = lambda rt, b, a: java_str(a[0])
+API[("android.util.Base64", "encodeToString")] = lambda rt, b, a: _base64.b64encode(
+    java_str(a[0]).encode()
+).decode()
+API[("java.lang.System", "currentTimeMillis")] = lambda rt, b, a: rt.clock()
+API[("java.lang.System", "nanoTime")] = lambda rt, b, a: rt.clock() * 1000000
+API[("java.lang.Math", "random")] = lambda rt, b, a: rt.rng.random()
+API[("java.util.Random", "<init>")] = lambda rt, b, a: Rebind(object())
+API[("java.util.Random", "nextInt")] = lambda rt, b, a: rt.rng.randrange(int(a[0]) if a else 1 << 30)
+API[("java.util.UUID", "randomUUID")] = lambda rt, b, a: rt.device_uuid
+API[("java.util.UUID", "toString")] = lambda rt, b, a: java_str(b)
+API[("java.lang.Thread", "sleep")] = lambda rt, b, a: None
+for _lvl in ("d", "e", "i", "v", "w"):
+    API[("android.util.Log", _lvl)] = lambda rt, b, a: 0
+API[("java.io.PrintStream", "println")] = lambda rt, b, a: None
+
+
+# ------------------------------------------------------------------- containers
+_LISTS = ("java.util.ArrayList", "java.util.LinkedList", "java.util.List",
+          "java.util.Vector")
+_MAPS = ("java.util.HashMap", "java.util.Map", "java.util.LinkedHashMap",
+         "java.util.TreeMap", "java.util.Hashtable")
+
+for _c in _LISTS:
+    API[(_c, "<init>")] = lambda rt, b, a: Rebind([])
+    API[(_c, "add")] = lambda rt, b, a: (b.append(a[-1]), True)[1]
+    API[(_c, "get")] = lambda rt, b, a: b[int(a[0])]
+    API[(_c, "size")] = lambda rt, b, a: len(b)
+    API[(_c, "isEmpty")] = lambda rt, b, a: len(b) == 0
+    API[(_c, "contains")] = lambda rt, b, a: a[0] in b
+    API[(_c, "iterator")] = lambda rt, b, a: RtIterator(b)
+API[("java.util.Iterator", "hasNext")] = lambda rt, b, a: b.has_next()
+API[("java.util.Iterator", "next")] = lambda rt, b, a: b.next()
+for _c in _MAPS:
+    API[(_c, "<init>")] = lambda rt, b, a: Rebind({})
+    API[(_c, "put")] = lambda rt, b, a: b.__setitem__(java_str(a[0]), a[1])
+    API[(_c, "get")] = lambda rt, b, a: b.get(java_str(a[0]))
+    API[(_c, "containsKey")] = lambda rt, b, a: java_str(a[0]) in b
+    API[(_c, "size")] = lambda rt, b, a: len(b)
+
+
+# ------------------------------------------------------------------------ JSON
+@register("org.json.JSONObject", "<init>")
+def jobj_init(rt, base, args):
+    if args and args[0] is not None:
+        return Rebind(json.loads(java_str(args[0])))
+    return Rebind({})
+
+
+@register("org.json.JSONArray", "<init>")
+def jarr_init(rt, base, args):
+    if args and args[0] is not None:
+        return Rebind(json.loads(java_str(args[0])))
+    return Rebind([])
+
+
+@register("org.json.JSONObject", ("put", "putOpt", "accumulate"))
+def jobj_put(rt, base, args):
+    base[java_str(args[0])] = args[1]
+    return base
+
+
+@register("org.json.JSONArray", "put")
+def jarr_put(rt, base, args):
+    base.append(args[-1])
+    return base
+
+
+@register("org.json.JSONObject",
+          ("getString", "optString", "getInt", "optInt", "getLong", "getDouble",
+           "getBoolean", "optBoolean", "get", "opt", "getJSONObject",
+           "optJSONObject", "getJSONArray", "optJSONArray"))
+def jobj_get(rt, base, args, _method_name=None):
+    key = java_str(args[0]) if args else None
+    name = rt.current_call_name
+    if name.startswith("opt") and key not in base:
+        return "" if "String" in name else None
+    value = base[key]
+    if name in ("getString", "optString"):
+        return java_str(value)
+    if name in ("getInt", "optInt", "getLong"):
+        return int(value)
+    if name == "getDouble":
+        return float(value)
+    return value
+
+
+API[("org.json.JSONObject", "has")] = lambda rt, b, a: java_str(a[0]) in b
+API[("org.json.JSONObject", "isNull")] = lambda rt, b, a: b.get(java_str(a[0])) is None
+API[("org.json.JSONObject", "toString")] = lambda rt, b, a: json.dumps(b)
+API[("org.json.JSONObject", "length")] = lambda rt, b, a: len(b)
+API[("org.json.JSONArray", "length")] = lambda rt, b, a: len(b)
+API[("org.json.JSONArray", "toString")] = lambda rt, b, a: json.dumps(b)
+
+
+@register("org.json.JSONArray",
+          ("getJSONObject", "optJSONObject", "getString", "getInt", "get"))
+def jarr_get(rt, base, args):
+    value = base[int(args[0])]
+    if rt.current_call_name == "getString":
+        return java_str(value)
+    if rt.current_call_name == "getInt":
+        return int(value)
+    return value
+
+
+@register("com.google.gson.Gson", "<init>")
+def gson_init(rt, base, args):
+    return Rebind(object())
+
+
+@register("com.google.gson.Gson", "toJson")
+def gson_tojson(rt, base, args):
+    return json.dumps(rt.reflect_serialize(args[0]))
+
+
+@register("com.google.gson.Gson", "fromJson")
+def gson_fromjson(rt, base, args):
+    data = json.loads(java_str(args[0]))
+    cls = args[1]
+    assert isinstance(cls, RtClassRef)
+    return rt.reflect_bind(data, cls.name)
+
+
+# ------------------------------------------------------------------------- XML
+API[("javax.xml.parsers.DocumentBuilderFactory", "newInstance")] = lambda rt, b, a: object()
+API[("javax.xml.parsers.DocumentBuilderFactory", "newDocumentBuilder")] = (
+    lambda rt, b, a: object()
+)
+API[("javax.xml.parsers.DocumentBuilder", "parse")] = lambda rt, b, a: parse_xml(
+    a[0].body if isinstance(a[0], RtResponse) else java_str(a[0])
+)
+API[("org.w3c.dom.Document", "getDocumentElement")] = lambda rt, b, a: b
+for _c in ("org.w3c.dom.Document", "org.w3c.dom.Element"):
+    API[(_c, "getElementsByTagName")] = lambda rt, b, a: b.by_tag(java_str(a[0]))
+API[("org.w3c.dom.NodeList", "item")] = lambda rt, b, a: b.item(int(a[0]))
+API[("org.w3c.dom.NodeList", "getLength")] = lambda rt, b, a: len(b)
+for _c in ("org.w3c.dom.Element", "org.w3c.dom.Node"):
+    API[(_c, "getAttribute")] = lambda rt, b, a: b.attr(java_str(a[0]))
+    API[(_c, "getTextContent")] = lambda rt, b, a: b.text
+    API[(_c, "getNodeValue")] = lambda rt, b, a: b.text
+    API[(_c, "getFirstChild")] = lambda rt, b, a: b
+
+
+# ---------------------------------------------------------------------- apache
+_METHOD_CLASSES = {
+    "org.apache.http.client.methods.HttpGet": "GET",
+    "org.apache.http.client.methods.HttpPost": "POST",
+    "org.apache.http.client.methods.HttpPut": "PUT",
+    "org.apache.http.client.methods.HttpDelete": "DELETE",
+    "org.apache.http.client.methods.HttpHead": "HEAD",
+}
+for _cls, _method in _METHOD_CLASSES.items():
+    API[(_cls, "<init>")] = (
+        lambda m: lambda rt, b, a: Rebind(
+            RtRequest(method=m, url=java_str(a[0]) if a else "")
+        )
+    )(_method)
+_REQS = tuple(_METHOD_CLASSES) + (
+    "org.apache.http.client.methods.HttpUriRequest",
+    "org.apache.http.client.methods.HttpRequestBase",
+)
+for _c in _REQS:
+    API[(_c, "setURI")] = lambda rt, b, a: b.__setattr__("url", java_str(a[0]))
+    API[(_c, "setHeader")] = lambda rt, b, a: b.headers.__setitem__(
+        java_str(a[0]), java_str(a[1])
+    )
+    API[(_c, "addHeader")] = API[(_c, "setHeader")]
+    API[(_c, "setEntity")] = lambda rt, b, a: (
+        b.__setattr__("body", a[0][0]),
+        b.__setattr__("mime", a[0][1]),
+    )[0]
+
+API[("org.apache.http.entity.StringEntity", "<init>")] = lambda rt, b, a: Rebind(
+    (java_str(a[0]), "text/plain")
+)
+
+
+@register("org.apache.http.client.entity.UrlEncodedFormEntity", "<init>")
+def form_entity_init(rt, base, args):
+    pairs = args[0] if args else []
+    body = "&".join(f"{k}={quote_plus(java_str(v))}" for k, v in pairs)
+    return Rebind((body, "application/x-www-form-urlencoded"))
+
+
+API[("org.apache.http.message.BasicNameValuePair", "<init>")] = lambda rt, b, a: Rebind(
+    (java_str(a[0]), java_str(a[1]))
+)
+
+_CLIENTS = (
+    "org.apache.http.client.HttpClient",
+    "org.apache.http.impl.client.DefaultHttpClient",
+    "org.apache.http.impl.client.AbstractHttpClient",
+    "android.net.http.AndroidHttpClient",
+)
+for _c in _CLIENTS:
+    API[(_c, "<init>")] = lambda rt, b, a: Rebind(object())
+
+
+@register(_CLIENTS, "execute")
+def client_execute(rt, base, args):
+    req: RtRequest = args[0]
+    response = rt.send(req)
+    return RtResponse(response)
+
+
+API[("android.net.http.AndroidHttpClient", "newInstance")] = lambda rt, b, a: object()
+API[("org.apache.http.HttpResponse", "getEntity")] = lambda rt, b, a: b
+API[("org.apache.http.HttpResponse", "getStatusLine")] = lambda rt, b, a: b
+API[("org.apache.http.StatusLine", "getStatusCode")] = lambda rt, b, a: (
+    b.response.status if isinstance(b, RtResponse) else 200
+)
+API[("org.apache.http.HttpEntity", "getContent")] = lambda rt, b, a: b
+API[("org.apache.http.HttpEntity", "getContentLength")] = lambda rt, b, a: (
+    len(b.body) if isinstance(b, RtResponse) else 0
+)
+API[("org.apache.http.util.EntityUtils", "toString")] = lambda rt, b, a: (
+    a[0].body if isinstance(a[0], RtResponse) else java_str(a[0])
+)
+for _c in ("java.io.InputStreamReader", "java.io.BufferedReader"):
+    API[(_c, "<init>")] = lambda rt, b, a: Rebind(a[0])
+API[("java.io.BufferedReader", "readLine")] = lambda rt, b, a: (
+    b.body if isinstance(b, RtResponse) else java_str(b)
+)
+
+
+# --------------------------------------------------------------------- urlconn
+API[("java.net.URL", "<init>")] = lambda rt, b, a: Rebind(
+    "".join(java_str(x) for x in a)
+)
+API[("java.net.URL", "toString")] = lambda rt, b, a: java_str(b)
+
+
+@register("java.net.URL", "openConnection")
+def url_open(rt, base, args):
+    return RtConn(java_str(base))
+
+
+@register("java.net.URL", "openStream")
+def url_openstream(rt, base, args):
+    response = rt.send(RtRequest(method="GET", url=java_str(base)))
+    return RtResponse(response)
+
+
+_CONNS = ("java.net.HttpURLConnection", "java.net.URLConnection",
+          "javax.net.ssl.HttpsURLConnection")
+for _c in _CONNS:
+    API[(_c, "setRequestMethod")] = lambda rt, b, a: b.__setattr__(
+        "method", java_str(a[0])
+    )
+    API[(_c, "setRequestProperty")] = lambda rt, b, a: b.headers.__setitem__(
+        java_str(a[0]), java_str(a[1])
+    )
+    API[(_c, "addRequestProperty")] = API[(_c, "setRequestProperty")]
+    API[(_c, "setDoOutput")] = lambda rt, b, a: b.__setattr__("method", "POST")
+    for _noop in ("setDoInput", "setConnectTimeout", "setReadTimeout",
+                  "setUseCaches", "connect", "disconnect",
+                  "setInstanceFollowRedirects", "setChunkedStreamingMode"):
+        API[(_c, _noop)] = lambda rt, b, a: None
+    API[(_c, "getOutputStream")] = lambda rt, b, a: b
+
+
+def _conn_send(rt, conn: RtConn):
+    if conn.response is None:
+        conn.response = rt.send(
+            RtRequest(
+                method=conn.method,
+                url=conn.url,
+                headers=dict(conn.headers),
+                body="".join(conn.body_parts) or None,
+            )
+        )
+    return conn.response
+
+
+for _c in _CONNS:
+    API[(_c, "getInputStream")] = lambda rt, b, a: RtResponse(_conn_send(rt, b))
+    API[(_c, "getErrorStream")] = API[(_c, "getInputStream")]
+    API[(_c, "getResponseCode")] = lambda rt, b, a: _conn_send(rt, b).status
+    API[(_c, "getHeaderField")] = lambda rt, b, a: _conn_send(rt, b).headers.get(
+        java_str(a[0]), ""
+    )
+
+_WRITERS = ("java.io.OutputStreamWriter", "java.io.BufferedWriter",
+            "java.io.DataOutputStream", "java.io.PrintWriter")
+for _c in _WRITERS:
+    API[(_c, "<init>")] = lambda rt, b, a: Rebind(a[0])
+    for _w in ("write", "writeBytes", "print", "append"):
+        API[(_c, _w)] = lambda rt, b, a: b.body_parts.append(java_str(a[0])) if isinstance(b, RtConn) else None
+    for _noop in ("flush", "close"):
+        API[(_c, _noop)] = lambda rt, b, a: None
+API[("java.io.OutputStream", "write")] = lambda rt, b, a: (
+    b.body_parts.append(java_str(a[0])) if isinstance(b, RtConn) else None
+)
+
+
+# --------------------------------------------------------------------- sockets
+@register("java.net.Socket", "<init>")
+def socket_init(rt, base, args):
+    host = java_str(args[0]) if args else "unknown"
+    port = java_str(args[1]) if len(args) > 1 else "0"
+    conn = RtConn(f"socket://{host}:{port}")
+    conn.method = "RAW"
+    return Rebind(conn)
+
+
+API[("java.net.Socket", "getOutputStream")] = lambda rt, b, a: b
+API[("java.net.Socket", "getInputStream")] = lambda rt, b, a: RtResponse(
+    _conn_send(rt, b)
+)
+API[("java.net.Socket", "close")] = lambda rt, b, a: None
+
+
+# ---------------------------------------------------------------------- volley
+_VOLLEY_METHODS = {0: "GET", 1: "POST", 2: "PUT", 3: "DELETE"}
+
+
+@register(("com.android.volley.toolbox.StringRequest",
+           "com.android.volley.toolbox.JsonObjectRequest",
+           "com.android.volley.toolbox.JsonArrayRequest"), "<init>")
+def volley_request_init(rt, base, args):
+    method = "GET"
+    rest = list(args)
+    if rest and isinstance(rest[0], (int, float)) and not isinstance(rest[0], bool):
+        method = _VOLLEY_METHODS.get(int(rest[0]), "GET")
+        rest = rest[1:]
+    url = java_str(rest[0]) if rest else ""
+    rest = rest[1:]
+    body = None
+    listeners = [x for x in rest if isinstance(x, RtObject)]
+    payloads = [x for x in rest if isinstance(x, (dict, list))]
+    if payloads:
+        body = json.dumps(payloads[0])
+        if method == "GET":
+            method = "POST"
+    req = RtRequest(method=method, url=url, body=body,
+                    mime="application/json" if body else None)
+    if listeners:
+        req.listener = listeners[0]
+    if len(listeners) > 1:
+        req.error_listener = listeners[1]
+    return Rebind(req)
+
+
+API[("com.android.volley.toolbox.Volley", "newRequestQueue")] = lambda rt, b, a: object()
+
+
+@register("com.android.volley.RequestQueue", "add")
+def volley_add(rt, base, args):
+    req: RtRequest = args[0]
+    response = rt.send(req)
+    if req.listener is not None:
+        payload: object = response.body
+        if "json" in response.content_type:
+            payload = json.loads(response.body or "null")
+        rt.call_method(req.listener, "onResponse", [payload])
+    return req
+
+
+API[("com.android.volley.RequestQueue", "start")] = lambda rt, b, a: None
+
+
+# ---------------------------------------------------------------------- okhttp
+_OK_BUILDERS = ("okhttp3.Request$Builder", "com.squareup.okhttp.Request$Builder")
+for _c in _OK_BUILDERS:
+    API[(_c, "<init>")] = lambda rt, b, a: Rebind(RtRequest())
+    API[(_c, "url")] = lambda rt, b, a: (b.__setattr__("url", java_str(a[0])), b)[1]
+    API[(_c, "header")] = lambda rt, b, a: (
+        b.headers.__setitem__(java_str(a[0]), java_str(a[1])), b
+    )[1]
+    API[(_c, "addHeader")] = API[(_c, "header")]
+    API[(_c, "get")] = lambda rt, b, a: (b.__setattr__("method", "GET"), b)[1]
+    API[(_c, "build")] = lambda rt, b, a: b
+
+    def _ok_method(name):
+        def fn(rt, b, a):
+            b.method = name.upper()
+            if a:
+                payload = a[0]
+                if isinstance(payload, tuple):
+                    b.body, b.mime = payload
+                else:
+                    b.body = java_str(payload)
+            return b
+
+        return fn
+
+    for _m in ("post", "put", "delete", "patch"):
+        API[(_c, _m)] = _ok_method(_m)
+
+_OK_FORMS = ("okhttp3.FormBody$Builder", "com.squareup.okhttp.FormEncodingBuilder")
+for _c in _OK_FORMS:
+    API[(_c, "<init>")] = lambda rt, b, a: Rebind([])
+    API[(_c, "add")] = lambda rt, b, a: (b.append((java_str(a[0]), java_str(a[1]))), b)[1]
+    API[(_c, "build")] = lambda rt, b, a: (
+        "&".join(f"{k}={quote_plus(v)}" for k, v in b),
+        "application/x-www-form-urlencoded",
+    )
+for _c in ("okhttp3.RequestBody", "com.squareup.okhttp.RequestBody"):
+    API[(_c, "create")] = lambda rt, b, a: (
+        java_str(a[-1]),
+        a[0] if isinstance(a[0], str) else None,
+    )
+for _c in ("okhttp3.MediaType", "com.squareup.okhttp.MediaType"):
+    API[(_c, "parse")] = lambda rt, b, a: java_str(a[0])
+
+_OK_CLIENTS = ("okhttp3.OkHttpClient", "com.squareup.okhttp.OkHttpClient")
+for _c in _OK_CLIENTS:
+    API[(_c, "<init>")] = lambda rt, b, a: Rebind(object())
+    API[(_c, "newCall")] = lambda rt, b, a: a[0]
+
+_OK_CALLS = ("okhttp3.Call", "com.squareup.okhttp.Call", "retrofit2.Call")
+
+
+@register(_OK_CALLS, "execute")
+def ok_execute(rt, base, args):
+    return RtResponse(rt.send(base))
+
+
+@register(_OK_CALLS, "enqueue")
+def ok_enqueue(rt, base, args):
+    response = RtResponse(rt.send(base))
+    if args and isinstance(args[0], RtObject):
+        rt.call_method(args[0], "onResponse", [base, response])
+    return None
+
+
+for _c in ("okhttp3.Response", "com.squareup.okhttp.Response", "retrofit2.Response"):
+    API[(_c, "body")] = lambda rt, b, a: b
+    API[(_c, "code")] = lambda rt, b, a: b.response.status
+    API[(_c, "isSuccessful")] = lambda rt, b, a: b.response.status < 400
+for _c in ("okhttp3.ResponseBody", "com.squareup.okhttp.ResponseBody"):
+    API[(_c, "string")] = lambda rt, b, a: b.body
+    API[(_c, "charStream")] = lambda rt, b, a: b
+    API[(_c, "byteStream")] = lambda rt, b, a: b
+
+
+# ---------------------------------------------------------------------- android
+_CTX = ("android.app.Activity", "android.content.Context", "android.app.Service",
+        "android.app.Application")
+for _c in _CTX:
+    API[(_c, "getResources")] = lambda rt, b, a: object()
+    API[(_c, "getString")] = lambda rt, b, a: rt.resources.get_string(int(a[0]))
+    API[(_c, "getSharedPreferences")] = lambda rt, b, a: rt.prefs
+API[("android.content.res.Resources", "getString")] = lambda rt, b, a: (
+    rt.resources.get_string(int(a[0]))
+)
+API[("android.content.SharedPreferences", "getString")] = lambda rt, b, a: (
+    rt.prefs.get(java_str(a[0]), java_str(a[1]) if len(a) > 1 else "")
+)
+API[("android.content.SharedPreferences", "edit")] = lambda rt, b, a: rt.prefs
+API[("android.content.SharedPreferences$Editor", "putString")] = lambda rt, b, a: (
+    rt.prefs.__setitem__(java_str(a[0]), java_str(a[1])), rt.prefs
+)[1]
+for _n in ("apply", "commit"):
+    API[("android.content.SharedPreferences$Editor", _n)] = lambda rt, b, a: True
+
+API[("android.content.ContentValues", "<init>")] = lambda rt, b, a: Rebind({})
+API[("android.content.ContentValues", "put")] = lambda rt, b, a: b.__setitem__(
+    java_str(a[0]), a[1]
+)
+
+_DB = "android.database.sqlite.SQLiteDatabase"
+API[("android.database.sqlite.SQLiteOpenHelper", "getWritableDatabase")] = (
+    lambda rt, b, a: rt.db
+)
+API[("android.database.sqlite.SQLiteOpenHelper", "getReadableDatabase")] = (
+    lambda rt, b, a: rt.db
+)
+for _n in ("insert", "insertOrThrow", "replace", "insertWithOnConflict"):
+    API[(_DB, _n)] = lambda rt, b, a: (
+        rt.db.insert(java_str(a[0]), next((x for x in a[1:] if isinstance(x, dict)), {})),
+        1,
+    )[1]
+API[(_DB, "update")] = lambda rt, b, a: (
+    rt.db.update(java_str(a[0]), next((x for x in a[1:] if isinstance(x, dict)), {})),
+    1,
+)[1]
+
+
+@register(_DB, "rawQuery")
+def db_rawquery(rt, base, args):
+    sql = java_str(args[0])
+    m = re.match(r"select\s+(.*?)\s+from\s+(\w+)", sql, re.IGNORECASE)
+    if not m:
+        return RtCursor([], [])
+    columns = [c.strip() for c in m.group(1).split(",")]
+    table = m.group(2)
+    if columns == ["*"]:
+        return rt.db.query(table, None)
+    return rt.db.query(table, columns)
+
+
+@register(_DB, "query")
+def db_query(rt, base, args):
+    table = java_str(args[0])
+    columns = args[1] if len(args) > 1 and isinstance(args[1], list) else None
+    return rt.db.query(table, [java_str(c) for c in columns] if columns else None)
+
+
+_CUR = "android.database.Cursor"
+API[(_CUR, "moveToFirst")] = lambda rt, b, a: b.move_next()
+API[(_CUR, "moveToNext")] = lambda rt, b, a: b.move_next()
+API[(_CUR, "isAfterLast")] = lambda rt, b, a: b.idx >= len(b.rows)
+API[(_CUR, "getCount")] = lambda rt, b, a: len(b.rows)
+API[(_CUR, "getColumnIndex")] = lambda rt, b, a: b.columns.index(java_str(a[0]))
+API[(_CUR, "getString")] = lambda rt, b, a: java_str(b.get(int(a[0])))
+API[(_CUR, "getInt")] = lambda rt, b, a: int(b.get(int(a[0])))
+API[(_CUR, "close")] = lambda rt, b, a: None
+
+API[("android.media.MediaPlayer", "<init>")] = lambda rt, b, a: Rebind(object())
+
+
+@register("android.media.MediaPlayer", "setDataSource")
+def mp_set_source(rt, base, args):
+    rt.send(RtRequest(method="GET", url=java_str(args[0])))
+    return None
+
+
+for _n in ("prepare", "prepareAsync", "start", "stop", "release"):
+    API[("android.media.MediaPlayer", _n)] = lambda rt, b, a: None
+API[("android.media.AudioRecord", "read")] = lambda rt, b, a: "pcm-audio-bytes"
+
+API[("android.location.LocationManager", "getLastKnownLocation")] = (
+    lambda rt, b, a: RtLocation()
+)
+API[("android.location.Location", "getLatitude")] = lambda rt, b, a: b.lat
+API[("android.location.Location", "getLongitude")] = lambda rt, b, a: b.lon
+
+
+@register("android.location.LocationManager", "requestLocationUpdates")
+def loc_updates(rt, base, args):
+    listener = next((x for x in args if isinstance(x, RtObject)), None)
+    if listener is not None:
+        rt.call_method(listener, "onLocationChanged", [RtLocation()])
+    return None
+
+
+for _c in ("android.widget.EditText", "android.widget.TextView"):
+    API[(_c, "getText")] = lambda rt, b, a: rt.next_text_input()
+API[("android.text.Editable", "toString")] = lambda rt, b, a: java_str(b)
+API[("android.widget.Spinner", "getSelectedItem")] = lambda rt, b, a: rt.next_text_input()
+
+API[("android.content.Intent", "<init>")] = lambda rt, b, a: Rebind(RtIntent())
+API[("android.content.Intent", "putExtra")] = lambda rt, b, a: (
+    b.extras.__setitem__(java_str(a[0]), a[1]), b
+)[1]
+API[("android.content.Intent", "getStringExtra")] = lambda rt, b, a: java_str(
+    b.extras.get(java_str(a[0]), rt.intent_extra(java_str(a[0])))
+) if isinstance(b, RtIntent) else rt.intent_extra(java_str(a[0]))
+API[("android.provider.Settings$Secure", "getString")] = lambda rt, b, a: rt.android_id
+
+
+for _c in ("android.widget.TextView", "android.webkit.WebView"):
+    API[(_c, "setText")] = lambda rt, b, a: None
+    API[(_c, "loadData")] = lambda rt, b, a: None
+
+
+@register("android.webkit.WebView", "loadUrl")
+def webview_load(rt, base, args):
+    rt.send(RtRequest(method="GET", url=java_str(args[0])))
+    return None
+
+
+# ------------------------------------------------------------------------ async
+API[("android.os.Handler", "<init>")] = lambda rt, b, a: Rebind(object())
+
+
+@register("android.os.Handler", ("post", "postDelayed"))
+def handler_post(rt, base, args):
+    runnable = next((x for x in args if isinstance(x, RtObject)), None)
+    delay = next((x for x in args if isinstance(x, (int, float))), 0)
+    if runnable is not None:
+        rt.schedule(runnable, "run", delay)
+    return True
+
+
+API[("java.util.Timer", "<init>")] = lambda rt, b, a: Rebind(object())
+
+
+@register("java.util.Timer", ("schedule", "scheduleAtFixedRate"))
+def timer_schedule(rt, base, args):
+    task = next((x for x in args if isinstance(x, RtObject)), None)
+    delay = next((x for x in args if isinstance(x, (int, float))), 0)
+    if task is not None:
+        rt.schedule(task, "run", delay)
+    return None
+
+
+@register_dispatch("android.os.AsyncTask", ("execute", "executeOnExecutor"))
+def asynctask_execute(rt, base, args):
+    result = rt.call_method(base, "doInBackground", list(args))
+    rt.call_method(base, "onPostExecute", [result])
+    return base
+
+
+@register_dispatch("java.lang.Thread", "start")
+def thread_start(rt, base, args):
+    rt.call_method(base, "run", [])
+    return None
+
+
+for _c in ("java.util.concurrent.ExecutorService", "java.util.concurrent.Executor"):
+    pass  # corpus uses AsyncTask/Thread/Handler/Timer
+
+
+__all__ = ["API", "DISPATCH", "Rebind", "RtClassRef", "java_str"]

@@ -1,0 +1,251 @@
+"""Semantic models for Android platform APIs: resources, SQLite, shared
+preferences, media, location, UI inputs and intents.
+
+These are the models behind the paper's richest results:
+
+* resource strings resolve to their constant values (TED api-key, §5.2),
+* the SQLite model preserves provenance through store→query flows, which is
+  how TED's transactions #7/#8 ("thumbnail/video URI from DB") acquire
+  their response origins (Table 4),
+* ``MediaPlayer.setDataSource`` both opens a new GET transaction and marks
+  the source response as consumed by the media player,
+* intent extras return *untagged* unknowns — the flows Extractocol cannot
+  resolve (§3.4), surfacing as wildcard-only signatures.
+"""
+
+from __future__ import annotations
+
+from ..signature.lang import Const, Unknown
+from .avals import NumAV, ObjAV, RequestAV, RespRef, to_term
+from .model import Effect, SemanticModel, UNHANDLED
+
+_CONTEXTS = ("android.app.Activity", "android.content.Context",
+             "android.app.Service", "android.app.Application")
+
+
+def register(model: SemanticModel) -> None:
+    # -- resources -----------------------------------------------------------
+    @model.register(_CONTEXTS, "getResources")
+    def get_resources(ctx, site, expr, base, args):
+        return ObjAV("resources")
+
+    @model.register(("android.content.res.Resources",) + _CONTEXTS, "getString")
+    def get_string(ctx, site, expr, base, args):
+        if args and isinstance(args[0], NumAV):
+            value = ctx.resource_string(int(args[0].value))
+            if value is not None:
+                return Const(value)
+        return Unknown("str", origin="resource")
+
+    # -- shared preferences ---------------------------------------------------
+    @model.register(_CONTEXTS, "getSharedPreferences")
+    def get_prefs(ctx, site, expr, base, args):
+        return ObjAV("prefs")
+
+    @model.register("android.content.SharedPreferences", ("getString", "getInt",
+                                                           "getBoolean", "getLong"))
+    def prefs_get(ctx, site, expr, base, args):
+        key = to_term(args[0]) if args else Const("?")
+        if isinstance(key, Const):
+            stored = ctx.pref_load(key.text)
+            if stored is not None:
+                return stored
+        return Unknown("str", origin="preferences")
+
+    @model.register("android.content.SharedPreferences", "edit")
+    def prefs_edit(ctx, site, expr, base, args):
+        return ObjAV("prefs_editor")
+
+    @model.register("android.content.SharedPreferences$Editor",
+                    ("putString", "putInt", "putBoolean", "putLong"))
+    def prefs_put(ctx, site, expr, base, args):
+        if len(args) >= 2:
+            key = to_term(args[0])
+            if isinstance(key, Const):
+                ctx.pref_store(key.text, args[1])
+        return base
+
+    @model.register("android.content.SharedPreferences$Editor", ("apply", "commit"))
+    def prefs_commit(ctx, site, expr, base, args):
+        return None
+
+    # -- SQLite ---------------------------------------------------------------
+    @model.register("android.content.ContentValues", "<init>")
+    def cv_init(ctx, site, expr, base, args):
+        return Effect(result=None, new_base=ObjAV("contentvalues"))
+
+    @model.register("android.content.ContentValues", "put")
+    def cv_put(ctx, site, expr, base, args):
+        if isinstance(base, ObjAV) and len(args) >= 2:
+            key = to_term(args[0])
+            name = key.text if isinstance(key, Const) else "*"
+            return Effect(result=None, new_base=base.put(f"col:{name}", args[1]))
+        return UNHANDLED
+
+    @model.register("android.database.sqlite.SQLiteDatabase",
+                    ("insert", "insertOrThrow", "replace", "update",
+                     "insertWithOnConflict"))
+    def db_insert(ctx, site, expr, base, args):
+        table_term = to_term(args[0]) if args else Const("?")
+        table = table_term.text if isinstance(table_term, Const) else "*"
+        for arg in args[1:]:
+            if isinstance(arg, ObjAV) and arg.class_name == "contentvalues":
+                for key, value in arg.attrs:
+                    if key.startswith("col:"):
+                        ctx.db_store(table, key[len("col:"):], value)
+        return Unknown("int")
+
+    @model.register("android.database.sqlite.SQLiteDatabase", ("query", "rawQuery"))
+    def db_query(ctx, site, expr, base, args):
+        table = "*"
+        columns: tuple[str, ...] = ()
+        term = to_term(args[0]) if args else None
+        if isinstance(term, Const):
+            text = term.text
+            if expr.sig.name == "rawQuery":
+                # crude "SELECT <cols> FROM <table>" extraction
+                import re as _re
+
+                m = _re.match(r"select\s+(.*?)\s+from\s+(\w+)", text,
+                              _re.IGNORECASE)
+                if m:
+                    table = m.group(2)
+                    if m.group(1).strip() != "*":
+                        columns = tuple(
+                            c.strip() for c in m.group(1).split(",")
+                        )
+            else:
+                table = text
+        return ObjAV("cursor", (("table", table), ("columns", columns)))
+
+    @model.register("android.database.Cursor",
+                    ("getString", "getInt", "getLong", "getDouble", "getBlob"))
+    def cursor_get(ctx, site, expr, base, args):
+        if isinstance(base, ObjAV) and base.class_name == "cursor":
+            table = str(base.get("table", "*"))
+            columns = base.get("columns", ()) or ()
+            if columns and args and isinstance(args[0], NumAV):
+                idx = int(args[0].value)
+                if 0 <= idx < len(columns):
+                    return ctx.db_load(table, columns[idx])
+            if len(columns) == 1:
+                return ctx.db_load(table, columns[0])
+            return ctx.db_load(table)
+        return Unknown("any", origin="database")
+
+    @model.register("android.database.Cursor",
+                    ("moveToFirst", "moveToNext", "isAfterLast", "close",
+                     "getColumnIndex", "getCount"))
+    def cursor_misc(ctx, site, expr, base, args):
+        name = expr.sig.name
+        if name in ("moveToFirst", "moveToNext", "isAfterLast"):
+            return Unknown("bool")
+        if name in ("getColumnIndex", "getCount"):
+            return Unknown("int")
+        return None
+
+    @model.register("android.database.sqlite.SQLiteOpenHelper",
+                    ("getWritableDatabase", "getReadableDatabase"))
+    def db_open(ctx, site, expr, base, args):
+        return ObjAV("sqlitedb")
+
+    # -- media --------------------------------------------------------------------
+    @model.register("android.media.MediaPlayer", "<init>")
+    def mp_init(ctx, site, expr, base, args):
+        return Effect(result=None, new_base=ObjAV("mediaplayer"))
+
+    @model.register("android.media.MediaPlayer", "setDataSource")
+    def mp_set_source(ctx, site, expr, base, args):
+        """A URL handed to the media player is itself an HTTP GET whose
+        response streams into the player (paper Fig. 1, Tables 3-4)."""
+        uri = to_term(args[0]) if args else Unknown("url")
+        ctx.record_consumer(uri, "media_player")
+        request = RequestAV(methods=frozenset({"GET"}), uri=uri)
+        ctx.record_transaction(site, request, response_kind="binary",
+                               consumer="media_player")
+        return None
+
+    @model.register("android.media.MediaPlayer",
+                    ("prepare", "prepareAsync", "start", "stop", "release"))
+    def mp_misc(ctx, site, expr, base, args):
+        return None
+
+    @model.register("android.media.AudioRecord", "read")
+    def audio_read(ctx, site, expr, base, args):
+        return Unknown("any", origin="microphone")
+
+    @model.register("android.hardware.Camera", "takePicture")
+    def camera(ctx, site, expr, base, args):
+        return Unknown("any", origin="camera")
+
+    # -- location --------------------------------------------------------------
+    @model.register("android.location.LocationManager", "getLastKnownLocation")
+    def last_location(ctx, site, expr, base, args):
+        return ObjAV("location")
+
+    @model.register("android.location.Location",
+                    ("getLatitude", "getLongitude", "getAccuracy"))
+    def location_get(ctx, site, expr, base, args):
+        return Unknown("float", origin="location")
+
+    # -- UI inputs -----------------------------------------------------------------
+    @model.register(("android.widget.EditText", "android.widget.TextView"), "getText")
+    def get_text(ctx, site, expr, base, args):
+        return Unknown("str", origin="user_input")
+
+    @model.register("android.text.Editable", "toString")
+    def editable_tostring(ctx, site, expr, base, args):
+        return to_term(base)
+
+    @model.register(("android.widget.Spinner", "android.widget.AdapterView"),
+                    "getSelectedItem")
+    def selected_item(ctx, site, expr, base, args):
+        return Unknown("str", origin="user_input")
+
+    @model.register(("android.widget.TextView", "android.webkit.WebView"),
+                    ("setText", "loadData"))
+    def ui_consume(ctx, site, expr, base, args):
+        """Rendering a response body in the UI marks it consumed: the body
+        is processed as text even without structured parsing."""
+        for arg in args:
+            if isinstance(arg, RespRef):
+                ctx.record_access(arg, "str")
+                ctx.record_consumer(arg, "ui")
+                ctx.mark_response_kind(arg, "text")
+            else:
+                term = to_term(arg)
+                ctx.record_consumer(term, "ui")
+        return None
+
+    # -- intents (unmodeled flows — the paper's stated limitation §3.4) -----------
+    @model.register("android.content.Intent",
+                    ("getStringExtra", "getIntExtra", "getExtras", "getData"))
+    def intent_get(ctx, site, expr, base, args):
+        return Unknown("str", origin="intent")
+
+    @model.register("android.content.Intent", ("<init>", "putExtra", "setAction"))
+    def intent_misc(ctx, site, expr, base, args):
+        if expr.sig.name == "<init>":
+            return Effect(result=None, new_base=ObjAV("intent"))
+        return base
+
+    # -- device identity ---------------------------------------------------------
+    @model.register("android.provider.Settings$Secure", "getString")
+    def android_id(ctx, site, expr, base, args):
+        return Unknown("str", origin="device")
+
+    @model.register("android.os.Build", ())
+    def build_noop(ctx, site, expr, base, args):  # pragma: no cover
+        return UNHANDLED
+
+    @model.register("android.webkit.WebView", "loadUrl")
+    def webview_load(ctx, site, expr, base, args):
+        uri = to_term(args[0]) if args else Unknown("url")
+        request = RequestAV(methods=frozenset({"GET"}), uri=uri)
+        ctx.record_consumer(uri, "webview")
+        ctx.record_transaction(site, request, response_kind="binary",
+                               consumer="webview")
+        return None
+
+
+__all__ = ["register"]

@@ -1,0 +1,280 @@
+"""Implicit call flows through thread/async libraries (paper §3.4).
+
+"Network programming in Android often involves using thread libraries such
+as AsyncTask, which introduce implicit call flows...  we add support for
+many popular implicit callbacks commonly observed in network operation and
+HTTP libraries, such as AsyncTask, volley, and retrofit."
+
+Two consumers:
+
+* the **signature interpreter** uses the dispatch handlers registered here
+  to evaluate ``task.execute(args)`` as ``doInBackground(args)`` followed by
+  ``onPostExecute(result)`` (and Thread/Runnable/Timer equivalents);
+* the **taint engine** uses :func:`discover_callbacks` to obtain the same
+  knowledge statically: implicit call-graph edges, linked returns and the
+  set of framework-invoked callback methods.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cfg.callgraph import CallGraph
+from ..ir.program import Program
+from ..ir.statements import StmtRef
+from ..ir.values import InvokeExpr, Local
+from .avals import AppObjAV
+from .model import SemanticModel, UNHANDLED
+
+#: (library base class, trigger method) → (callback method, passes args?)
+_DISPATCH_RULES: dict[tuple[str, str], tuple[str, bool]] = {
+    ("android.os.AsyncTask", "execute"): ("doInBackground", True),
+    ("android.os.AsyncTask", "executeOnExecutor"): ("doInBackground", True),
+    ("java.lang.Thread", "start"): ("run", False),
+    ("java.util.TimerTask", "run"): ("run", True),
+    ("java.util.concurrent.FutureTask", "run"): ("run", False),
+    ("java.util.concurrent.Callable", "call"): ("call", False),
+}
+
+#: Methods the framework itself invokes; used as keep-names and as async
+#: event boundaries.
+ASYNC_CALLBACKS = frozenset(
+    {"doInBackground", "onPostExecute", "onPreExecute", "onProgressUpdate",
+     "run", "call", "onLocationChanged", "onReceive", "onResponse",
+     "onErrorResponse", "onFailure", "onSuccess"}
+)
+
+
+def register(model: SemanticModel) -> None:
+    @model.register_dispatch(("android.os.AsyncTask",), ("execute", "executeOnExecutor"))
+    def asynctask_execute(ctx, site, expr, base, args):
+        if not isinstance(base, AppObjAV):
+            return UNHANDLED
+        cls = sorted(base.classes)[0]
+        result = ctx.call_app_method(cls, "doInBackground", list(args), this=base)
+        ctx.call_app_method(cls, "onPostExecute", [result], this=base)
+        return base
+
+    @model.register_dispatch(("java.lang.Thread", "java.util.concurrent.FutureTask"),
+                             "start")
+    def thread_start(ctx, site, expr, base, args):
+        if not isinstance(base, AppObjAV):
+            return UNHANDLED
+        cls = sorted(base.classes)[0]
+        ctx.call_app_method(cls, "run", [])
+        return None
+
+    @model.register(("android.os.Handler",), ("post", "postDelayed"))
+    def handler_post(ctx, site, expr, base, args):
+        runnable = next((a for a in args if isinstance(a, AppObjAV)), None)
+        if runnable is not None:
+            ctx.call_app_method(sorted(runnable.classes)[0], "run", [])
+        return None
+
+    @model.register(("android.os.Handler",), "<init>")
+    def handler_init(ctx, site, expr, base, args):
+        from .model import Effect
+
+        return Effect(result=None)
+
+    @model.register(("java.util.Timer",), ("schedule", "scheduleAtFixedRate"))
+    def timer_schedule(ctx, site, expr, base, args):
+        task = next((a for a in args if isinstance(a, AppObjAV)), None)
+        if task is not None:
+            ctx.call_app_method(sorted(task.classes)[0], "run", [])
+        return None
+
+    @model.register(("java.util.Timer",), "<init>")
+    def timer_init(ctx, site, expr, base, args):
+        from .model import Effect
+
+        return Effect(result=None)
+
+    @model.register(("java.util.concurrent.ExecutorService",
+                     "java.util.concurrent.Executor"), ("submit", "execute"))
+    def executor_submit(ctx, site, expr, base, args):
+        task = next((a for a in args if isinstance(a, AppObjAV)), None)
+        if task is not None:
+            cls = sorted(task.classes)[0]
+            ctx.call_app_method(cls, "run", [])
+            ctx.call_app_method(cls, "call", [])
+        return None
+
+    @model.register("android.location.LocationManager", "requestLocationUpdates")
+    def location_updates(ctx, site, expr, base, args):
+        """Registers a LocationListener; the framework later calls
+        onLocationChanged(Location) — evaluated here with a fresh location
+        object so the implicit data flow is captured (§3.4's weather app)."""
+        from .avals import ObjAV
+
+        listener = next((a for a in args if isinstance(a, AppObjAV)), None)
+        if listener is not None:
+            ctx.call_app_method(
+                sorted(listener.classes)[0], "onLocationChanged", [ObjAV("location")]
+            )
+        return None
+
+
+@dataclass
+class CallbackInfo:
+    """Statically discovered implicit-flow knowledge for the taint engine."""
+
+    #: (site, target method id, reason, positional arg mapping?)
+    implicit_edges: list[tuple[StmtRef, str, str]] = field(default_factory=list)
+    #: producer method id -> [(consumer method id, param index)]
+    linked_returns: dict[str, list[tuple[str, int]]] = field(default_factory=dict)
+    #: framework-invoked methods found in the program
+    callback_methods: set[str] = field(default_factory=set)
+    #: callbacks that start a NEW asynchronous event (Handler posts, timers,
+    #: location updates) — heap flows in/out of these cost an async hop
+    boundary_methods: set[str] = field(default_factory=set)
+
+
+def discover_callbacks(program: Program, callgraph: CallGraph) -> CallbackInfo:
+    """Find AsyncTask/Thread/Timer implicit control transfers and register
+    them on the call graph (EdgeMiner-style, §3.4)."""
+    info = CallbackInfo()
+    for ref, expr in list(callgraph.library_sites.items()):
+        base = expr.base
+        if not isinstance(base, Local):
+            continue
+        receiver = base.type.name
+        if not program.has_class(receiver):
+            continue
+        ancestors = program.library_ancestors(receiver)
+        for (lib_cls, trigger), (callback, _passes) in _DISPATCH_RULES.items():
+            if lib_cls not in ancestors or expr.sig.name != trigger:
+                continue
+            cls = program.class_of(receiver)
+            target = None
+            for cname in program.superclasses(receiver):
+                c = program.class_of(cname)
+                if c is None:
+                    break
+                found = c.find_methods(callback)
+                if found:
+                    target = found[0]
+                    break
+            if target is None:
+                continue
+            callgraph.add_implicit_edge(ref, target.method_id, f"{lib_cls}.{trigger}")
+            info.implicit_edges.append((ref, target.method_id, f"{lib_cls}.{trigger}"))
+            info.callback_methods.add(target.method_id)
+            if callback == "doInBackground":
+                post = None
+                for cname in program.superclasses(receiver):
+                    c = program.class_of(cname)
+                    if c is None:
+                        break
+                    found = c.find_methods("onPostExecute")
+                    if found:
+                        post = found[0]
+                        break
+                if post is not None:
+                    info.linked_returns.setdefault(target.method_id, []).append(
+                        (post.method_id, 0)
+                    )
+                    info.callback_methods.add(post.method_id)
+    # Runnables handed to Handlers / Timers / executors: the callback runs
+    # as a separate framework event (the async-event boundary of §3.4).
+    _POSTERS = {
+        ("android.os.Handler", "post"),
+        ("android.os.Handler", "postDelayed"),
+        ("java.util.Timer", "schedule"),
+        ("java.util.Timer", "scheduleAtFixedRate"),
+        ("java.util.concurrent.ExecutorService", "submit"),
+        ("java.util.concurrent.Executor", "execute"),
+    }
+    for ref, expr in list(callgraph.library_sites.items()):
+        receiver = expr.sig.class_name
+        if isinstance(expr.base, Local):
+            receiver = expr.base.type.name
+        if (receiver, expr.sig.name) not in _POSTERS:
+            continue
+        for arg in expr.args:
+            if not isinstance(arg, Local) or not program.has_class(arg.type.name):
+                continue
+            for cb_name in ("run", "call"):
+                for cname in program.superclasses(arg.type.name):
+                    cls = program.class_of(cname)
+                    if cls is None:
+                        break
+                    found = [m for m in cls.find_methods(cb_name) if m.body is not None]
+                    if found:
+                        target = found[0]
+                        callgraph.add_implicit_edge(
+                            ref, target.method_id, f"{receiver}.{expr.sig.name}"
+                        )
+                        info.implicit_edges.append(
+                            (ref, target.method_id, f"{receiver}.{expr.sig.name}")
+                        )
+                        info.callback_methods.add(target.method_id)
+                        info.boundary_methods.add(target.method_id)
+                        break
+    # Location-service callbacks likewise run as their own events.
+    for method in program.methods():
+        if method.name == "onLocationChanged" and method.body is not None:
+            info.callback_methods.add(method.method_id)
+            info.boundary_methods.add(method.method_id)
+    # Any override of a known framework callback name counts as a callback
+    # method even without a discovered trigger site (listener interfaces).
+    for method in program.methods():
+        if method.name in ASYNC_CALLBACKS and method.body is not None:
+            cls = program.class_of(method.class_name)
+            if cls is not None and program.library_ancestors(method.class_name):
+                info.callback_methods.add(method.method_id)
+    return info
+
+
+def compute_event_roots(
+    program: Program,
+    callgraph: CallGraph,
+    entrypoint_ids: list[str],
+    boundary_methods: frozenset[str] | set[str] = frozenset(),
+) -> dict[str, frozenset[str]]:
+    """Map each method to the set of *events* that may run it.
+
+    Events are the framework entry points plus every async boundary
+    callback (posted runnables, timer tasks, location listeners).
+    Reachability stops at boundary callbacks — those start their own event
+    — so a heap flow between methods with disjoint root sets crosses an
+    asynchronous event boundary (taint-engine hop accounting, §3.4).
+    AsyncTask/Thread bodies inherit the triggering event's root: their data
+    flow is handled by the implicit-call-flow support, not the heuristic.
+    """
+    boundary = set(boundary_methods)
+
+    def reach(start: str) -> set[str]:
+        seen: set[str] = set()
+        stack = [start]
+        while stack:
+            mid = stack.pop()
+            if mid in seen:
+                continue
+            seen.add(mid)
+            for site in callgraph.sites_in(mid):
+                for callee in callgraph.callees_of(site.ref):
+                    if callee in boundary:
+                        continue  # a new event starts there
+                    stack.append(callee)
+        return seen
+
+    roots: dict[str, set[str]] = {}
+    all_roots = [ep for ep in entrypoint_ids] + sorted(boundary)
+    for root in all_roots:
+        try:
+            program.method_by_id(root)
+        except KeyError:
+            continue
+        for mid in reach(root):
+            roots.setdefault(mid, set()).add(root)
+    return {mid: frozenset(r) for mid, r in roots.items()}
+
+
+__all__ = [
+    "ASYNC_CALLBACKS",
+    "CallbackInfo",
+    "compute_event_roots",
+    "discover_callbacks",
+    "register",
+]

@@ -1,0 +1,130 @@
+"""Semantic models for basic containers (List, Map, arrays) — §4's
+"generic data types, including List, Array, and HashMap"."""
+
+from __future__ import annotations
+
+from ..signature.lang import Unknown, alt
+from .avals import NumAV, ObjAV, to_term
+from .model import Effect, SemanticModel, UNHANDLED
+
+_LISTS = (
+    "java.util.ArrayList",
+    "java.util.LinkedList",
+    "java.util.List",
+    "java.util.Vector",
+)
+_MAPS = ("java.util.HashMap", "java.util.Map", "java.util.LinkedHashMap",
+         "java.util.TreeMap", "java.util.Hashtable")
+
+
+def _items(obj) -> tuple:
+    if isinstance(obj, ObjAV):
+        return obj.get("items", ()) or ()
+    return ()
+
+
+def register(model: SemanticModel) -> None:
+    @model.register(_LISTS, "<init>")
+    def list_init(ctx, site, expr, base, args):
+        return Effect(result=None, new_base=ObjAV("list", (("items", ()),)))
+
+    @model.register(_LISTS, "add")
+    def list_add(ctx, site, expr, base, args):
+        items = _items(base)
+        value = args[-1] if args else None  # add(e) or add(i, e)
+        new = ObjAV("list", (("items", items + (value,)),))
+        return Effect(result=NumAV(1), new_base=new)
+
+    @model.register(_LISTS, "get")
+    def list_get(ctx, site, expr, base, args):
+        items = _items(base)
+        if not items:
+            return Unknown("any")
+        if len(args) == 1 and isinstance(args[0], NumAV):
+            idx = int(args[0].value)
+            if 0 <= idx < len(items):
+                return items[idx]
+        if len(items) == 1:
+            return items[0]
+        return alt(*[to_term(i) for i in items])
+
+    @model.register(_LISTS, ("size", "indexOf"))
+    def list_size(ctx, site, expr, base, args):
+        items = _items(base)
+        if isinstance(base, ObjAV) and base.get("items") is not None:
+            return NumAV(len(items))
+        return Unknown("int")
+
+    @model.register(_LISTS, ("contains", "isEmpty", "remove"))
+    def list_preds(ctx, site, expr, base, args):
+        return Unknown("bool")
+
+    @model.register(_LISTS, "iterator")
+    def list_iter(ctx, site, expr, base, args):
+        return ObjAV("iterator", (("items", _items(base)), ("source", base)))
+
+    @model.register("java.util.Iterator", "hasNext")
+    def iter_hasnext(ctx, site, expr, base, args):
+        return Unknown("bool")
+
+    @model.register("java.util.Iterator", "next")
+    def iter_next(ctx, site, expr, base, args):
+        items = _items(base)
+        if not items:
+            return Unknown("any")
+        if len(items) == 1:
+            return items[0]
+        return alt(*[to_term(i) for i in items])
+
+    @model.register(_MAPS, "<init>")
+    def map_init(ctx, site, expr, base, args):
+        return Effect(result=None, new_base=ObjAV("map", ()))
+
+    @model.register(_MAPS, "put")
+    def map_put(ctx, site, expr, base, args):
+        if not isinstance(base, ObjAV) or len(args) < 2:
+            return UNHANDLED
+        key = to_term(args[0])
+        from ..signature.lang import Const
+
+        key_name = key.text if isinstance(key, Const) else f"?{len(base.attrs)}"
+        return Effect(result=None, new_base=base.put(f"entry:{key_name}", args[1]))
+
+    @model.register(_MAPS, "get")
+    def map_get(ctx, site, expr, base, args):
+        from ..signature.lang import Const
+
+        if isinstance(base, ObjAV) and args:
+            key = to_term(args[0])
+            if isinstance(key, Const):
+                found = base.get(f"entry:{key.text}")
+                if found is not None:
+                    return found
+        return Unknown("any")
+
+    @model.register(_MAPS, ("containsKey", "isEmpty"))
+    def map_preds(ctx, site, expr, base, args):
+        return Unknown("bool")
+
+    @model.register(_MAPS, "size")
+    def map_size(ctx, site, expr, base, args):
+        return Unknown("int")
+
+
+def map_entries(obj) -> list[tuple[str, object]]:
+    """Extract (key, value) pairs accumulated in a map ObjAV — used by the
+    HTTP models for form/query encoding."""
+    if not isinstance(obj, ObjAV) or obj.class_name != "map":
+        return []
+    out = []
+    for name, value in obj.attrs:
+        if name.startswith("entry:"):
+            out.append((name[len("entry:"):], value))
+    return out
+
+
+def list_items(obj) -> tuple:
+    return _items(obj)
+
+
+__all__ = ["list_items", "map_entries", "register"]

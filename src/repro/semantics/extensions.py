@@ -1,0 +1,173 @@
+"""Optional extensions the paper sketches but does not implement (§4):
+
+* **Intent modeling** — "Intents can be also handled by modeling the
+  implicit control flow it introduces, similar to how we handle threads."
+  With :attr:`~repro.core.config.AnalysisConfig.model_intents` enabled,
+  ``Intent`` extras become a modeled store and ``startActivity`` dispatches
+  into the target component, so intra-app intent messaging no longer
+  degrades request signatures to wildcards.  (Cross-app intents — the ad
+  libraries of §5.1 — remain unresolvable, as they must.)
+
+* **Direct socket support** — "Direct use of socket can be handled by
+  modeling socket APIs because Extractocol already parses text-based
+  protocols."  With ``model_sockets`` enabled, ``java.net.Socket`` streams
+  become demarcation points: bytes written to the output stream form the
+  request signature, reads seed the response slice.
+"""
+
+from __future__ import annotations
+
+from ..signature.lang import Const, Unknown, concat
+from .avals import AppObjAV, ObjAV, to_term
+from .model import Effect, SemanticModel, UNHANDLED, default_model
+
+_CONTEXTS = ("android.app.Activity", "android.content.Context",
+             "android.app.Service", "android.app.Application")
+
+
+# ---------------------------------------------------------------- intents
+def register_intent_models(model: SemanticModel) -> None:
+    """Override the default (unmodeled) intent semantics with a store."""
+
+    @model.register("android.content.Intent", "<init>")
+    def intent_init(ctx, site, expr, base, args):
+        target = None
+        for arg in args:
+            if isinstance(arg, ObjAV) and arg.class_name == "class":
+                target = arg.get("name")
+        return Effect(result=None,
+                      new_base=ObjAV("intent", (("target", target),)))
+
+    @model.register("android.content.Intent", ("setClass", "setClassName"))
+    def intent_set_class(ctx, site, expr, base, args):
+        if isinstance(base, ObjAV):
+            for arg in args:
+                if isinstance(arg, ObjAV) and arg.class_name == "class":
+                    new = base.put("target", arg.get("name"))
+                    return Effect(result=new, new_base=new)
+        return UNHANDLED
+
+    @model.register("android.content.Intent", "putExtra")
+    def intent_put_extra(ctx, site, expr, base, args):
+        if isinstance(base, ObjAV) and len(args) >= 2:
+            key = to_term(args[0])
+            name = key.text if isinstance(key, Const) else "*"
+            new = base.put(f"extra:{name}", args[1])
+            return Effect(result=new, new_base=new)
+        return UNHANDLED
+
+    @model.register("android.content.Intent",
+                    ("getStringExtra", "getIntExtra"))
+    def intent_get_extra(ctx, site, expr, base, args):
+        if isinstance(base, ObjAV) and args:
+            key = to_term(args[0])
+            if isinstance(key, Const):
+                found = base.get(f"extra:{key.text}")
+                if found is not None:
+                    return found
+        return Unknown("str", origin="intent")
+
+    @model.register(_CONTEXTS, ("startActivity", "startService", "sendBroadcast"))
+    def start_component(ctx, site, expr, base, args):
+        """The framework delivers the intent to the target component; model
+        the implicit control transfer by evaluating its intent handler."""
+        intent = next(
+            (a for a in args if isinstance(a, ObjAV) and a.class_name == "intent"),
+            None,
+        )
+        if intent is None:
+            return None
+        target = intent.get("target")
+        if not target:
+            return None
+        for handler in ("onNewIntent", "onHandleIntent", "onReceiveIntent"):
+            ctx.call_app_method(str(target), handler, [intent])
+        return None
+
+
+# ---------------------------------------------------------------- sockets
+def register_socket_models(model: SemanticModel) -> None:
+    @model.register("java.net.Socket", "<init>")
+    def socket_init(ctx, site, expr, base, args):
+        host = to_term(args[0]) if args else Unknown("str")
+        port = to_term(args[1]) if len(args) > 1 else Unknown("int")
+        url = concat(Const("socket://"), host, Const(":"), port)
+        conn_id = ctx.conn_new(url)
+        conn = ctx.conn_of(conn_id)
+        conn.method = "RAW"
+        return Effect(result=None,
+                      new_base=ObjAV("socket", (("conn_id", conn_id),)))
+
+    @model.register("java.net.Socket", "getOutputStream")
+    def socket_out(ctx, site, expr, base, args):
+        if isinstance(base, ObjAV) and base.class_name == "socket":
+            # reuse the connection writer models (§4's text-protocol parsing)
+            return ObjAV("outstream", (("conn_id", base.get("conn_id")),))
+        return UNHANDLED
+
+    @model.register("java.net.Socket", "getInputStream")
+    def socket_in(ctx, site, expr, base, args):
+        if isinstance(base, ObjAV) and base.class_name == "socket":
+            conn = ctx.conn_of(base.get("conn_id"))
+            return conn.finalize(ctx, site)
+        return UNHANDLED
+
+    @model.register("java.net.Socket", "close")
+    def socket_close(ctx, site, expr, base, args):
+        return None
+
+
+def discover_intent_edges(program, callgraph) -> int:
+    """Register implicit call-graph edges for intra-app intent dispatch
+    (``startActivity(intent)`` → target component's intent handler), the
+    intent analogue of the thread-callback discovery in
+    :mod:`repro.semantics.async_model`.  Returns the edge count."""
+    from ..ir.values import ClassConst, InvokeExpr, Local
+
+    added = 0
+    for ref, expr in list(callgraph.library_sites.items()):
+        if expr.sig.name not in ("startActivity", "startService",
+                                 "sendBroadcast"):
+            continue
+        method = program.method_by_id(ref.method_id)
+        assert method.body is not None
+        # method-level approximation: any Intent construction/setClass in
+        # the same method names the candidate targets
+        targets: set[str] = set()
+        for stmt in method.body:
+            call = stmt.invoke
+            if call is None:
+                continue
+            if call.sig.class_name == "android.content.Intent" and call.sig.name in (
+                "<init>", "setClass", "setClassName"
+            ):
+                for arg in call.args:
+                    if isinstance(arg, ClassConst):
+                        targets.add(arg.class_name)
+        for target in sorted(targets):
+            cls = program.class_of(target)
+            if cls is None:
+                continue
+            for handler in ("onNewIntent", "onHandleIntent", "onReceiveIntent"):
+                for m in cls.find_methods(handler):
+                    if m.body is not None:
+                        callgraph.add_implicit_edge(ref, m.method_id, "intent")
+                        added += 1
+    return added
+
+
+def build_model(*, model_intents: bool = False,
+                model_sockets: bool = False) -> SemanticModel:
+    """The default semantic model plus any enabled extensions."""
+    if not (model_intents or model_sockets):
+        return default_model()
+    model = SemanticModel()
+    model.merge(default_model())
+    if model_intents:
+        register_intent_models(model)
+    if model_sockets:
+        register_socket_models(model)
+    return model
+
+
+__all__ = ["build_model", "register_intent_models", "register_socket_models"]

@@ -1,0 +1,175 @@
+"""Semantic models for OkHttp (v3 and legacy com.squareup.okhttp) and the
+Retrofit-on-OkHttp surface."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..signature.lang import Const, Term, Unknown, concat
+from .avals import AppObjAV, ObjAV, RequestAV, RespRef, to_term
+from .model import Effect, SemanticModel, UNHANDLED
+
+_BUILDERS = ("okhttp3.Request$Builder", "com.squareup.okhttp.Request$Builder")
+_CLIENTS = ("okhttp3.OkHttpClient", "com.squareup.okhttp.OkHttpClient")
+_CALLS = ("okhttp3.Call", "com.squareup.okhttp.Call", "retrofit2.Call")
+_FORM_BUILDERS = ("okhttp3.FormBody$Builder", "com.squareup.okhttp.FormEncodingBuilder")
+
+
+def register(model: SemanticModel) -> None:
+    @model.register(_BUILDERS, "<init>")
+    def builder_init(ctx, site, expr, base, args):
+        return Effect(result=None, new_base=RequestAV(uri=Unknown("url")))
+
+    @model.register(_BUILDERS, "url")
+    def builder_url(ctx, site, expr, base, args):
+        if isinstance(base, RequestAV):
+            new = replace(base, uri=to_term(args[0]))
+            return Effect(result=new, new_base=new)
+        return UNHANDLED
+
+    @model.register(_BUILDERS, ("header", "addHeader"))
+    def builder_header(ctx, site, expr, base, args):
+        if isinstance(base, RequestAV) and len(args) >= 2:
+            name = to_term(args[0])
+            key = name.text if isinstance(name, Const) else "*"
+            new = base.with_header(key, to_term(args[1]))
+            return Effect(result=new, new_base=new)
+        return UNHANDLED
+
+    @model.register(_BUILDERS, ("post", "put", "delete", "patch"))
+    def builder_method(ctx, site, expr, base, args):
+        if isinstance(base, RequestAV):
+            method = expr.sig.name.upper()
+            body = None
+            mime = None
+            origins = frozenset()
+            if args and isinstance(args[0], ObjAV) and args[0].class_name == "body":
+                body = to_term(args[0].get("value", Unknown("str")))
+                mime = args[0].get("mime")
+                origins = args[0].get("origins", frozenset()) or frozenset()
+            elif args:
+                body = to_term(args[0])
+            new = replace(
+                base,
+                methods=frozenset({method}),
+                body=body,
+                mime=mime,
+                body_origins=origins,
+            )
+            return Effect(result=new, new_base=new)
+        return UNHANDLED
+
+    @model.register(_BUILDERS, "get")
+    def builder_get(ctx, site, expr, base, args):
+        if isinstance(base, RequestAV):
+            new = replace(base, methods=frozenset({"GET"}))
+            return Effect(result=new, new_base=new)
+        return UNHANDLED
+
+    @model.register(_BUILDERS, "build")
+    def builder_build(ctx, site, expr, base, args):
+        if isinstance(base, RequestAV):
+            return base
+        return UNHANDLED
+
+    # -- bodies ------------------------------------------------------------
+    @model.register(_FORM_BUILDERS, "<init>")
+    def form_init(ctx, site, expr, base, args):
+        return Effect(
+            result=None,
+            new_base=ObjAV(
+                "body",
+                (("value", Const("")), ("mime", "application/x-www-form-urlencoded")),
+            ),
+        )
+
+    @model.register(_FORM_BUILDERS, "add")
+    def form_add(ctx, site, expr, base, args):
+        if isinstance(base, ObjAV) and len(args) >= 2:
+            prev = base.get("value", Const(""))
+            prev_term = to_term(prev)
+            sep = Const("&") if not (isinstance(prev_term, Const) and not prev_term.text) else Const("")
+            new_value = concat(prev_term, sep, to_term(args[0]), Const("="), to_term(args[1]))
+            new = base.put("value", new_value)
+            return Effect(result=new, new_base=new)
+        return UNHANDLED
+
+    @model.register(_FORM_BUILDERS, "build")
+    def form_build(ctx, site, expr, base, args):
+        return base
+
+    @model.register(("okhttp3.RequestBody", "com.squareup.okhttp.RequestBody"), "create")
+    def body_create(ctx, site, expr, base, args):
+        mime = None
+        value: Term = Unknown("str")
+        origins: frozenset = frozenset()
+        for arg in args:
+            if isinstance(arg, ObjAV) and arg.class_name == "mediatype":
+                mime = arg.get("value")
+            else:
+                value = to_term(arg)
+                if isinstance(value, Unknown) and value.origin:
+                    origins = frozenset({value.origin})
+        return ObjAV("body", (("value", value), ("mime", mime), ("origins", origins)))
+
+    @model.register(("okhttp3.MediaType", "com.squareup.okhttp.MediaType"), "parse")
+    def mediatype(ctx, site, expr, base, args):
+        mime = to_term(args[0]) if args else None
+        return ObjAV(
+            "mediatype",
+            (("value", mime.text if isinstance(mime, Const) else None),),
+        )
+
+    # -- client / call ------------------------------------------------------
+    @model.register(_CLIENTS, "<init>")
+    def client_init(ctx, site, expr, base, args):
+        return Effect(result=None, new_base=ObjAV("okclient"))
+
+    @model.register(_CLIENTS, "newCall")
+    def new_call(ctx, site, expr, base, args):
+        request = args[0] if args else None
+        if not isinstance(request, RequestAV):
+            request = RequestAV(uri=Unknown("url"))
+        return ObjAV("okcall", (("request", request),))
+
+    @model.register(_CALLS, "execute")
+    def call_execute(ctx, site, expr, base, args):
+        request = base.get("request") if isinstance(base, ObjAV) else None
+        if not isinstance(request, RequestAV):
+            request = RequestAV(uri=Unknown("url"))
+        return ctx.record_transaction(site, request)
+
+    @model.register(_CALLS, "enqueue")
+    def call_enqueue(ctx, site, expr, base, args):
+        request = base.get("request") if isinstance(base, ObjAV) else None
+        if not isinstance(request, RequestAV):
+            request = RequestAV(uri=Unknown("url"))
+        resp = ctx.record_transaction(site, request)
+        listener = next((a for a in args if isinstance(a, AppObjAV)), None)
+        if listener is not None and resp is not None:
+            cls = sorted(listener.classes)[0]
+            ctx.call_app_method(cls, "onResponse", [base, resp])
+        return None
+
+    # -- response ------------------------------------------------------------
+    @model.register(("okhttp3.Response", "com.squareup.okhttp.Response",
+                     "retrofit2.Response"), ("body", "peekBody"))
+    def response_body(ctx, site, expr, base, args):
+        if isinstance(base, RespRef):
+            return base
+        return UNHANDLED
+
+    @model.register(("okhttp3.Response", "com.squareup.okhttp.Response",
+                     "retrofit2.Response"), ("code", "isSuccessful"))
+    def response_code(ctx, site, expr, base, args):
+        return Unknown("int" if expr.sig.name == "code" else "bool")
+
+    @model.register(("okhttp3.ResponseBody", "com.squareup.okhttp.ResponseBody"),
+                    ("string", "charStream", "byteStream", "bytes"))
+    def responsebody_string(ctx, site, expr, base, args):
+        if isinstance(base, RespRef):
+            return base
+        return UNHANDLED
+
+
+__all__ = ["register"]

@@ -1,0 +1,143 @@
+"""Semantic models for ``java.net.URL`` / ``HttpURLConnection``.
+
+Connection-style APIs assemble the request across several calls
+(``setRequestMethod``, ``setRequestProperty``, output-stream writes), so
+the model keeps a mutable *connection record* in the interpreter context,
+finalised into a transaction when the response is first pulled
+(``getInputStream``/``getResponseCode``) or at context teardown for
+fire-and-forget sends.
+"""
+
+from __future__ import annotations
+
+from ..signature.lang import Const, Unknown, concat
+from .avals import ObjAV, RespRef, to_term
+from .model import Effect, SemanticModel, UNHANDLED
+
+_CONNS = ("java.net.HttpURLConnection", "java.net.URLConnection",
+          "javax.net.ssl.HttpsURLConnection")
+
+
+def _conn_id(base) -> int | None:
+    if isinstance(base, ObjAV) and base.class_name in ("urlconn", "outstream", "writer"):
+        return base.get("conn_id")
+    return None
+
+
+def register(model: SemanticModel) -> None:
+    @model.register("java.net.URL", "<init>")
+    def url_init(ctx, site, expr, base, args):
+        parts = [to_term(a) for a in args]
+        # URL(String) or URL(base, spec)
+        term = concat(*parts) if parts else Unknown("url")
+        return Effect(result=None, new_base=ObjAV("url", (("value", term),)))
+
+    @model.register("java.net.URL", "toString")
+    def url_tostring(ctx, site, expr, base, args):
+        return to_term(base)
+
+    @model.register("java.net.URL", "openConnection")
+    def open_connection(ctx, site, expr, base, args):
+        conn_id = ctx.conn_new(to_term(base))
+        return ObjAV("urlconn", (("conn_id", conn_id),))
+
+    @model.register("java.net.URL", "openStream")
+    def open_stream(ctx, site, expr, base, args):
+        conn_id = ctx.conn_new(to_term(base))
+        conn = ctx.conn_of(conn_id)
+        return conn.finalize(ctx, site)
+
+    @model.register(_CONNS, "setRequestMethod")
+    def set_method(ctx, site, expr, base, args):
+        cid = _conn_id(base)
+        if cid is None:
+            return UNHANDLED
+        method = to_term(args[0])
+        if isinstance(method, Const):
+            ctx.conn_of(cid).method = method.text
+        return None
+
+    @model.register(_CONNS, ("setRequestProperty", "addRequestProperty"))
+    def set_property(ctx, site, expr, base, args):
+        cid = _conn_id(base)
+        if cid is None or len(args) < 2:
+            return UNHANDLED
+        name = to_term(args[0])
+        key = name.text if isinstance(name, Const) else "*"
+        ctx.conn_of(cid).headers.append((key, to_term(args[1])))
+        return None
+
+    @model.register(_CONNS, ("setDoOutput", "setDoInput", "setConnectTimeout",
+                             "setReadTimeout", "setUseCaches", "connect",
+                             "setInstanceFollowRedirects", "setChunkedStreamingMode"))
+    def conn_config(ctx, site, expr, base, args):
+        cid = _conn_id(base)
+        if cid is not None and expr.sig.name == "setDoOutput":
+            ctx.conn_of(cid).method = "POST"
+        return None
+
+    @model.register(_CONNS, "getOutputStream")
+    def get_output(ctx, site, expr, base, args):
+        cid = _conn_id(base)
+        if cid is None:
+            return UNHANDLED
+        return ObjAV("outstream", (("conn_id", cid),))
+
+    @model.register(("java.io.OutputStreamWriter", "java.io.BufferedWriter",
+                     "java.io.DataOutputStream", "java.io.PrintWriter"), "<init>")
+    def writer_init(ctx, site, expr, base, args):
+        if args and isinstance(args[0], ObjAV):
+            cid = _conn_id(args[0])
+            if cid is not None:
+                return Effect(result=None, new_base=ObjAV("writer", (("conn_id", cid),)))
+        return Effect(result=None, new_base=ObjAV("writer", ()))
+
+    @model.register(("java.io.OutputStreamWriter", "java.io.BufferedWriter",
+                     "java.io.DataOutputStream", "java.io.PrintWriter",
+                     "java.io.OutputStream"),
+                    ("write", "writeBytes", "print", "append"))
+    def writer_write(ctx, site, expr, base, args):
+        cid = _conn_id(base)
+        if cid is None or not args:
+            return None
+        conn = ctx.conn_of(cid)
+        part = to_term(args[0])
+        conn.body_parts.append(part)
+        if isinstance(part, Unknown) and part.origin:
+            conn.body_origins.add(part.origin)
+        return None
+
+    @model.register(("java.io.OutputStreamWriter", "java.io.BufferedWriter",
+                     "java.io.DataOutputStream", "java.io.PrintWriter",
+                     "java.io.OutputStream"),
+                    ("flush", "close"))
+    def writer_flush(ctx, site, expr, base, args):
+        return None
+
+    @model.register(_CONNS, ("getInputStream", "getResponseCode", "getErrorStream"))
+    def get_response(ctx, site, expr, base, args):
+        cid = _conn_id(base)
+        if cid is None:
+            return UNHANDLED
+        conn = ctx.conn_of(cid)
+        resp = conn.finalize(ctx, site)
+        if expr.sig.name == "getResponseCode":
+            return Unknown("int")
+        return resp
+
+    @model.register(_CONNS, "getHeaderField")
+    def get_header(ctx, site, expr, base, args):
+        cid = _conn_id(base)
+        if cid is not None:
+            conn = ctx.conn_of(cid)
+            resp = conn.finalize(ctx, site)
+            if isinstance(resp, RespRef):
+                return Unknown("str", origin=resp.origin_tag())
+        return Unknown("str")
+
+    @model.register(_CONNS, "disconnect")
+    def disconnect(ctx, site, expr, base, args):
+        return None
+
+
+__all__ = ["register"]

@@ -1,0 +1,92 @@
+"""Semantic models for com.android.volley — request objects carrying
+listener callbacks; ``RequestQueue.add`` is the demarcation point and the
+listener's ``onResponse`` is evaluated inline with the response reference,
+mirroring the implicit call flow the paper adds to FlowDroid (§3.4)."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..signature.lang import Const, Term, Unknown
+from .avals import AppObjAV, NULL_AV, ObjAV, RequestAV, RespRef, to_term
+from .model import Effect, SemanticModel, UNHANDLED
+
+_VOLLEY_METHODS = {0: "GET", 1: "POST", 2: "PUT", 3: "DELETE", 4: "HEAD",
+                   5: "OPTIONS", 6: "TRACE", 7: "PATCH"}
+
+_REQUEST_CLASSES = (
+    "com.android.volley.toolbox.StringRequest",
+    "com.android.volley.toolbox.JsonObjectRequest",
+    "com.android.volley.toolbox.JsonArrayRequest",
+    "com.android.volley.toolbox.ImageRequest",
+    "com.android.volley.Request",
+)
+
+
+def _listener_class(args) -> str | None:
+    for arg in args:
+        if isinstance(arg, AppObjAV):
+            return sorted(arg.classes)[0]
+    return None
+
+
+def register(model: SemanticModel) -> None:
+    @model.register(_REQUEST_CLASSES, "<init>")
+    def request_init(ctx, site, expr, base, args):
+        from .avals import NumAV
+
+        method = frozenset({"GET"})
+        uri: Term = Unknown("url")
+        body: Term | None = None
+        rest = list(args)
+        if rest and isinstance(rest[0], NumAV):
+            method = frozenset({_VOLLEY_METHODS.get(int(rest[0].value), "GET")})
+            rest = rest[1:]
+        if rest:
+            uri = to_term(rest[0])
+            rest = rest[1:]
+        # JsonObjectRequest carries an optional JSON body before listeners.
+        for arg in rest:
+            if isinstance(arg, Term) and not isinstance(arg, Unknown):
+                body = arg
+                break
+        if body is not None and "GET" in method and len(method) == 1 and expr.sig.class_name.endswith("JsonObjectRequest"):
+            method = frozenset({"POST"})
+        request = RequestAV(
+            methods=method,
+            uri=uri,
+            body=body,
+            mime="application/json" if body is not None else None,
+            listener_class=_listener_class(args),
+        )
+        return Effect(result=None, new_base=request)
+
+    @model.register("com.android.volley.toolbox.Volley", "newRequestQueue")
+    def new_queue(ctx, site, expr, base, args):
+        return ObjAV("requestqueue")
+
+    @model.register("com.android.volley.RequestQueue", "add")
+    def queue_add(ctx, site, expr, base, args):
+        request = args[0] if args else None
+        if not isinstance(request, RequestAV):
+            return UNHANDLED
+        # JsonObjectRequest / JsonArrayRequest deliver parsed JSON to their
+        # listeners by construction
+        kind = "json" if (request.mime == "application/json"
+                          or request.listener_class) else "unknown"
+        resp = ctx.record_transaction(site, request, response_kind=kind)
+        if request.listener_class and resp is not None:
+            ctx.call_app_method(request.listener_class, "onResponse", [resp])
+            ctx.call_app_method(request.listener_class, "onSuccess", [resp])
+        return request
+
+    @model.register("com.android.volley.RequestQueue", "start")
+    def queue_start(ctx, site, expr, base, args):
+        return None
+
+    @model.register("com.android.volley.VolleyError", "getMessage")
+    def volley_error(ctx, site, expr, base, args):
+        return Unknown("str")
+
+
+__all__ = ["register"]

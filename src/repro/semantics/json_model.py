@@ -1,0 +1,281 @@
+"""Semantic models for JSON libraries (§4: "eight XML and JSON APIs,
+including org.json, com.google.gson, ... com.fasterxml.jackson, and
+supports reflection-based nested json serialization").
+
+Two directions:
+
+* **Request side** — ``JSONObject.put`` builds a
+  :class:`~repro.signature.lang.JsonObject` tree that becomes the request
+  body when serialised.
+* **Response side** — accessor calls (``getString("relay")``) on a
+  response-derived object *record the accessed path* on the response
+  accumulator and return a provenance-tagged unknown; the accumulated
+  access tree is the response-body signature.
+"""
+
+from __future__ import annotations
+
+from ..signature.lang import Const, JsonArray, JsonObject, Term, Unknown
+from .avals import AppObjAV, NumAV, ObjAV, RespRef, to_term
+from .model import Effect, SemanticModel, UNHANDLED
+
+_LEAF_KINDS = {
+    "getString": "str",
+    "optString": "str",
+    "getInt": "int",
+    "optInt": "int",
+    "getLong": "int",
+    "optLong": "int",
+    "getDouble": "float",
+    "optDouble": "float",
+    "getBoolean": "bool",
+    "optBoolean": "bool",
+}
+_NODE_GETTERS = {"getJSONObject", "optJSONObject", "getJSONArray", "optJSONArray",
+                 "get", "opt"}
+
+
+def _key_of(args) -> object:
+    if not args:
+        return "?"
+    key = to_term(args[0])
+    if isinstance(key, Const):
+        return key.text
+    if isinstance(args[0], NumAV):
+        return "[]"
+    return "*"
+
+
+def register(model: SemanticModel) -> None:
+    # ---------------------------------------------------------------- org.json
+    @model.register("org.json.JSONObject", "<init>")
+    def jobj_init(ctx, site, expr, base, args):
+        if args:
+            src = args[0]
+            if isinstance(src, RespRef):
+                ctx.mark_response_kind(src, "json")
+                return Effect(result=None, new_base=src)
+            src_term = to_term(src)
+            if isinstance(src_term, Unknown) and src_term.origin:
+                return Effect(result=None, new_base=Unknown("any", origin=src_term.origin))
+        return Effect(result=None, new_base=JsonObject(()))
+
+    @model.register("org.json.JSONArray", "<init>")
+    def jarr_init(ctx, site, expr, base, args):
+        if args and isinstance(args[0], RespRef):
+            ctx.mark_response_kind(args[0], "json")
+            return Effect(result=None, new_base=args[0].child("[]"))
+        return Effect(result=None, new_base=JsonArray(()))
+
+    @model.register(("org.json.JSONObject",), ("put", "putOpt", "accumulate"))
+    def jobj_put(ctx, site, expr, base, args):
+        if isinstance(base, JsonObject) and len(args) >= 2:
+            new = base.with_entry(to_term(args[0]), to_term(args[1]))
+            return Effect(result=new, new_base=new)
+        return UNHANDLED
+
+    @model.register("org.json.JSONArray", "put")
+    def jarr_put(ctx, site, expr, base, args):
+        if isinstance(base, JsonArray) and args:
+            new = JsonArray(base.fixed + (to_term(args[-1]),), base.elem)
+            return Effect(result=new, new_base=new)
+        return UNHANDLED
+
+    @model.register(
+        ("org.json.JSONObject", "org.json.JSONArray"),
+        tuple(_LEAF_KINDS) + tuple(_NODE_GETTERS) + ("has", "isNull", "length", "names", "toString", "keys"),
+    )
+    def json_access(ctx, site, expr, base, args):
+        name = expr.sig.name
+        # -- response side: record the access -----------------------------
+        if isinstance(base, RespRef):
+            if name == "toString":
+                return Unknown("str", origin=base.origin_tag())
+            if name == "length":
+                ctx.record_access(base.child("[]"))
+                return Unknown("int", origin=base.origin_tag())
+            if name in ("keys", "names"):
+                ctx.record_access(base.child("*"))
+                return Unknown("any", origin=base.origin_tag())
+            key = _key_of(args)
+            child = base.child(key)
+            if name in _LEAF_KINDS:
+                ctx.record_access(child, _LEAF_KINDS[name])
+                return Unknown(_LEAF_KINDS[name], origin=child.origin_tag())
+            if name in ("has", "isNull"):
+                return Unknown("bool")
+            # structural getter
+            if name in ("getJSONArray", "optJSONArray"):
+                node = child.child("[]")
+                ctx.record_access(child)
+                return RespRef(child.accs, child.path)
+            ctx.record_access(child)
+            return child
+        # -- request side: read back from a tree under construction --------
+        if isinstance(base, JsonObject):
+            if name == "toString":
+                return base
+            if name in _LEAF_KINDS or name in _NODE_GETTERS:
+                key = _key_of(args)
+                found = base.get(key) if isinstance(key, str) else None
+                return found if found is not None else Unknown("any")
+            if name == "length":
+                return Unknown("int")
+            return Unknown("any")
+        if isinstance(base, JsonArray):
+            if name == "toString":
+                return base
+            if name == "length":
+                return NumAV(len(base.fixed)) if base.elem is None else Unknown("int")
+            if args and isinstance(args[0], NumAV):
+                idx = int(args[0].value)
+                if 0 <= idx < len(base.fixed):
+                    return base.fixed[idx]
+            if base.elem is not None:
+                return base.elem
+            return Unknown("any")
+        return UNHANDLED
+
+    # The JSONArray index accessors share json_access via the tuple above;
+    # getJSONObject(int) on a RespRef array needs the "[]" path hop:
+    @model.register("org.json.JSONArray", ("getJSONObject", "optJSONObject", "getString", "getInt"))
+    def jarr_index(ctx, site, expr, base, args):
+        if isinstance(base, RespRef):
+            child = base.child("[]")
+            name = expr.sig.name
+            if name in _LEAF_KINDS:
+                ctx.record_access(child, _LEAF_KINDS[name])
+                return Unknown(_LEAF_KINDS[name], origin=child.origin_tag())
+            ctx.record_access(child)
+            return child
+        return json_access(ctx, site, expr, base, args)
+
+    # ------------------------------------------------------------------- gson
+    @model.register(("com.google.gson.Gson",), "<init>")
+    def gson_init(ctx, site, expr, base, args):
+        return Effect(result=None, new_base=ObjAV("gson"))
+
+    @model.register("com.google.gson.Gson", "toJson")
+    def gson_tojson(ctx, site, expr, base, args):
+        """Reflection-based serialisation: an app object's fields become the
+        JSON tree (nested app classes recurse)."""
+        if args and isinstance(args[0], AppObjAV):
+            return _reflect_serialize(ctx, sorted(args[0].classes)[0], depth=0)
+        return to_term(args[0]) if args else UNHANDLED
+
+    @model.register("com.google.gson.Gson", "fromJson")
+    def gson_fromjson(ctx, site, expr, base, args):
+        """Reflection-based binding: reading a response into a class records
+        every mapped field as an accessed path."""
+        if len(args) >= 2 and isinstance(args[0], RespRef):
+            ctx.mark_response_kind(args[0], "json")
+            from ..ir.values import ClassConst
+
+            cls_name = None
+            cls_arg = args[1]
+            if isinstance(cls_arg, ObjAV) and cls_arg.class_name == "class":
+                cls_name = cls_arg.get("name")
+            if cls_name:
+                return _reflect_bind(ctx, args[0], str(cls_name), depth=0)
+            ctx.record_access(args[0].child("*"))
+            return Unknown("any", origin=args[0].origin_tag())
+        return UNHANDLED
+
+    # ----------------------------------------------------------------- jackson
+    @model.register("com.fasterxml.jackson.databind.ObjectMapper", "<init>")
+    def jackson_init(ctx, site, expr, base, args):
+        return Effect(result=None, new_base=ObjAV("jackson"))
+
+    @model.register("com.fasterxml.jackson.databind.ObjectMapper", "readValue")
+    def jackson_read(ctx, site, expr, base, args):
+        return gson_fromjson(ctx, site, expr, base, args)
+
+    @model.register("com.fasterxml.jackson.databind.ObjectMapper", "readTree")
+    def jackson_readtree(ctx, site, expr, base, args):
+        if args and isinstance(args[0], RespRef):
+            ctx.mark_response_kind(args[0], "json")
+            return args[0]
+        return UNHANDLED
+
+    @model.register("com.fasterxml.jackson.databind.ObjectMapper", "writeValueAsString")
+    def jackson_write(ctx, site, expr, base, args):
+        if args and isinstance(args[0], AppObjAV):
+            return _reflect_serialize(ctx, sorted(args[0].classes)[0], depth=0)
+        return to_term(args[0]) if args else UNHANDLED
+
+    @model.register("com.fasterxml.jackson.databind.JsonNode",
+                    ("get", "path", "asText", "asInt", "asDouble", "asBoolean"))
+    def jackson_node(ctx, site, expr, base, args):
+        if isinstance(base, RespRef):
+            name = expr.sig.name
+            if name in ("get", "path"):
+                child = base.child(_key_of(args))
+                ctx.record_access(child)
+                return child
+            kind = {"asText": "str", "asInt": "int", "asDouble": "float",
+                    "asBoolean": "bool"}[name]
+            ctx.record_access(base, kind)
+            return Unknown(kind, origin=base.origin_tag())
+        return UNHANDLED
+
+
+def _reflect_serialize(ctx, class_name: str, depth: int) -> Term:
+    """Build a JsonObject from an app class's declared fields (gson-style)."""
+    if depth > 4:
+        return Unknown("any")
+    entries = []
+    for cname, cls_fields, f_type in _fields_of(ctx, class_name):
+        if ctx_has_class(ctx, f_type):
+            entries.append((Const(cls_fields), _reflect_serialize(ctx, f_type, depth + 1)))
+        else:
+            entries.append((Const(cls_fields), Unknown(_kind_for(f_type))))
+    return JsonObject(tuple(entries))
+
+
+def _reflect_bind(ctx, ref: RespRef, class_name: str, depth: int):
+    if depth > 4:
+        return Unknown("any", origin=ref.origin_tag())
+    attrs = []
+    for cname, f_name, f_type in _fields_of(ctx, class_name):
+        child = ref.child(f_name)
+        if ctx_has_class(ctx, f_type):
+            ctx.record_access(child)
+            attrs.append((f_name, _reflect_bind(ctx, child, f_type, depth + 1)))
+        else:
+            kind = _kind_for(f_type)
+            ctx.record_access(child, kind)
+            attrs.append((f_name, Unknown(kind, origin=child.origin_tag())))
+    return ObjAV("bound:" + class_name, tuple(attrs))
+
+
+def _fields_of(ctx, class_name: str):
+    program = getattr(ctx, "program", None)
+    if program is None:
+        return []
+    out = []
+    cls = program.class_of(class_name)
+    while cls is not None:
+        for f in cls.fields.values():
+            out.append((cls.name, f.name, f.type.name))
+        cls = program.class_of(cls.superclass) if cls.superclass else None
+    return out
+
+
+def ctx_has_class(ctx, name: str) -> bool:
+    program = getattr(ctx, "program", None)
+    return program is not None and program.has_class(name)
+
+
+def _kind_for(type_name: str) -> str:
+    if type_name in ("int", "long", "short", "byte"):
+        return "int"
+    if type_name in ("float", "double"):
+        return "float"
+    if type_name == "boolean":
+        return "bool"
+    if type_name == "java.lang.String":
+        return "str"
+    return "any"
+
+
+__all__ = ["register"]

@@ -1,0 +1,198 @@
+"""Semantic models for string and string-builder APIs.
+
+These are the low-level models everything else reduces to (§4): string
+literals, concatenation, formatting and encoding are how request URIs and
+query strings are assembled in practice.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..signature.lang import Const, Term, Unknown, concat
+from .avals import NULL_AV, NullAV, NumAV, to_term
+from .model import Effect, SemanticModel, UNHANDLED
+
+_BUILDERS = ("java.lang.StringBuilder", "java.lang.StringBuffer")
+
+
+def register(model: SemanticModel) -> None:
+    @model.register(_BUILDERS, "<init>")
+    def sb_init(ctx, site, expr, base, args):
+        seed = to_term(args[0]) if args else Const("")
+        return Effect(result=None, new_base=seed)
+
+    @model.register(_BUILDERS, ("append", "insert"))
+    def sb_append(ctx, site, expr, base, args):
+        base_term = to_term(base)
+        if expr.sig.name == "insert" and len(args) >= 2:
+            # insert(index, value): position is rarely static — approximate
+            # by appending, which preserves the keyword set.
+            new = concat(base_term, to_term(args[1]))
+        else:
+            new = concat(base_term, to_term(args[0]) if args else Const(""))
+        return Effect(result=new, new_base=new)
+
+    @model.register(_BUILDERS, "toString")
+    def sb_tostring(ctx, site, expr, base, args):
+        return to_term(base)
+
+    @model.register(_BUILDERS, ("setLength", "reverse", "deleteCharAt"))
+    def sb_mutate_opaque(ctx, site, expr, base, args):
+        return Effect(result=None, new_base=Unknown("str"))
+
+    # -- java.lang.String ---------------------------------------------------
+    @model.register("java.lang.String", "concat")
+    def str_concat(ctx, site, expr, base, args):
+        return concat(to_term(base), to_term(args[0]))
+
+    @model.register("java.lang.String", ("valueOf",))
+    def str_valueof(ctx, site, expr, base, args):
+        return to_term(args[0]) if args else Const("")
+
+    @model.register("java.lang.String", "format")
+    def str_format(ctx, site, expr, base, args):
+        """``String.format(fmt, a, b, ...)`` with a constant format string
+        expands %s/%d/%f holes to the argument terms."""
+        if not args:
+            return UNHANDLED
+        fmt = args[0]
+        rest = list(args[1:])
+        fmt_term = to_term(fmt)
+        if not isinstance(fmt_term, Const):
+            return Unknown("str")
+        parts: list[Term] = []
+        pos = 0
+        for match in re.finditer(r"%[sdif]", fmt_term.text):
+            parts.append(Const(fmt_term.text[pos : match.start()]))
+            parts.append(to_term(rest.pop(0)) if rest else Unknown("str"))
+            pos = match.end()
+        parts.append(Const(fmt_term.text[pos:]))
+        return concat(*parts)
+
+    @model.register("java.lang.String", ("trim", "intern"))
+    def str_identityish(ctx, site, expr, base, args):
+        return to_term(base)
+
+    @model.register("java.lang.String", ("toLowerCase", "toUpperCase"))
+    def str_case(ctx, site, expr, base, args):
+        term = to_term(base)
+        if isinstance(term, Const):
+            text = term.text.lower() if expr.sig.name == "toLowerCase" else term.text.upper()
+            return Const(text)
+        return term
+
+    @model.register("java.lang.String", "replace")
+    def str_replace(ctx, site, expr, base, args):
+        term = to_term(base)
+        a, b = to_term(args[0]), to_term(args[1])
+        if isinstance(term, Const) and isinstance(a, Const) and isinstance(b, Const):
+            return Const(term.text.replace(a.text, b.text))
+        return Unknown("str")
+
+    @model.register("java.lang.String", "substring")
+    def str_substring(ctx, site, expr, base, args):
+        term = to_term(base)
+        if isinstance(term, Const) and all(isinstance(a, NumAV) for a in args):
+            idx = [int(a.value) for a in args]
+            try:
+                return Const(term.text[idx[0] : idx[1]] if len(idx) > 1 else term.text[idx[0] :])
+            except (IndexError, ValueError):
+                return Unknown("str")
+        return Unknown("str")
+
+    @model.register("java.lang.String", ("equals", "equalsIgnoreCase", "startsWith",
+                                          "endsWith", "contains", "isEmpty", "matches"))
+    def str_predicates(ctx, site, expr, base, args):
+        return Unknown("bool")
+
+    @model.register("java.lang.String", ("length", "indexOf", "lastIndexOf", "hashCode"))
+    def str_ints(ctx, site, expr, base, args):
+        return Unknown("int")
+
+    @model.register("java.lang.String", "split")
+    def str_split(ctx, site, expr, base, args):
+        return Unknown("any")
+
+    @model.register("java.lang.String", ("getBytes",))
+    def str_bytes(ctx, site, expr, base, args):
+        return to_term(base)  # byte content carries the same signature
+
+    @model.register("java.lang.String", "<init>")
+    def str_init(ctx, site, expr, base, args):
+        return Effect(result=None, new_base=to_term(args[0]) if args else Const(""))
+
+    # -- boxing / number formatting -----------------------------------------
+    @model.register(
+        ("java.lang.Integer", "java.lang.Long", "java.lang.Double", "java.lang.Float",
+         "java.lang.Boolean"),
+        ("toString", "valueOf"),
+    )
+    def box_tostring(ctx, site, expr, base, args):
+        if args:
+            return to_term(args[0])
+        return to_term(base)
+
+    @model.register(
+        ("java.lang.Integer", "java.lang.Long"), ("parseInt", "parseLong")
+    )
+    def parse_int(ctx, site, expr, base, args):
+        term = to_term(args[0]) if args else None
+        if isinstance(term, Const):
+            try:
+                return NumAV(int(term.text))
+            except ValueError:
+                pass
+        if isinstance(term, Unknown):
+            return Unknown("int", origin=term.origin)
+        return Unknown("int")
+
+    # -- encoders -------------------------------------------------------------
+    @model.register("java.net.URLEncoder", "encode")
+    def url_encode(ctx, site, expr, base, args):
+        # Encoding transforms only reserved characters; for signature
+        # purposes the value is unchanged (the paper's Diode example keeps
+        # URLEncoder.encode(query) as a wildcard hole in the URI).
+        term = to_term(args[0])
+        if isinstance(term, Const):
+            from urllib.parse import quote_plus
+
+            return Const(quote_plus(term.text))
+        return term
+
+    @model.register("java.net.URLDecoder", "decode")
+    def url_decode(ctx, site, expr, base, args):
+        return to_term(args[0])
+
+    @model.register("android.util.Base64", ("encodeToString", "encode"))
+    def base64_encode(ctx, site, expr, base, args):
+        inner = to_term(args[0]) if args else None
+        origin = inner.origin if isinstance(inner, Unknown) else None
+        return Unknown("str", origin=origin)
+
+    @model.register("java.util.UUID", "randomUUID")
+    def uuid(ctx, site, expr, base, args):
+        return Unknown("str", origin="device")
+
+    @model.register("java.util.UUID", "toString")
+    def uuid_str(ctx, site, expr, base, args):
+        return to_term(base)
+
+    @model.register("java.lang.System", ("currentTimeMillis", "nanoTime"))
+    def now(ctx, site, expr, base, args):
+        return Unknown("int", origin="clock")
+
+    @model.register("java.lang.Math", ("random",))
+    def rand(ctx, site, expr, base, args):
+        return Unknown("float", origin="random")
+
+    @model.register("java.util.Random", ("nextInt", "nextLong"))
+    def randint(ctx, site, expr, base, args):
+        return Unknown("int", origin="random")
+
+    @model.register("java.util.Random", "<init>")
+    def rand_init(ctx, site, expr, base, args):
+        return Effect(result=None, new_base=Unknown("any"))
+
+
+__all__ = ["register"]

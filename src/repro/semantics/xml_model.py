@@ -1,0 +1,138 @@
+"""Semantic models for XML processing (DOM-style and pull-parser subset).
+
+Response XML formats are inferred from the tags/attributes the app asks
+for, mirroring the JSON access-tree approach; the accumulated tree renders
+as nested :class:`~repro.signature.lang.XmlElement` (or DTD via
+:mod:`repro.signature.dtd`).
+"""
+
+from __future__ import annotations
+
+from ..signature.lang import Const, Unknown
+from .avals import ObjAV, RespRef, to_term
+from .model import Effect, SemanticModel, UNHANDLED
+
+
+def register(model: SemanticModel) -> None:
+    @model.register("javax.xml.parsers.DocumentBuilderFactory", "newInstance")
+    def dbf(ctx, site, expr, base, args):
+        return ObjAV("dbf")
+
+    @model.register("javax.xml.parsers.DocumentBuilderFactory", "newDocumentBuilder")
+    def dbuilder(ctx, site, expr, base, args):
+        return ObjAV("dbuilder")
+
+    @model.register("javax.xml.parsers.DocumentBuilder", "parse")
+    def dom_parse(ctx, site, expr, base, args):
+        if args and isinstance(args[0], RespRef):
+            ctx.mark_response_kind(args[0], "xml")
+            return args[0]
+        return Unknown("any")
+
+    @model.register(
+        ("org.w3c.dom.Document", "org.w3c.dom.Element"),
+        "getDocumentElement",
+    )
+    def doc_root(ctx, site, expr, base, args):
+        if isinstance(base, RespRef):
+            return base
+        return UNHANDLED
+
+    @model.register(("org.w3c.dom.Document", "org.w3c.dom.Element"),
+                    "getElementsByTagName")
+    def by_tag(ctx, site, expr, base, args):
+        if isinstance(base, RespRef):
+            tag = to_term(args[0])
+            name = tag.text if isinstance(tag, Const) else "*"
+            child = base.child(name)
+            ctx.record_access(child)
+            return child
+        return UNHANDLED
+
+    @model.register("org.w3c.dom.NodeList", ("item",))
+    def nodelist_item(ctx, site, expr, base, args):
+        if isinstance(base, RespRef):
+            return base
+        return UNHANDLED
+
+    @model.register("org.w3c.dom.NodeList", "getLength")
+    def nodelist_len(ctx, site, expr, base, args):
+        return Unknown("int")
+
+    @model.register(("org.w3c.dom.Element", "org.w3c.dom.Node"), "getAttribute")
+    def get_attr(ctx, site, expr, base, args):
+        if isinstance(base, RespRef):
+            name_term = to_term(args[0])
+            name = name_term.text if isinstance(name_term, Const) else "*"
+            child = base.child("@" + name)
+            ctx.record_access(child, "str")
+            return Unknown("str", origin=child.origin_tag())
+        return UNHANDLED
+
+    @model.register(("org.w3c.dom.Element", "org.w3c.dom.Node"),
+                    ("getTextContent", "getNodeValue"))
+    def get_text(ctx, site, expr, base, args):
+        if isinstance(base, RespRef):
+            ctx.record_access(base, "str")
+            return Unknown("str", origin=base.origin_tag())
+        return UNHANDLED
+
+    @model.register(("org.w3c.dom.Element", "org.w3c.dom.Node"), "getFirstChild")
+    def first_child(ctx, site, expr, base, args):
+        if isinstance(base, RespRef):
+            return base
+        return UNHANDLED
+
+    # -- pull parser (subset) -----------------------------------------------
+    @model.register("android.util.Xml", "newPullParser")
+    def new_pull(ctx, site, expr, base, args):
+        return ObjAV("pullparser")
+
+    @model.register("org.xmlpull.v1.XmlPullParser", "setInput")
+    def pull_input(ctx, site, expr, base, args):
+        if args and isinstance(args[0], RespRef):
+            ctx.mark_response_kind(args[0], "xml")
+            return Effect(result=None, new_base=args[0])
+        return None
+
+    @model.register("org.xmlpull.v1.XmlPullParser", ("next", "nextTag", "getEventType"))
+    def pull_next(ctx, site, expr, base, args):
+        return Unknown("int")
+
+    @model.register("org.xmlpull.v1.XmlPullParser", "getName")
+    def pull_name(ctx, site, expr, base, args):
+        if isinstance(base, RespRef):
+            return Unknown("str", origin=base.origin_tag())
+        return UNHANDLED
+
+    @model.register("org.xmlpull.v1.XmlPullParser", "require")
+    def pull_require(ctx, site, expr, base, args):
+        """require(type, ns, tag): the app asserts the current tag — record
+        the tag as part of the format."""
+        if isinstance(base, RespRef) and len(args) >= 3:
+            tag = to_term(args[2])
+            if isinstance(tag, Const):
+                child = base.child(tag.text)
+                ctx.record_access(child)
+                return Effect(result=None, new_base=child)
+        return None
+
+    @model.register("org.xmlpull.v1.XmlPullParser", "nextText")
+    def pull_text(ctx, site, expr, base, args):
+        if isinstance(base, RespRef):
+            ctx.record_access(base, "str")
+            return Unknown("str", origin=base.origin_tag())
+        return UNHANDLED
+
+    @model.register("org.xmlpull.v1.XmlPullParser", "getAttributeValue")
+    def pull_attr(ctx, site, expr, base, args):
+        if isinstance(base, RespRef):
+            name_term = to_term(args[-1]) if args else Const("*")
+            name = name_term.text if isinstance(name_term, Const) else "*"
+            child = base.child("@" + name)
+            ctx.record_access(child, "str")
+            return Unknown("str", origin=child.origin_tag())
+        return UNHANDLED
+
+
+__all__ = ["register"]

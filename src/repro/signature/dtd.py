@@ -1,0 +1,78 @@
+"""Render XML signature trees as Document Type Definitions (paper §1:
+"... such as Document Type Definition (DTD) for XML").
+
+XML response formats are inferred as access trees (tags and attributes the
+app touches); the DTD renderer emits one ``<!ELEMENT>`` declaration per
+observed tag and ``<!ATTLIST>`` declarations for observed attributes.
+"""
+
+from __future__ import annotations
+
+from ..semantics.avals import ResponseAccumulator
+from .lang import Const, JsonObject, Term, Unknown, XmlElement
+
+
+def xml_tree_from_accumulator(acc: ResponseAccumulator) -> XmlElement | None:
+    """Convert an XML response access tree into nested XmlElements."""
+    if acc.kind != "xml" or not acc.root:
+        return None
+
+    def build(name: str, node: dict) -> XmlElement:
+        attrs = []
+        children = []
+        text = None
+        for (tag, child_name), child in node.items():
+            if tag == "leaf":
+                text = Unknown("str")
+            elif str(child_name).startswith("@"):
+                attrs.append((str(child_name)[1:], Unknown("str")))
+            else:
+                children.append(build(str(child_name), child))
+        return XmlElement(name, tuple(attrs), tuple(children), text)
+
+    roots = [
+        build(str(name), child)
+        for (tag, name), child in acc.root.items()
+        if tag == "obj"
+    ]
+    if len(roots) == 1:
+        return roots[0]
+    return XmlElement("document", (), tuple(roots))
+
+
+def to_dtd(root: Term) -> str:
+    """Emit a DTD describing the element structure of an XML signature."""
+    if isinstance(root, JsonObject):
+        raise TypeError("to_dtd expects an XmlElement tree, not a JSON tree")
+    if not isinstance(root, XmlElement):
+        raise TypeError(f"cannot render {type(root).__name__} as DTD")
+    elements: dict[str, XmlElement] = {}
+
+    def visit(elem: XmlElement) -> None:
+        if elem.tag not in elements:
+            elements[elem.tag] = elem
+        for child in elem.children:
+            if isinstance(child, XmlElement):
+                visit(child)
+
+    visit(root)
+
+    lines = []
+    for tag, elem in elements.items():
+        child_tags = [
+            c.tag for c in elem.children if isinstance(c, XmlElement)
+        ]
+        if child_tags:
+            # tags observed via access trees may repeat: allow * multiplicity
+            content = ", ".join(f"{t}*" for t in dict.fromkeys(child_tags))
+            lines.append(f"<!ELEMENT {tag} ({content})>")
+        elif elem.text is not None:
+            lines.append(f"<!ELEMENT {tag} (#PCDATA)>")
+        else:
+            lines.append(f"<!ELEMENT {tag} ANY>")
+        for attr_name, _ in elem.attrs:
+            lines.append(f"<!ATTLIST {tag} {attr_name} CDATA #IMPLIED>")
+    return "\n".join(lines)
+
+
+__all__ = ["to_dtd", "xml_tree_from_accumulator"]

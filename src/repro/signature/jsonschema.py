@@ -1,0 +1,87 @@
+"""Render signature trees as JSON Schema (paper §1: "Extractocol internally
+maintains a tree representation of a signature, allowing us to represent
+signature in other forms, such as ... JSON schema for JSON")."""
+
+from __future__ import annotations
+
+from .lang import (
+    Alt,
+    Concat,
+    Const,
+    JsonArray,
+    JsonObject,
+    Rep,
+    Term,
+    Unknown,
+)
+
+_KIND_TYPES = {
+    "str": "string",
+    "url": "string",
+    "int": "integer",
+    "float": "number",
+    "bool": "boolean",
+    "any": {},
+}
+
+
+def to_json_schema(term: Term) -> dict:
+    """Compile a signature term to a JSON Schema fragment (draft-07 subset)."""
+    schema = _compile(term)
+    if isinstance(schema, dict):
+        return schema
+    return {}
+
+
+def _compile(term: Term):
+    if isinstance(term, JsonObject):
+        properties = {}
+        required = []
+        for key, value in term.entries:
+            if not isinstance(key, Const):
+                continue
+            properties[key.text] = _compile(value)
+            required.append(key.text)
+        out: dict = {"type": "object", "properties": properties}
+        if required:
+            out["required"] = sorted(required)
+        out["additionalProperties"] = bool(term.open_)
+        return out
+    if isinstance(term, JsonArray):
+        if term.elem is not None:
+            return {"type": "array", "items": _compile(term.elem)}
+        if term.fixed:
+            return {
+                "type": "array",
+                "prefixItems": [_compile(f) for f in term.fixed],
+                "minItems": len(term.fixed),
+            }
+        return {"type": "array"}
+    if isinstance(term, Const):
+        text = term.text
+        if text in ("true", "false"):
+            return {"type": "boolean", "const": text == "true"}
+        try:
+            return {"type": "integer", "const": int(text)}
+        except ValueError:
+            pass
+        try:
+            return {"type": "number", "const": float(text)}
+        except ValueError:
+            pass
+        return {"type": "string", "const": text}
+    if isinstance(term, Unknown):
+        mapped = _KIND_TYPES.get(term.kind, {})
+        if isinstance(mapped, str):
+            return {"type": mapped}
+        return dict(mapped)
+    if isinstance(term, Alt):
+        return {"anyOf": [_compile(o) for o in term.options]}
+    if isinstance(term, (Concat, Rep)):
+        from .regex import to_regex
+
+        return {"type": "string", "pattern": to_regex(term)}
+    return {}
+
+
+__all__ = ["to_json_schema"]

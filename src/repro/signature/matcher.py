@@ -1,0 +1,272 @@
+"""Match signatures against captured traffic (paper §5.1 methodology).
+
+Three measurements:
+
+* **validity** — does each signature regex/tree produce a valid match on
+  the corresponding traffic ("all such signatures generated a valid match
+  with the actual traffic trace"),
+* **keywords** — constant keywords present in traffic vs. in signatures
+  (Figure 7's unit: "keys in key-value pairs of query string, JSON bodies,
+  the tags and attributes in XML bodies"),
+* **byte accounting** — Rk / Rv / Rn fractions (Table 2): bytes matched by
+  constant keywords, by the corresponding value wildcards, and bytes whose
+  key and value are both wildcards.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass
+from urllib.parse import parse_qsl, urlsplit
+
+from ..deps.transactions import Transaction
+from .lang import Const, JsonArray, JsonObject, Term, Unknown
+from .regex import compile_regex
+
+
+# ------------------------------------------------------------------ matching
+def uri_matches(txn: Transaction, url: str) -> bool:
+    try:
+        return compile_regex(txn.request.uri).match(url) is not None
+    except re.error:
+        return False
+
+
+def _sig_keys(term: Term | None) -> set[str]:
+    """Constant JSON keys at any depth of a signature tree."""
+    if term is None:
+        return set()
+    out: set[str] = set()
+    for t in term.walk():
+        if isinstance(t, JsonObject):
+            for k, _ in t.entries:
+                if isinstance(k, Const):
+                    out.add(k.text)
+    return out
+
+
+def _json_keys(data) -> set[str]:
+    out: set[str] = set()
+    if isinstance(data, dict):
+        for k, v in data.items():
+            out.add(k)
+            out |= _json_keys(v)
+    elif isinstance(data, list):
+        for item in data:
+            out |= _json_keys(item)
+    return out
+
+
+def body_matches(term: Term | None, body: str | None, kind: str | None) -> bool:
+    """Structural body match: every constant signature key appears in the
+    traffic body (signature trees are open — extra traffic keys are fine)."""
+    if term is None:
+        return True
+    if not body:
+        return False
+    keys = _sig_keys(term)
+    if keys:
+        try:
+            data = json.loads(body)
+        except ValueError:
+            return all(k in body for k in keys)
+        return keys <= _json_keys(data)
+    try:
+        return compile_regex(term).match(body) is not None
+    except re.error:
+        return False
+
+
+def transaction_matches(txn: Transaction, method: str, url: str,
+                        body: str | None = None) -> bool:
+    if txn.request.method != method:
+        return False
+    if not uri_matches(txn, url):
+        return False
+    return body_matches(txn.request.body, body, txn.request.body_kind)
+
+
+def match_trace(transactions: list[Transaction], trace) -> dict[int, list]:
+    """Map each signature (txn_id) to the captured transactions it matches."""
+    out: dict[int, list] = {t.txn_id: [] for t in transactions}
+    for captured in trace:
+        for txn in transactions:
+            if transaction_matches(
+                txn, captured.request.method, captured.request.url,
+                captured.request.body,
+            ):
+                out[txn.txn_id].append(captured)
+    return out
+
+
+# ---------------------------------------------------------------- keywords
+def traffic_keywords(method_url_body: tuple[str, str, str | None],
+                     response_body: str | None = None,
+                     response_type: str = "") -> tuple[set[str], set[str]]:
+    """(request keywords, response keywords) of one captured transaction."""
+    _, url, body = method_url_body
+    request_kws: set[str] = set()
+    for k, _ in parse_qsl(urlsplit(url).query, keep_blank_values=True):
+        request_kws.add(k)
+    if body:
+        request_kws |= _body_keywords(body)
+    response_kws = _body_keywords(response_body) if response_body else set()
+    return request_kws, response_kws
+
+
+def _body_keywords(body: str) -> set[str]:
+    body = body.strip()
+    if not body:
+        return set()
+    if body.startswith(("{", "[")):
+        try:
+            return _json_keys(json.loads(body))
+        except ValueError:
+            pass
+    if body.startswith("<"):
+        try:
+            root = ET.fromstring(body)
+        except ET.ParseError:
+            return set()
+        out: set[str] = set()
+        for elem in root.iter():
+            out.add(elem.tag)
+            out.update(elem.keys())
+        return out
+    return {k for k, _ in parse_qsl(body, keep_blank_values=True)}
+
+
+def signature_keywords(txn: Transaction) -> tuple[set[str], set[str]]:
+    """(request, response) constant keywords of one signature."""
+    return set(txn.request.keywords), set(txn.response.keywords)
+
+
+# ----------------------------------------------------------- byte accounting
+@dataclass
+class ByteAccount:
+    """Rk / Rv / Rn byte counts (Table 2)."""
+
+    rk: int = 0  # bytes matched by constant keywords of the signature
+    rv: int = 0  # bytes matched by the keywords' value wildcards
+    rn: int = 0  # bytes whose key and value are both wildcards
+
+    @property
+    def total(self) -> int:
+        return self.rk + self.rv + self.rn
+
+    def fractions(self) -> tuple[float, float, float]:
+        total = self.total
+        if not total:
+            return (0.0, 0.0, 0.0)
+        return (self.rk / total, self.rv / total, self.rn / total)
+
+    def add(self, other: "ByteAccount") -> None:
+        self.rk += other.rk
+        self.rv += other.rv
+        self.rn += other.rn
+
+
+def account_query_string(sig_keys: set[str], qs: str) -> ByteAccount:
+    acct = ByteAccount()
+    for k, v in parse_qsl(qs, keep_blank_values=True):
+        if k in sig_keys:
+            acct.rk += len(k) + 1  # key plus '='
+            acct.rv += len(v)
+        else:
+            acct.rn += len(k) + 1 + len(v)
+    return acct
+
+
+def account_json(term: Term | None, body: str) -> ByteAccount:
+    acct = ByteAccount()
+    try:
+        data = json.loads(body)
+    except ValueError:
+        return acct
+    _account_json_node(term, data, acct)
+    return acct
+
+
+def _term_at_key(term: Term | None, key: str) -> tuple[bool, Term | None]:
+    if isinstance(term, JsonObject):
+        for k, v in term.entries:
+            if isinstance(k, Const) and k.text == key:
+                return True, v
+    return False, None
+
+
+def _elem_term(term: Term | None) -> Term | None:
+    if isinstance(term, JsonArray):
+        if term.elem is not None:
+            return term.elem
+        if term.fixed:
+            return term.fixed[0]
+    return None
+
+
+def _json_bytes(value) -> int:
+    return len(json.dumps(value, separators=(",", ":")))
+
+
+def _account_json_node(term: Term | None, data, acct: ByteAccount) -> None:
+    if isinstance(data, dict):
+        for key, value in data.items():
+            known, child = _term_at_key(term, key)
+            if known:
+                acct.rk += len(key) + 2  # quoted key
+                if isinstance(value, (dict, list)) and child is not None:
+                    _account_json_node(child, value, acct)
+                else:
+                    acct.rv += _json_bytes(value)
+            else:
+                acct.rn += len(key) + 2 + _json_bytes(value)
+    elif isinstance(data, list):
+        child = _elem_term(term)
+        for item in data:
+            if child is not None:
+                _account_json_node(child, item, acct)
+            else:
+                acct.rn += _json_bytes(item)
+    else:
+        # scalar under a known position
+        acct.rv += _json_bytes(data)
+
+
+def account_request(txn: Transaction, url: str, body: str | None) -> ByteAccount:
+    """Byte accounting for one request's query string + body."""
+    acct = ByteAccount()
+    sig_keys = set(txn.request.keywords)
+    qs = urlsplit(url).query
+    if qs:
+        acct.add(account_query_string(sig_keys, qs))
+    if body:
+        stripped = body.strip()
+        if stripped.startswith(("{", "[")):
+            acct.add(account_json(txn.request.body, stripped))
+        else:
+            acct.add(account_query_string(sig_keys, stripped))
+    return acct
+
+
+def account_response(txn: Transaction, body: str | None) -> ByteAccount:
+    acct = ByteAccount()
+    if body and body.strip().startswith(("{", "[")):
+        acct.add(account_json(txn.response.body, body.strip()))
+    return acct
+
+
+__all__ = [
+    "ByteAccount",
+    "account_json",
+    "account_query_string",
+    "account_request",
+    "account_response",
+    "body_matches",
+    "match_trace",
+    "signature_keywords",
+    "traffic_keywords",
+    "transaction_matches",
+    "uri_matches",
+]

@@ -1,0 +1,92 @@
+"""Compile signature terms to regular expressions (paper §3.2).
+
+"The regex format of a variable object is derived from its type (e.g.
+[0-9]+ for integer variables and .* for string variables).  Repetitions
+(rep) and disjunctions (∨) are respectively converted into the Kleene star
+and | in regular expressions."  JSON/XML trees compile to a permissive
+pattern for display; structural matching of bodies uses
+:mod:`repro.signature.matcher` on the tree itself.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .lang import (
+    Alt,
+    Concat,
+    Const,
+    JsonArray,
+    JsonObject,
+    Rep,
+    Term,
+    Unknown,
+    XmlElement,
+)
+
+_KIND_REGEX = {
+    "str": ".*",
+    "any": ".*",
+    "url": "\\S+",
+    "int": "[0-9]+",
+    "float": "[0-9]+(?:\\.[0-9]+)?",
+    "bool": "(?:true|false|0|1)",
+}
+
+
+def to_regex(term: Term, *, anchored: bool = True) -> str:
+    """Compile ``term`` to a regex string."""
+    body = _compile(term)
+    return f"^{body}$" if anchored else body
+
+
+def compile_regex(term: Term) -> "re.Pattern[str]":
+    return re.compile(to_regex(term), re.DOTALL)
+
+
+def _compile(term: Term) -> str:
+    if isinstance(term, Const):
+        return re.escape(term.text)
+    if isinstance(term, Unknown):
+        return _KIND_REGEX[term.kind]
+    if isinstance(term, Concat):
+        return "".join(_group(_compile(p), p) for p in term.parts)
+    if isinstance(term, Alt):
+        return "(?:" + "|".join(_compile(o) for o in term.options) + ")"
+    if isinstance(term, Rep):
+        return "(?:" + _compile(term.body) + ")*"
+    if isinstance(term, JsonObject):
+        # Display/matching fallback: require each constant key to appear.
+        keys = [k for k, _ in term.entries if isinstance(k, Const)]
+        if not keys:
+            return "\\{.*\\}"
+        lookaheads = "".join(f'(?=.*"{re.escape(k.text)}")' for k in keys)
+        return lookaheads + "\\{.*\\}"
+    if isinstance(term, JsonArray):
+        return "\\[.*\\]"
+    if isinstance(term, XmlElement):
+        return f"<{re.escape(term.tag)}.*</{re.escape(term.tag)}>"
+    raise TypeError(f"cannot compile {type(term).__name__} to regex")
+
+
+def _group(compiled: str, part: Term) -> str:
+    """Wrap alternations so concatenation binds tighter than ``|``."""
+    if isinstance(part, Alt):
+        return compiled  # already grouped with (?:...)
+    return compiled
+
+
+def wildcard_fraction(term: Term) -> float:
+    """Fraction of the compiled pattern that is wildcard rather than
+    literal — a crude signature-quality indicator used in diagnostics."""
+    const_len = sum(
+        len(t.text) for t in term.walk() if isinstance(t, Const)
+    )
+    unknowns = sum(1 for t in term.walk() if isinstance(t, Unknown))
+    total = const_len + unknowns * 4
+    if total == 0:
+        return 1.0
+    return (unknowns * 4) / total
+
+
+__all__ = ["compile_regex", "to_regex", "wildcard_fraction"]

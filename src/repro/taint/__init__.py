@@ -1,0 +1,7 @@
+"""Bidirectional static taint analysis (the FlowDroid substitute)."""
+
+from .defuse import DefUseInfo, compute_defuse, defuse_of
+from .engine import NOFLOW_CALLS, TaintConfig, TaintEngine
+from .slices import SliceResult
+
+__all__ = [name for name in dir() if not name.startswith("_")]

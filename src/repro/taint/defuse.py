@@ -1,0 +1,130 @@
+"""Per-method reaching definitions and def-use chains for locals.
+
+The taint engine propagates facts through locals flow-sensitively: a use of
+local ``x`` at statement ``s`` is linked to exactly the definitions of ``x``
+that reach ``s``.  Field and array cells are handled globally (field-based)
+by the engine itself; this module is purely intra-procedural.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cfg.cfg import ControlFlowGraph, cfg_of
+from ..ir.method import Method
+from ..ir.statements import Stmt
+from ..ir.values import Local, walk_values
+
+
+@dataclass
+class DefUseInfo:
+    """Reaching-definition relation for one method.
+
+    ``defs_reaching[(stmt_index, local)]`` — def statement indices of
+    ``local`` that reach the *entry* of ``stmt_index``.
+    ``uses_reached[(stmt_index, local)]`` — use statement indices that the
+    definition of ``local`` at ``stmt_index`` reaches.
+    """
+
+    method: Method
+    def_sites: dict[Local, list[int]] = field(default_factory=dict)
+    use_sites: dict[Local, list[int]] = field(default_factory=dict)
+    defs_reaching: dict[tuple[int, Local], tuple[int, ...]] = field(default_factory=dict)
+    uses_reached: dict[tuple[int, Local], tuple[int, ...]] = field(default_factory=dict)
+
+    def reaching_defs(self, stmt: Stmt, local: Local) -> tuple[int, ...]:
+        return self.defs_reaching.get((stmt.index, local), ())
+
+    def reached_uses(self, stmt: Stmt, local: Local) -> tuple[int, ...]:
+        return self.uses_reached.get((stmt.index, local), ())
+
+
+def _defined_local(stmt: Stmt) -> Local | None:
+    for d in stmt.defs():
+        if isinstance(d, Local):
+            return d
+    return None
+
+
+def _used_locals(stmt: Stmt) -> set[Local]:
+    out: set[Local] = set()
+    for use in stmt.uses():
+        for value in walk_values(use):
+            if isinstance(value, Local):
+                out.add(value)
+    return out
+
+
+def compute_defuse(method: Method) -> DefUseInfo:
+    """Flow-sensitive reaching definitions via a statement-level worklist."""
+    info = DefUseInfo(method)
+    body = method.body
+    if body is None or not body.statements:
+        return info
+    cfg: ControlFlowGraph = cfg_of(method)
+
+    # Enumerate definition sites.
+    all_defs: list[tuple[int, Local]] = []
+    def_ids: dict[tuple[int, Local], int] = {}
+    for stmt in body.statements:
+        local = _defined_local(stmt)
+        if local is not None:
+            def_ids[(stmt.index, local)] = len(all_defs)
+            all_defs.append((stmt.index, local))
+            info.def_sites.setdefault(local, []).append(stmt.index)
+    kill_mask: dict[Local, int] = {}
+    for (idx, local), did in def_ids.items():
+        kill_mask[local] = kill_mask.get(local, 0) | (1 << did)
+
+    n = len(body.statements)
+    stmt_in = [0] * n
+    stmt_out = [0] * n
+    pred = cfg.stmt_pred
+    succ = cfg.stmt_succ
+    worklist = list(range(n))
+    while worklist:
+        i = worklist.pop()
+        stmt = body.statements[i]
+        new_in = 0
+        for p in pred.get(i, ()):
+            new_in |= stmt_out[p]
+        local = _defined_local(stmt)
+        if local is not None:
+            new_out = (new_in & ~kill_mask[local]) | (1 << def_ids[(i, local)])
+        else:
+            new_out = new_in
+        if new_in != stmt_in[i] or new_out != stmt_out[i]:
+            stmt_in[i] = new_in
+            stmt_out[i] = new_out
+            worklist.extend(succ.get(i, ()))
+
+    # Materialise the def→use relation.
+    for stmt in body.statements:
+        used = _used_locals(stmt)
+        for local in used:
+            info.use_sites.setdefault(local, []).append(stmt.index)
+            reaching = tuple(
+                d_idx
+                for bit, (d_idx, d_local) in enumerate(all_defs)
+                if d_local == local and stmt_in[stmt.index] & (1 << bit)
+            )
+            info.defs_reaching[(stmt.index, local)] = reaching
+            for d_idx in reaching:
+                key = (d_idx, local)
+                info.uses_reached[key] = info.uses_reached.get(key, ()) + (stmt.index,)
+    return info
+
+
+_DEFUSE_CACHE: dict[int, DefUseInfo] = {}
+
+
+def defuse_of(method: Method) -> DefUseInfo:
+    key = id(method)
+    cached = _DEFUSE_CACHE.get(key)
+    if cached is None or cached.method is not method:
+        cached = compute_defuse(method)
+        _DEFUSE_CACHE[key] = cached
+    return cached
+
+
+__all__ = ["DefUseInfo", "compute_defuse", "defuse_of"]

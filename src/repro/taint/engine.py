@@ -1,0 +1,493 @@
+"""Bidirectional taint propagation — the FlowDroid substitute (paper §3.1).
+
+Two directions share one engine:
+
+* **Backward** (request slices): starting from the request object at a
+  demarcation point, find every statement whose effects flow *into* it.
+  Implements the paper's inverted propagation rules — a tainted LHS taints
+  the RHS, callee-argument taint propagates to caller arguments, and "all
+  statements that include tainted objects" join the slice (open-ended
+  propagation, §3.1).
+* **Forward** (response slices): starting from the response object, find
+  every statement the network data flows *to* — through locals, heap
+  fields, call arguments, returns and framework-linked continuations
+  (AsyncTask's ``doInBackground → onPostExecute``).
+
+Heap handling is field-based (a taint on ``C.f`` covers all instances),
+which over-approximates — safe for slicing, and precision for pairing is
+recovered by disjoint sub-slices exactly as in the paper (§3.3).
+
+Asynchronous implicit flows (a callback stores into a field; a later event
+reads it, §3.4) cross an *event boundary*.  The engine charges one hop per
+boundary crossing and stops at ``max_async_hops`` — 1 when the paper's
+heuristic is enabled, 0 when disabled; multi-hop chains are recorded in
+``missed_async_flows``, reproducing the paper's stated limitation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from ..cfg.callgraph import CallGraph
+from ..cfg.cfg import cfg_of
+from ..ir.method import Method
+from ..ir.program import Program
+from ..ir.statements import (
+    AssignStmt,
+    IdentityStmt,
+    ReturnStmt,
+    Stmt,
+    StmtRef,
+)
+from ..ir.values import (
+    ArrayRef,
+    Constant,
+    FieldSig,
+    InstanceFieldRef,
+    InvokeExpr,
+    Local,
+    ParamRef,
+    StaticFieldRef,
+    ThisRef,
+    Value,
+    walk_values,
+)
+from .defuse import defuse_of
+from .slices import SliceResult
+
+#: Library calls through which no data flows (logging, metrics).
+NOFLOW_CALLS = frozenset(
+    {
+        ("android.util.Log", "d"),
+        ("android.util.Log", "e"),
+        ("android.util.Log", "i"),
+        ("android.util.Log", "v"),
+        ("android.util.Log", "w"),
+        ("java.lang.System", "currentTimeMillis"),
+        ("java.lang.Thread", "sleep"),
+        ("java.io.PrintStream", "println"),
+    }
+)
+
+
+@dataclass
+class TaintConfig:
+    """Knobs mirroring the paper's evaluation setup (§5.1)."""
+
+    #: async-event heuristic: 1 hop when enabled (closed-source runs),
+    #: 0 hops when disabled (open-source runs).
+    max_async_hops: int = 1
+    #: safety valve against pathological programs
+    max_worklist_items: int = 2_000_000
+
+
+class TaintEngine:
+    def __init__(
+        self,
+        program: Program,
+        callgraph: CallGraph,
+        config: TaintConfig | None = None,
+        *,
+        event_roots: dict[str, frozenset[str]] | None = None,
+        linked_returns: dict[str, list[tuple[str, int]]] | None = None,
+    ) -> None:
+        self.program = program
+        self.callgraph = callgraph
+        self.config = config or TaintConfig()
+        #: method id -> set of entry-point roots whose event may run it.
+        self.event_roots = event_roots or {}
+        #: method id -> [(continuation method id, param index receiving the
+        #: return value)] — AsyncTask-style framework result plumbing.
+        self.linked_returns = linked_returns or {}
+        self._reach_cache: dict[str, list[set[int]]] = {}
+        self._field_stores: dict[tuple[str, str], list[StmtRef]] | None = None
+        self._field_loads: dict[tuple[str, str], list[StmtRef]] | None = None
+
+    # ------------------------------------------------------------------ utils
+    def _method(self, method_id: str) -> Method:
+        return self.program.method_by_id(method_id)
+
+    def _reach(self, method: Method) -> list[set[int]]:
+        """Forward statement-level reachability sets (reflexive)."""
+        cached = self._reach_cache.get(method.method_id)
+        if cached is not None:
+            return cached
+        cfg = cfg_of(method)
+        n = len(method.body.statements) if method.body else 0
+        succ = cfg.stmt_succ
+        reach: list[set[int]] = [set() for _ in range(n)]
+        # Reverse-topological accumulation with a fixpoint for loops.
+        changed = True
+        while changed:
+            changed = False
+            for i in range(n - 1, -1, -1):
+                acc = {i}
+                for s in succ.get(i, ()):
+                    acc |= reach[s]
+                    acc.add(s)
+                if not acc <= reach[i]:
+                    reach[i] |= acc
+                    changed = True
+        self._reach_cache[method.method_id] = reach
+        return reach
+
+    def _field_key(self, f: FieldSig) -> tuple[str, str]:
+        return (f.class_name, f.name)
+
+    def _index_fields(self) -> None:
+        if self._field_stores is not None:
+            return
+        stores: dict[tuple[str, str], list[StmtRef]] = {}
+        loads: dict[tuple[str, str], list[StmtRef]] = {}
+        for method in self.program.methods():
+            if method.body is None:
+                continue
+            for stmt in method.body:
+                if isinstance(stmt, AssignStmt):
+                    tgt = stmt.target
+                    if isinstance(tgt, (InstanceFieldRef, StaticFieldRef)):
+                        stores.setdefault(
+                            self._field_key(tgt.field), []
+                        ).append(method.stmt_ref(stmt))
+                    rhs = stmt.rhs
+                    if isinstance(rhs, (InstanceFieldRef, StaticFieldRef)):
+                        loads.setdefault(
+                            self._field_key(rhs.field), []
+                        ).append(method.stmt_ref(stmt))
+        self._field_stores = stores
+        self._field_loads = loads
+
+    def _cross_event_cost(self, from_mid: str, to_mid: str) -> int:
+        """1 if the flow crosses an asynchronous event boundary, else 0."""
+        if not self.event_roots:
+            return 0
+        a = self.event_roots.get(from_mid)
+        b = self.event_roots.get(to_mid)
+        if not a or not b:
+            return 0
+        return 0 if a & b else 1
+
+    @staticmethod
+    def _is_noflow(expr: InvokeExpr) -> bool:
+        return (expr.sig.class_name, expr.sig.name) in NOFLOW_CALLS
+
+    # ---------------------------------------------------------------- backward
+    def backward_slice(self, seeds: list[tuple[StmtRef, Value]]) -> SliceResult:
+        """Request-slice extraction: inverted taint propagation from seeds."""
+        self._index_fields()
+        result = SliceResult("backward")
+        seen: dict[tuple, int] = {}
+        queue: deque[tuple[StmtRef, Local, int]] = deque()
+
+        def need(ref: StmtRef, value: Value, hops: int) -> None:
+            if isinstance(value, Constant):
+                return
+            if not isinstance(value, Local):
+                for op in walk_values(value):
+                    if isinstance(op, Local):
+                        need(ref, op, hops)
+                return
+            key = (ref.method_id, ref.index, value.name)
+            prev = seen.get(key)
+            if prev is not None and prev <= hops:
+                return
+            seen[key] = hops
+            queue.append((ref, value, hops))
+
+        for ref, value in seeds:
+            result.stmts.add(ref)
+            need(ref, value, 0)
+
+        budget = self.config.max_worklist_items
+        while queue and budget:
+            budget -= 1
+            ref, local, hops = queue.popleft()
+            self._backward_step(ref, local, hops, result, need)
+        return result
+
+    def _backward_step(self, ref, local, hops, result, need) -> None:
+        method = self._method(ref.method_id)
+        assert method.body is not None
+        du = defuse_of(method)
+        use_stmt = method.stmt_at(ref.index)
+        result.tainted_locals.add((method.method_id, local))
+        defs = du.reaching_defs(use_stmt, local)
+        if not defs and local in set(use_stmt.defs()):
+            defs = (ref.index,)
+        reach = self._reach(method)
+        for d_idx in defs:
+            region = {
+                s.index
+                for s in method.body
+                if (d_idx in (s.index,) or s.index in reach[d_idx])
+                and ref.index in reach[s.index] | {s.index}
+                and self._mentions(s, local)
+            }
+            region.add(d_idx)
+            for s_idx in region:
+                stmt = method.stmt_at(s_idx)
+                result.stmts.add(StmtRef(method.method_id, s_idx))
+                self._backward_inflows(method, stmt, local, hops, result, need)
+
+    @staticmethod
+    def _mentions(stmt: Stmt, local: Local) -> bool:
+        if local in set(stmt.defs()):
+            return True
+        for use in stmt.uses():
+            for v in walk_values(use):
+                if v == local:
+                    return True
+        return False
+
+    def _backward_inflows(self, method, stmt, local, hops, result, need) -> None:
+        ref = method.stmt_ref(stmt)
+        # 1) the statement (re)defines the tainted local: chase the RHS
+        if isinstance(stmt, AssignStmt) and stmt.target == local:
+            self._backward_rhs(method, stmt, stmt.rhs, hops, result, need)
+        elif isinstance(stmt, IdentityStmt) and stmt.target == local:
+            self._backward_identity(method, stmt, hops, result, need)
+        # 2) mutation through the tainted object
+        expr = stmt.invoke
+        if expr is not None and expr.base == local:
+            if not self._is_noflow(expr):
+                for arg in expr.args:
+                    need(ref, arg, hops)
+                for callee_id in self.callgraph.callees_of(ref):
+                    result.call_edges.add((ref, callee_id))
+        if isinstance(stmt, AssignStmt):
+            tgt = stmt.target
+            if isinstance(tgt, InstanceFieldRef) and tgt.base == local:
+                need(ref, stmt.rhs, hops)
+            if isinstance(tgt, ArrayRef) and tgt.base == local:
+                need(ref, stmt.rhs, hops)
+
+    def _backward_rhs(self, method, stmt, rhs, hops, result, need) -> None:
+        ref = method.stmt_ref(stmt)
+        if isinstance(rhs, InvokeExpr):
+            if self._is_noflow(rhs):
+                return
+            callees = self.callgraph.callees_of(ref)
+            for callee_id in callees:
+                result.call_edges.add((ref, callee_id))
+                callee = self._method(callee_id)
+                if callee.body is None:
+                    continue
+                for r in callee.body:
+                    if isinstance(r, ReturnStmt) and r.value is not None:
+                        r_ref = callee.stmt_ref(r)
+                        result.stmts.add(r_ref)
+                        need(r_ref, r.value, hops)
+            if not callees or self.callgraph.is_library_call(ref):
+                if rhs.base is not None:
+                    need(ref, rhs.base, hops)
+                for arg in rhs.args:
+                    need(ref, arg, hops)
+            return
+        if isinstance(rhs, (InstanceFieldRef, StaticFieldRef)):
+            result.fields.add(rhs.field)
+            if isinstance(rhs, InstanceFieldRef):
+                need(ref, rhs.base, hops)
+            for store_ref in self._field_stores.get(self._field_key(rhs.field), ()):
+                cost = self._cross_event_cost(store_ref.method_id, ref.method_id)
+                if hops + cost > self.config.max_async_hops:
+                    result.missed_async_flows.add(store_ref)
+                    continue
+                store_m = self._method(store_ref.method_id)
+                store_stmt = store_m.stmt_at(store_ref.index)
+                result.stmts.add(store_ref)
+                assert isinstance(store_stmt, AssignStmt)
+                need(store_ref, store_stmt.rhs, hops + cost)
+                tgt = store_stmt.target
+                if isinstance(tgt, InstanceFieldRef):
+                    need(store_ref, tgt.base, hops + cost)
+            return
+        # plain values: chase every local operand
+        for v in walk_values(rhs):
+            if isinstance(v, Local):
+                need(method.stmt_ref(stmt), v, hops)
+
+    def _backward_identity(self, method, stmt, hops, result, need) -> None:
+        rhs = stmt.rhs
+        callers = self.callgraph.callers_of(method.method_id)
+        # Crossing from a boundary callback (posted runnable, timer task)
+        # back to its registration site moves to an earlier asynchronous
+        # event — that is exactly the implicit flow §3.4's heuristic tracks,
+        # so it costs a hop.  Same-event calls (incl. AsyncTask bodies,
+        # whose roots are inherited) cost nothing.
+        if isinstance(rhs, ParamRef):
+            if not callers:
+                result.origin_params.add((method.method_id, rhs.index))
+            for site in callers:
+                caller = self._method(site.method_id)
+                expr = caller.stmt_at(site.index).invoke
+                result.stmts.add(site)
+                result.call_edges.add((site, method.method_id))
+                if expr is not None and rhs.index < len(expr.args):
+                    cost = self._cross_event_cost(site.method_id, method.method_id)
+                    if hops + cost > self.config.max_async_hops:
+                        result.missed_async_flows.add(site)
+                        continue
+                    need(site, expr.args[rhs.index], hops + cost)
+        elif isinstance(rhs, ThisRef):
+            for site in callers:
+                caller = self._method(site.method_id)
+                expr = caller.stmt_at(site.index).invoke
+                if expr is None:
+                    continue
+                cost = self._cross_event_cost(site.method_id, method.method_id)
+                if hops + cost > self.config.max_async_hops:
+                    result.missed_async_flows.add(site)
+                    continue
+                result.stmts.add(site)
+                result.call_edges.add((site, method.method_id))
+                receiver = self._receiver_value(expr, method.class_name)
+                if receiver is not None:
+                    need(site, receiver, hops + cost)
+
+    def _receiver_value(self, expr: InvokeExpr, callee_class: str):
+        """The caller-side value playing ``this`` for this edge.  For
+        implicit callback edges (Handler.post(runnable) → Runnable.run) the
+        receiver is the *argument* of the callee's type, not the base."""
+        for arg in expr.args:
+            if isinstance(arg, Local) and callee_class in set(
+                self.program.superclasses(arg.type.name)
+            ):
+                return arg
+        if isinstance(expr.base, Local):
+            return expr.base
+        return None
+
+    # ----------------------------------------------------------------- forward
+    def forward_slice(self, seeds: list[tuple[StmtRef, Value]]) -> SliceResult:
+        """Response-slice extraction: standard taint propagation from seeds."""
+        self._index_fields()
+        result = SliceResult("forward")
+        seen: dict[tuple, int] = {}
+        queue: deque[tuple[StmtRef, Local, int]] = deque()
+
+        def fact(ref: StmtRef, value: Value, hops: int) -> None:
+            """``value`` holds tainted data from statement ``ref`` onward."""
+            if not isinstance(value, Local):
+                return
+            key = (ref.method_id, ref.index, value.name)
+            prev = seen.get(key)
+            if prev is not None and prev <= hops:
+                return
+            seen[key] = hops
+            queue.append((ref, value, hops))
+
+        for ref, value in seeds:
+            result.stmts.add(ref)
+            fact(ref, value, 0)
+
+        budget = self.config.max_worklist_items
+        while queue and budget:
+            budget -= 1
+            ref, local, hops = queue.popleft()
+            self._forward_step(ref, local, hops, result, fact)
+        return result
+
+    def _uses_after(self, method: Method, local: Local, from_idx: int) -> list[int]:
+        du = defuse_of(method)
+        reach = self._reach(method)
+        sites = du.use_sites.get(local, [])
+        return [s for s in sites if s in reach[from_idx] or s == from_idx]
+
+    def _forward_step(self, ref, local, hops, result, fact) -> None:
+        method = self._method(ref.method_id)
+        assert method.body is not None
+        result.tainted_locals.add((method.method_id, local))
+        for u_idx in self._uses_after(method, local, ref.index):
+            stmt = method.stmt_at(u_idx)
+            u_ref = StmtRef(method.method_id, u_idx)
+            result.stmts.add(u_ref)
+            self._forward_outflows(method, stmt, u_ref, local, hops, result, fact)
+
+    def _forward_outflows(self, method, stmt, ref, local, hops, result, fact) -> None:
+        expr = stmt.invoke
+        if expr is not None and not self._is_noflow(expr):
+            callees = self.callgraph.callees_of(ref)
+            is_arg = local in expr.args
+            is_base = expr.base == local
+            for callee_id in callees:
+                callee = self._method(callee_id)
+                if callee.body is None:
+                    continue
+                cost = self._cross_event_cost(method.method_id, callee_id)
+                if hops + cost > self.config.max_async_hops:
+                    result.missed_async_flows.add(ref)
+                    continue
+                result.call_edges.add((ref, callee_id))
+                if is_arg:
+                    for i, arg in enumerate(expr.args):
+                        if arg == local and i < len(callee.param_locals):
+                            p = callee.param_locals[i]
+                            fact(self._param_ref(callee, p), p, hops + cost)
+                if is_base and callee.this_local is not None:
+                    t = callee.this_local
+                    fact(self._param_ref(callee, t), t, hops + cost)
+            if not callees or self.callgraph.is_library_call(ref):
+                # library call: taint flows into the result and the receiver
+                if isinstance(stmt, AssignStmt) and isinstance(stmt.target, Local):
+                    fact(ref, stmt.target, hops)
+                if (is_arg or is_base) and isinstance(expr.base, Local) and expr.base != local:
+                    fact(ref, expr.base, hops)
+        if isinstance(stmt, AssignStmt):
+            tgt = stmt.target
+            rhs_locals = {
+                v for v in walk_values(stmt.rhs) if isinstance(v, Local)
+            }
+            index_only = (
+                isinstance(tgt, ArrayRef)
+                and tgt.index == local
+                and local not in rhs_locals
+            )
+            if local in rhs_locals or (
+                isinstance(tgt, (InstanceFieldRef, ArrayRef)) and not index_only
+            ):
+                if isinstance(tgt, Local) and local in rhs_locals:
+                    fact(ref, tgt, hops)
+                elif isinstance(tgt, (InstanceFieldRef, StaticFieldRef)) and local in rhs_locals:
+                    result.fields.add(tgt.field)
+                    self._taint_field_loads(tgt.field, ref, hops, result, fact)
+                elif isinstance(tgt, ArrayRef) and local in rhs_locals:
+                    if isinstance(tgt.base, Local):
+                        fact(ref, tgt.base, hops)
+        if isinstance(stmt, ReturnStmt) and stmt.value == local:
+            for site in self.callgraph.callers_of(method.method_id):
+                caller = self._method(site.method_id)
+                call_stmt = caller.stmt_at(site.index)
+                result.stmts.add(site)
+                result.call_edges.add((site, method.method_id))
+                if isinstance(call_stmt, AssignStmt) and isinstance(call_stmt.target, Local):
+                    fact(site, call_stmt.target, hops)
+            for succ_mid, p_idx in self.linked_returns.get(method.method_id, ()):
+                succ = self._method(succ_mid)
+                if succ.body is None or p_idx >= len(succ.param_locals):
+                    continue
+                p = succ.param_locals[p_idx]
+                fact(self._param_ref(succ, p), p, hops)
+
+    def _taint_field_loads(self, field: FieldSig, ref, hops, result, fact) -> None:
+        for load_ref in self._field_loads.get(self._field_key(field), ()):
+            cost = self._cross_event_cost(ref.method_id, load_ref.method_id)
+            if hops + cost > self.config.max_async_hops:
+                result.missed_async_flows.add(load_ref)
+                continue
+            load_m = self._method(load_ref.method_id)
+            load_stmt = load_m.stmt_at(load_ref.index)
+            result.stmts.add(load_ref)
+            if isinstance(load_stmt, AssignStmt) and isinstance(load_stmt.target, Local):
+                fact(load_ref, load_stmt.target, hops + cost)
+
+    @staticmethod
+    def _param_ref(method: Method, local: Local) -> StmtRef:
+        assert method.body is not None
+        for stmt in method.body:
+            if local in set(stmt.defs()):
+                return method.stmt_ref(stmt)
+        return StmtRef(method.method_id, 0)
+
+
+__all__ = ["NOFLOW_CALLS", "TaintConfig", "TaintEngine"]

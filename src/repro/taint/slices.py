@@ -1,0 +1,53 @@
+"""Program-slice result types shared by the taint engine and its clients."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir.statements import StmtRef
+from ..ir.values import FieldSig, Local
+
+
+@dataclass
+class SliceResult:
+    """A program slice: the statements reachable by taint propagation from
+    the seeds, plus the relations later phases need.
+
+    ``direction`` is ``"backward"`` (request slice) or ``"forward"``
+    (response slice).
+    """
+
+    direction: str
+    stmts: set[StmtRef] = field(default_factory=set)
+    #: call-graph edges the propagation traversed: (site, callee method id)
+    call_edges: set[tuple[StmtRef, str]] = field(default_factory=set)
+    #: heap cells the slice reads (backward) or writes (forward)
+    fields: set[FieldSig] = field(default_factory=set)
+    #: locals known tainted, keyed by owning method
+    tainted_locals: set[tuple[str, Local]] = field(default_factory=set)
+    #: framework-callback parameters reached with no further callers:
+    #: (method_id, param index) — the data's external origin
+    origin_params: set[tuple[str, int]] = field(default_factory=set)
+    #: implicit flows skipped because they exceeded the async-hop budget
+    missed_async_flows: set[StmtRef] = field(default_factory=set)
+
+    @property
+    def methods(self) -> set[str]:
+        return {ref.method_id for ref in self.stmts}
+
+    def merge(self, other: "SliceResult") -> None:
+        self.stmts |= other.stmts
+        self.call_edges |= other.call_edges
+        self.fields |= other.fields
+        self.tainted_locals |= other.tainted_locals
+        self.origin_params |= other.origin_params
+        self.missed_async_flows |= other.missed_async_flows
+
+    def __len__(self) -> int:
+        return len(self.stmts)
+
+    def __contains__(self, ref: StmtRef) -> bool:
+        return ref in self.stmts
+
+
+__all__ = ["SliceResult"]

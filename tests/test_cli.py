@@ -1,0 +1,89 @@
+"""CLI tests (in-process via cli.main, plus one subprocess smoke test)."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import main, report_to_dict
+
+
+def run_cli(capsys, *argv) -> str:
+    assert main(list(argv)) == 0
+    return capsys.readouterr().out
+
+
+class TestCli:
+    def test_corpus_listing(self, capsys):
+        out = run_cli(capsys, "corpus")
+        assert "diode" in out and "pinterest" in out
+        open_only = run_cli(capsys, "corpus", "--kind", "open")
+        assert "pinterest" not in open_only
+
+    def test_analyze_corpus_key(self, capsys):
+        out = run_cli(capsys, "analyze", "radioreddit")
+        assert "transactions: 6" in out
+        assert "api/vote" in out
+
+    def test_analyze_json_output(self, capsys):
+        out = run_cli(capsys, "analyze", "blippex", "--json")
+        data = json.loads(out)
+        assert data["app"] == "blippex"
+        assert data["stats"]["GET"] == 1
+        assert data["transactions"][0]["uri_regex"].startswith("^")
+
+    def test_analyze_sapk_bundle(self, capsys, tmp_path):
+        run_cli(capsys, "export", "wallabag", str(tmp_path / "w.sapk"))
+        out = run_cli(capsys, "analyze", str(tmp_path / "w.sapk"))
+        assert "transactions: 1" in out
+
+    def test_analyze_unknown_target_exits(self):
+        with pytest.raises(SystemExit):
+            main(["analyze", "not-an-app"])
+
+    def test_fuzz_modes(self, capsys):
+        manual = run_cli(capsys, "fuzz", "radioreddit", "--mode", "manual")
+        assert "6 transactions" in manual
+        auto = run_cli(capsys, "fuzz", "radioreddit", "--mode", "auto")
+        assert "4 transactions" in auto
+        assert "[skipped]" in auto
+
+    def test_no_async_heuristic_flag(self, capsys):
+        with_h = json.loads(
+            run_cli(capsys, "analyze", "weather", "--json", "--async-heuristic")
+        )
+        without = json.loads(
+            run_cli(capsys, "analyze", "weather", "--json",
+                    "--no-async-heuristic")
+        )
+        uri_with = next(t["uri_regex"] for t in with_h["transactions"]
+                        if "forecast" in t["uri_regex"])
+        uri_without = next(t["uri_regex"] for t in without["transactions"]
+                           if "forecast" in t["uri_regex"])
+        assert "lat" in uri_with
+        assert "lat" not in uri_without
+
+    def test_module_invocation(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "corpus"],
+            capture_output=True, text=True, timeout=120,
+        )
+        assert result.returncode == 0
+        assert "diode" in result.stdout
+
+
+class TestReportDict:
+    def test_roundtrips_through_json(self):
+        from repro import AnalysisConfig, Extractocol
+        from repro.corpus import build_app
+
+        report = Extractocol(AnalysisConfig()).analyze(build_app("ted"))
+        data = json.loads(json.dumps(report_to_dict(report)))
+        assert len(data["transactions"]) == len(report.transactions)
+        media = [t for t in data["transactions"]
+                 if "media_player" in t["consumers"]]
+        assert media
+        assert any(t["dynamic_uri"] for t in data["transactions"])

@@ -1,0 +1,111 @@
+"""Tests for the JSON Schema and DTD signature renderers."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import AnalysisConfig, Extractocol
+from repro.corpus import get_spec
+from repro.semantics.avals import ResponseAccumulator
+from repro.signature.dtd import to_dtd, xml_tree_from_accumulator
+from repro.signature.jsonschema import to_json_schema
+from repro.signature.lang import (
+    Alt,
+    Const,
+    JsonArray,
+    JsonObject,
+    Unknown,
+    XmlElement,
+    concat,
+    rep,
+)
+
+
+class TestJsonSchema:
+    def test_object_with_required_keys(self):
+        sig = JsonObject(
+            ((Const("modhash"), Unknown("str")), (Const("score"), Unknown("int"))),
+            open_=True,
+        )
+        schema = to_json_schema(sig)
+        assert schema["type"] == "object"
+        assert schema["required"] == ["modhash", "score"]
+        assert schema["properties"]["score"] == {"type": "integer"}
+        assert schema["additionalProperties"] is True
+
+    def test_closed_object(self):
+        sig = JsonObject(((Const("k"), Unknown("str")),))
+        assert to_json_schema(sig)["additionalProperties"] is False
+
+    def test_array_with_element_pattern(self):
+        sig = JsonArray(elem=JsonObject(((Const("title"), Unknown("str")),)))
+        schema = to_json_schema(sig)
+        assert schema["type"] == "array"
+        assert schema["items"]["properties"]["title"] == {"type": "string"}
+
+    def test_fixed_array(self):
+        sig = JsonArray(fixed=(Const("a"), Unknown("int")))
+        schema = to_json_schema(sig)
+        assert schema["minItems"] == 2
+
+    def test_const_typing(self):
+        assert to_json_schema(Const("42")) == {"type": "integer", "const": 42}
+        assert to_json_schema(Const("true"))["type"] == "boolean"
+        assert to_json_schema(Const("hi"))["const"] == "hi"
+
+    def test_alt_becomes_anyof(self):
+        sig = Alt((Const("save"), Const("unsave")))
+        schema = to_json_schema(sig)
+        assert len(schema["anyOf"]) == 2
+
+    def test_string_patterns(self):
+        sig = concat(Const("id="), Unknown("str"))
+        schema = to_json_schema(sig)
+        assert schema["type"] == "string"
+        assert schema["pattern"].startswith("^")
+
+    def test_schema_is_json_serializable_for_real_app(self):
+        spec = get_spec("radioreddit")
+        report = Extractocol(AnalysisConfig()).analyze(spec.build_apk())
+        for txn in report.transactions:
+            if txn.response.kind == "json" and txn.response.body is not None:
+                schema = to_json_schema(txn.response.body)
+                json.dumps(schema)
+                assert schema.get("type") == "object"
+
+
+class TestDtd:
+    def test_nested_elements(self):
+        tree = XmlElement(
+            "weatherdata",
+            (),
+            (
+                XmlElement("location", (), (XmlElement("name", (), (), Unknown("str")),)),
+                XmlElement("temperature", (("value", Unknown("str")),), ()),
+            ),
+        )
+        dtd = to_dtd(tree)
+        assert "<!ELEMENT weatherdata (location*, temperature*)>" in dtd
+        assert "<!ELEMENT name (#PCDATA)>" in dtd
+        assert "<!ATTLIST temperature value CDATA #IMPLIED>" in dtd
+
+    def test_accumulator_conversion(self):
+        acc = ResponseAccumulator(txn_id=0, kind="xml")
+        acc.record_access(("feed", "entry", "title"), "str")
+        acc.record_access(("feed", "entry", "@id"), "str")
+        tree = xml_tree_from_accumulator(acc)
+        assert tree is not None
+        dtd = to_dtd(tree)
+        assert "feed" in dtd and "entry" in dtd
+        assert "<!ATTLIST entry id CDATA #IMPLIED>" in dtd
+
+    def test_non_xml_accumulator_returns_none(self):
+        acc = ResponseAccumulator(txn_id=0, kind="json")
+        acc.record_access(("a",), "str")
+        assert xml_tree_from_accumulator(acc) is None
+
+    def test_json_tree_rejected(self):
+        with pytest.raises(TypeError):
+            to_dtd(JsonObject(((Const("k"), Unknown("str")),)))

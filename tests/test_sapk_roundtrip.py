@@ -1,0 +1,45 @@
+"""Every corpus app survives the ``.sapk`` save→load round trip with its
+analysis output intact — the printer/parser exercised at corpus scale."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AnalysisConfig, Extractocol, load_apk
+from repro.apk.loader import save_apk
+from repro.corpus import app_keys, get_spec
+from repro.ir.printer import print_program
+
+# a representative cross-section (all transports, both kinds, all body types)
+KEYS = ["diode", "radioreddit", "weather", "anarxiv", "qbittorrent",
+        "ted", "kayak", "aol", "watchespn", "linkedin"]
+
+
+@pytest.mark.parametrize("key", KEYS)
+def test_sapk_roundtrip_preserves_analysis(key, tmp_path):
+    spec = get_spec(key)
+    original = spec.build_apk()
+    bundle = save_apk(original, tmp_path / f"{key}.sapk")
+    loaded = load_apk(bundle)
+
+    assert print_program(loaded.program) == print_program(original.program)
+    assert loaded.entrypoints == original.entrypoints
+    assert loaded.resources.names() == original.resources.names()
+
+    cfg = AnalysisConfig(async_heuristic=(spec.kind == "closed"),
+                         scope_prefixes=spec.scope_prefixes)
+    report_orig = Extractocol(cfg).analyze(original)
+    report_load = Extractocol(cfg).analyze(loaded)
+    assert report_orig.unique_uri_signatures() == report_load.unique_uri_signatures()
+    assert len(report_orig.transactions) == len(report_load.transactions)
+    assert {str(d) for d in report_orig.dependencies} == {
+        str(d) for d in report_load.dependencies
+    }
+
+
+def test_zip_bundle_roundtrip(tmp_path):
+    spec = get_spec("blippex")
+    bundle = save_apk(spec.build_apk(), tmp_path / "blippex.zip")
+    loaded = load_apk(bundle)
+    report = Extractocol(AnalysisConfig()).analyze(loaded)
+    assert len(report.transactions) == 1
