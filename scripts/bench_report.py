@@ -1,0 +1,154 @@
+#!/usr/bin/env python
+"""End-to-end pipeline benchmark: serial reference engine vs the memoized
+parallel engine, persisted as ``BENCH_pipeline.json``.
+
+For every app the harness measures ``Extractocol.analyze`` wall time with
+``workers=1`` (the serial reference engine — the seed's exact code path)
+and ``workers=N`` (the ProgramIndex-backed engine with executor fan-out),
+and asserts the two runs produce byte-identical reports.
+
+Methodology:
+
+* The APK is built fresh for every timed run (cold per-method caches) but
+  the build itself is *outside* the timed region — we benchmark the
+  analyzer, not the corpus generator.
+* Serial and parallel runs are interleaved and the best of ``--repeats``
+  is kept for each, which cancels slow drifts in host load.
+* GC is disabled inside the timed region.
+
+On a single-core host the executor cannot add true parallelism (the GIL
+serialises CPU-bound threads), so the reported speedup measures the
+memoized engine's algorithmic gains: shared per-method artifacts, bitmask
+reachability, lazy def-use materialisation.  On multi-core hosts the
+demarcation-point fan-out adds to that.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_report.py
+    PYTHONPATH=src python scripts/bench_report.py --quick --out /tmp/b.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.cli import report_to_dict  # noqa: E402
+from repro.core.config import AnalysisConfig  # noqa: E402
+from repro.core.extractocol import Extractocol  # noqa: E402
+from repro.corpus import get_spec  # noqa: E402
+
+DEFAULT_APPS = ["ted", "kayak", "pinterest", "wishlocal"]
+
+
+def _config(spec, workers: int) -> AnalysisConfig:
+    return AnalysisConfig(
+        async_heuristic=(spec.kind == "closed"),
+        scope_prefixes=spec.scope_prefixes,
+        workers=workers,
+    )
+
+
+def _analyze(spec, workers: int):
+    return Extractocol(_config(spec, workers)).analyze(spec.build_apk())
+
+
+def _timed_run(spec, workers: int) -> float:
+    apk = spec.build_apk()
+    gc.collect()
+    gc.disable()
+    try:
+        t0 = time.perf_counter()
+        Extractocol(_config(spec, workers)).analyze(apk)
+        return time.perf_counter() - t0
+    finally:
+        gc.enable()
+
+
+def bench_app(key: str, workers: int, repeats: int) -> dict:
+    spec = get_spec(key)
+    serial_report = json.dumps(report_to_dict(_analyze(spec, 1)))
+    parallel_report = json.dumps(report_to_dict(_analyze(spec, workers)))
+    identical = serial_report == parallel_report
+
+    serial_best = parallel_best = None
+    for _ in range(repeats):  # interleaved: host-load drift hits both sides
+        ts = _timed_run(spec, 1)
+        tp = _timed_run(spec, workers)
+        serial_best = ts if serial_best is None else min(serial_best, ts)
+        parallel_best = tp if parallel_best is None else min(parallel_best, tp)
+    return {
+        "serial_s": round(serial_best, 4),
+        "parallel_s": round(parallel_best, 4),
+        "speedup": round(serial_best / parallel_best, 3),
+        "identical_reports": identical,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--apps", nargs="*", default=None,
+                        help=f"corpus apps to benchmark (default: {DEFAULT_APPS})")
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--quick", action="store_true",
+                        help="smoke mode: 2 small apps, 2 repeats")
+    parser.add_argument("--out", default=None,
+                        help="output path (default: BENCH_pipeline.json in repo root)")
+    args = parser.parse_args(argv)
+
+    apps = args.apps or (["ted", "kayak"] if args.quick else DEFAULT_APPS)
+    repeats = 2 if args.quick and args.repeats == 5 else args.repeats
+    out = Path(args.out) if args.out else (
+        Path(__file__).resolve().parent.parent / "BENCH_pipeline.json"
+    )
+
+    per_app: dict[str, dict] = {}
+    for key in apps:
+        per_app[key] = bench_app(key, args.workers, repeats)
+        row = per_app[key]
+        print(f"{key:12s} serial={row['serial_s']:.3f}s "
+              f"parallel={row['parallel_s']:.3f}s speedup={row['speedup']:.2f} "
+              f"identical={row['identical_reports']}")
+
+    tot_s = sum(r["serial_s"] for r in per_app.values())
+    tot_p = sum(r["parallel_s"] for r in per_app.values())
+    report = {
+        "meta": {
+            "generated_unix": int(time.time()),
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+            "workers": args.workers,
+            "repeats": repeats,
+            "timed_region": "Extractocol.analyze (APK built outside timing)",
+            "engines": {
+                "serial": "workers=1 — reference engine, the seed code path",
+                "parallel": f"workers={args.workers} — ProgramIndex-memoized "
+                            "engine with executor fan-out (thread fan-out "
+                            "clamped to cpu_count)",
+            },
+        },
+        "apps": per_app,
+        "aggregate": {
+            "serial_s": round(tot_s, 4),
+            "parallel_s": round(tot_p, 4),
+            "speedup": round(tot_s / tot_p, 3),
+            "all_identical": all(r["identical_reports"] for r in per_app.values()),
+        },
+    }
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"aggregate speedup={report['aggregate']['speedup']:.2f} -> {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,6 +31,9 @@ class CallGraph:
         self.targets: dict[StmtRef, set[str]] = {}
         #: method id -> call sites that may reach it
         self.callers: dict[str, set[StmtRef]] = {}
+        #: method id -> ids of methods containing those call sites — the
+        #: reverse-edge adjacency used by O(edges) reverse closures
+        self.caller_methods: dict[str, set[str]] = {}
         #: call sites whose target is a library API (semantic-model territory)
         self.library_sites: dict[StmtRef, InvokeExpr] = {}
         #: implicit edges injected by callback models: site -> (target, reason)
@@ -90,6 +93,7 @@ class CallGraph:
     def _add(self, site: StmtRef, target_id: str) -> None:
         self.targets.setdefault(site, set()).add(target_id)
         self.callers.setdefault(target_id, set()).add(site)
+        self.caller_methods.setdefault(target_id, set()).add(site.method_id)
 
     # -- implicit edges -----------------------------------------------------------
     def add_implicit_edge(self, site: StmtRef, target_id: str, reason: str) -> None:
@@ -107,6 +111,11 @@ class CallGraph:
 
     def callers_of(self, method_id: str) -> set[StmtRef]:
         return self.callers.get(method_id, set())
+
+    def caller_methods_of(self, method_id: str) -> set[str]:
+        """Ids of methods containing a call site targeting ``method_id`` —
+        an O(1) reverse-adjacency lookup (no site scan)."""
+        return self.caller_methods.get(method_id, set())
 
     def is_library_call(self, site: StmtRef) -> bool:
         return site in self.library_sites

@@ -56,6 +56,8 @@ def cmd_analyze(args) -> int:
         config.async_heuristic = False
     if args.async_heuristic:
         config.async_heuristic = True
+    config.workers = args.workers
+    config.executor = args.executor
     report = Extractocol(config).analyze(apk)
     if args.json:
         print(json.dumps(report_to_dict(report), indent=2))
@@ -98,6 +100,10 @@ def cmd_export(args) -> int:
 def cmd_eval(args) -> int:
     from repro import evalx
 
+    if args.workers != 1:
+        # warm the per-app cache with a parallel sweep across apps; the
+        # renderers below then hit the cache
+        evalx.evaluate_corpus(app_workers=args.workers)
     what = args.what
     if what == "table1":
         print(evalx.render_table1())
@@ -164,6 +170,16 @@ def main(argv: list[str] | None = None) -> int:
                            help="disable §3.4's async-event handling")
     p_analyze.add_argument("--async-heuristic", action="store_true",
                            help="force-enable §3.4's async-event handling")
+    p_analyze.add_argument("--workers", type=int, default=1, metavar="N",
+                           help="slice demarcation points with N workers "
+                                "(1 = serial reference engine, 0 = one per "
+                                "CPU; >=2 enables the memoized parallel "
+                                "engine)")
+    p_analyze.add_argument("--executor", choices=["thread", "process"],
+                           default="thread",
+                           help="executor backing parallel slicing "
+                                "(process = fork pool, falls back to "
+                                "threads without fork support)")
     p_analyze.set_defaults(fn=cmd_analyze)
 
     p_fuzz = sub.add_parser("fuzz", help="run a UI-fuzzing baseline")
@@ -180,6 +196,9 @@ def main(argv: list[str] | None = None) -> int:
     p_eval.add_argument(
         "what", choices=["table1", "table2", "figures", "casestudies"]
     )
+    p_eval.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="evaluate corpus apps concurrently with N "
+                             "workers before rendering")
     p_eval.set_defaults(fn=cmd_eval)
 
     args = parser.parse_args(argv)

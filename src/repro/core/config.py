@@ -25,6 +25,17 @@ class AnalysisConfig:
     ``rounds`` — global signature-building iterations; 2 lets values stored
     by one event (login response tokens, DB rows) surface in signatures of
     other events.
+
+    ``workers`` — demarcation points sliced concurrently.  ``1`` (default)
+    runs the serial reference engine; ``>= 2`` switches to the memoized
+    parallel engine (a shared :class:`~repro.perf.index.ProgramIndex` plus
+    an executor fan-out); ``0`` auto-sizes to the CPU count.  Reports are
+    identical between the two engines — the serial path is kept as the
+    differential-testing baseline.
+
+    ``executor`` — ``"thread"`` (default; artifacts shared in-process) or
+    ``"process"`` (fork-based pool, slice results pickled back; falls back
+    to threads where fork is unavailable).
     """
 
     async_heuristic: bool = True
@@ -36,12 +47,21 @@ class AnalysisConfig:
     #: model intra-app Intent messaging / direct java.net.Socket use.
     model_intents: bool = False
     model_sockets: bool = False
+    workers: int = 1
+    executor: str = "thread"
 
     @property
     def max_async_hops(self) -> int:
         if self.max_async_hops_override is not None:
             return self.max_async_hops_override
         return 1 if self.async_heuristic else 0
+
+    @property
+    def parallel(self) -> bool:
+        """True when the memoized parallel engine is selected."""
+        from ..perf.parallel import resolve_workers
+
+        return resolve_workers(self.workers) > 1
 
 
 __all__ = ["AnalysisConfig"]

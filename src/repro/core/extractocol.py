@@ -15,10 +15,13 @@ from __future__ import annotations
 import time
 from dataclasses import replace
 
+from collections import deque
+
 from ..apk.model import Apk, TriggerKind
 from ..cfg.callgraph import build_callgraph
 from ..deps.interdep import infer_dependencies
 from ..deps.transactions import Transaction, from_record
+from ..perf.index import ProgramIndex
 from ..semantics.async_model import compute_event_roots, discover_callbacks
 from ..semantics.model import SemanticModel
 from ..signature.builder import SignatureInterpreter
@@ -63,6 +66,11 @@ class Extractocol:
             cbinfo.boundary_methods,
         )
 
+        # The memoized parallel engine shares one ProgramIndex between both
+        # taint directions, the slicer and the signature interpreter; the
+        # serial path (workers=1) stays the reference implementation.
+        index = ProgramIndex(program, callgraph) if self.config.parallel else None
+
         # Phase 1 — network-aware program slicing.
         slicer = NetworkSlicer(
             program,
@@ -71,6 +79,9 @@ class Extractocol:
             registry=self.registry,
             event_roots=event_roots,
             linked_returns=cbinfo.linked_returns,
+            index=index,
+            workers=self.config.workers,
+            executor=self.config.executor,
         )
         slicing = slicer.slice_all()
 
@@ -96,6 +107,7 @@ class Extractocol:
             relevant_methods=relevant,
             blocked_field_stores=blocked,
             rounds=self.config.rounds,
+            index=index,
         )
         roots = [(ep.method_id, ep.kind.value) for ep in apk.entrypoints]
         result = interp.run(roots)
@@ -120,20 +132,22 @@ class Extractocol:
     # ------------------------------------------------------------------ helpers
     def _relevant_methods(self, slicing, callgraph) -> set[str]:
         """Slice methods plus everything that can call into them — the scope
-        signature building interprets (the slice-efficiency win of §3.2)."""
+        signature building interprets (the slice-efficiency win of §3.2).
+
+        A worklist BFS over the reverse-edge adjacency: each method is
+        expanded once and each caller edge inspected once — O(V + E) instead
+        of the previous re-scan-until-fixpoint."""
         slice_methods: set[str] = set()
         for s in slicing.slices:
             slice_methods |= s.methods
-        # reverse closure over the call graph
         out = set(slice_methods)
-        changed = True
-        while changed:
-            changed = False
-            for mid in list(out):
-                for site in callgraph.callers_of(mid):
-                    if site.method_id not in out:
-                        out.add(site.method_id)
-                        changed = True
+        worklist = deque(out)
+        while worklist:
+            mid = worklist.popleft()
+            for caller_id in callgraph.caller_methods_of(mid):
+                if caller_id not in out:
+                    out.add(caller_id)
+                    worklist.append(caller_id)
         return out
 
     def _scope_filter(
@@ -152,9 +166,15 @@ class Extractocol:
 
 def _dedupe(transactions: list[Transaction]) -> list[Transaction]:
     """Collapse identical signatures recorded from different contexts,
-    remapping dependency edges onto the representatives."""
+    remapping dependency edges onto the representatives.
+
+    Merged edges accumulate in a side table instead of being extended onto
+    the representative's live ``depends_on`` list: mutating a list that is
+    also the source of later merge/remap iterations double-counts edges
+    when three or more contexts collapse onto one representative."""
     by_key: dict[tuple, Transaction] = {}
     rep_of: dict[int, int] = {}
+    merged_deps: dict[int, list] = {}
     for txn in sorted(transactions, key=lambda t: t.txn_id):
         key = (
             txn.request.method,
@@ -169,18 +189,19 @@ def _dedupe(transactions: list[Transaction]) -> list[Transaction]:
         if rep is None:
             by_key[key] = txn
             rep_of[txn.txn_id] = txn.txn_id
+            merged_deps[txn.txn_id] = list(txn.depends_on)
         else:
             rep_of[txn.txn_id] = rep.txn_id
             rep.response = replace(
                 rep.response,
                 consumers=rep.response.consumers | txn.response.consumers,
             )
-            rep.depends_on.extend(txn.depends_on)
+            merged_deps[rep.txn_id].extend(txn.depends_on)
     final = list(by_key.values())
     for txn in final:
         remapped = []
         seen: set[str] = set()
-        for d in txn.depends_on:
+        for d in merged_deps[txn.txn_id]:
             d = replace(
                 d,
                 src_txn=rep_of.get(d.src_txn, d.src_txn),

@@ -5,12 +5,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
+from typing import Iterable
 
 from ..core.config import AnalysisConfig
 from ..core.extractocol import Extractocol
 from ..core.report import AnalysisReport
-from ..corpus import get_spec
+from ..corpus import app_keys, get_spec
 from ..corpus.base import AppSpec
+from ..perf.parallel import ordered_map
 from ..runtime.fuzzing import AutoUiFuzzer, FuzzResult, ManualUiFuzzer
 
 
@@ -26,26 +28,53 @@ class AppEvaluation:
         return self.spec.key
 
 
-def _config_for(spec: AppSpec) -> AnalysisConfig:
+def _config_for(spec: AppSpec, workers: int = 1) -> AnalysisConfig:
     """The paper's §5.1 setup: async heuristic off for open-source apps,
     on for closed-source; Kayak scoped to com.kayak."""
     return AnalysisConfig(
         async_heuristic=(spec.kind == "closed"),
         scope_prefixes=spec.scope_prefixes,
+        workers=workers,
     )
 
 
 @lru_cache(maxsize=None)
-def evaluate_app(key: str) -> AppEvaluation:
+def evaluate_app(key: str, workers: int = 1) -> AppEvaluation:
+    """Analyze + fuzz one corpus app.  ``workers`` selects the analysis
+    engine (see :class:`AnalysisConfig`); results are cached per (app,
+    workers) pair."""
     spec = get_spec(key)
-    report = Extractocol(_config_for(spec)).analyze(spec.build_apk())
-    manual = ManualUiFuzzer().fuzz(spec.build_apk(), spec.build_network())
-    auto = AutoUiFuzzer().fuzz(spec.build_apk(), spec.build_network())
+    # Build the APK once and share it across all three stages (analysis is
+    # read-only and the runtime keeps its own heap).  The Network cannot be
+    # shared: each fuzzer's FuzzResult owns its network's traffic trace.
+    apk = spec.build_apk()
+    report = Extractocol(_config_for(spec, workers)).analyze(apk)
+    manual = ManualUiFuzzer().fuzz(apk, spec.build_network())
+    auto = AutoUiFuzzer().fuzz(apk, spec.build_network())
     return AppEvaluation(spec=spec, report=report, manual=manual, auto=auto)
+
+
+def evaluate_corpus(
+    keys: Iterable[str] | None = None,
+    *,
+    app_workers: int = 1,
+    analysis_workers: int = 1,
+) -> dict[str, AppEvaluation]:
+    """Evaluate many apps, fanning out across apps with ``app_workers``
+    threads (each app may additionally parallelize its own slicing via
+    ``analysis_workers``).  Results land in the same cache ``evaluate_app``
+    uses, keyed in input order."""
+    key_list = list(keys) if keys is not None else app_keys()
+    results = ordered_map(
+        lambda key: evaluate_app(key, analysis_workers),
+        key_list,
+        workers=app_workers,
+    )
+    return dict(zip(key_list, results))
 
 
 def clear_cache() -> None:
     evaluate_app.cache_clear()
 
 
-__all__ = ["AppEvaluation", "clear_cache", "evaluate_app"]
+__all__ = ["AppEvaluation", "clear_cache", "evaluate_app", "evaluate_corpus"]

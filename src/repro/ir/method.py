@@ -84,6 +84,7 @@ class Method:
         body: Body | None = None,
     ) -> None:
         self.sig = sig
+        self._method_id: str | None = None
         self.is_static = is_static
         self.is_abstract = is_abstract
         self.body = body if body is not None else (None if is_abstract else Body())
@@ -92,7 +93,12 @@ class Method:
 
     @property
     def method_id(self) -> str:
-        return str(self.sig)
+        # hot: every StmtRef and analysis artefact keys on this string, and
+        # sig is never reassigned after construction
+        mid = self._method_id
+        if mid is None:
+            mid = self._method_id = str(self.sig)
+        return mid
 
     @property
     def class_name(self) -> str:

@@ -23,6 +23,7 @@ class Program:
     def __init__(self) -> None:
         self.classes: dict[str, ClassDef] = {}
         self._method_index: dict[str, Method] | None = None
+        self._child_index: dict[str, set[str]] | None = None
 
     # -- construction -------------------------------------------------------
     def add_class(self, cls: ClassDef) -> ClassDef:
@@ -30,6 +31,7 @@ class Program:
             raise ValueError(f"duplicate class {cls.name}")
         self.classes[cls.name] = cls
         self._method_index = None
+        self._child_index = None
         return cls
 
     # -- lookup ---------------------------------------------------------------
@@ -86,10 +88,15 @@ class Program:
 
     def subclasses(self, name: str) -> set[str]:
         """All program classes that transitively extend/implement ``name``."""
-        direct: dict[str, set[str]] = {}
-        for cls in self.classes.values():
-            for parent in ((cls.superclass,) if cls.superclass else ()) + cls.interfaces:
-                direct.setdefault(parent, set()).add(cls.name)
+        direct = self._child_index
+        if direct is None:
+            direct = {}
+            for cls in self.classes.values():
+                for parent in (
+                    ((cls.superclass,) if cls.superclass else ()) + cls.interfaces
+                ):
+                    direct.setdefault(parent, set()).add(cls.name)
+            self._child_index = direct
         out: set[str] = set()
         stack = [name]
         while stack:

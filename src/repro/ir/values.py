@@ -86,6 +86,14 @@ class Local(Value):
     name: str
     type: Type
 
+    def __post_init__(self) -> None:
+        # Locals are allocated once per body and hashed in every taint /
+        # def-use set operation; hashing recurses through Type, so cache it.
+        object.__setattr__(self, "_hash", hash((self.name, self.type)))
+
+    def __hash__(self) -> int:
+        return self._hash
+
     def __str__(self) -> str:
         return self.name
 

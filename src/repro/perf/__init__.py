@@ -1,0 +1,16 @@
+"""Performance layer: shared memoized program artifacts and parallel fan-out.
+
+:class:`ProgramIndex` materializes per-method analysis artifacts (CFGs,
+def-use chains, statement reachability, mention sites, the global field
+read/write index) exactly once per program and shares them — thread-safely —
+between both taint directions, the :class:`~repro.slicing.slicer.NetworkSlicer`
+and the :class:`~repro.signature.builder.SignatureInterpreter`.
+
+:mod:`repro.perf.parallel` provides the deterministic executor helpers the
+slicer and the evaluation runner fan out over.
+"""
+
+from .index import ProgramIndex, field_key
+from .parallel import ordered_map, resolve_workers
+
+__all__ = ["ProgramIndex", "field_key", "ordered_map", "resolve_workers"]

@@ -1,0 +1,87 @@
+"""Deterministic parallel fan-out helpers.
+
+``ordered_map`` is the one primitive every parallel stage uses: it applies
+``fn`` to each item concurrently and returns results **in input order**, so
+reports produced from the result list are identical to a serial run.  The
+thread executor is the default (artifacts are shared in-process through the
+:class:`~repro.perf.index.ProgramIndex` locks); a fork-based process
+executor is available for picklable workloads via :func:`forked_map`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Normalize a worker-count knob: ``None``/``0`` means one worker per
+    CPU, negative values are clamped to 1."""
+    if not workers:
+        return os.cpu_count() or 1
+    return max(1, workers)
+
+
+def fanout_width(workers: int | None) -> int:
+    """Effective *thread* fan-out for CPU-bound pure-Python stages: more
+    threads than cores never helps (the GIL serialises them and the convoy
+    overhead makes large inputs slower), so clamp to the core count.  The
+    raw worker count still selects the engine (see ``AnalysisConfig``)."""
+    return max(1, min(resolve_workers(workers), os.cpu_count() or 1))
+
+
+def thread_map(
+    fn: Callable[[T], R], items: Sequence[T], *, workers: int
+) -> list[R]:
+    with ThreadPoolExecutor(max_workers=min(workers, len(items))) as pool:
+        return list(pool.map(fn, items))
+
+
+def forked_map(
+    fn: Callable[[T], R], items: Sequence[T], *, workers: int
+) -> list[R]:
+    """Process-pool map via ``fork`` so workers inherit the parent's program
+    state without pickling it; only ``items`` and results cross the pipe.
+    Raises ``ValueError`` where fork is unavailable (callers fall back)."""
+    ctx = multiprocessing.get_context("fork")
+    with ProcessPoolExecutor(max_workers=min(workers, len(items)), mp_context=ctx) as pool:
+        return list(pool.map(fn, items))
+
+
+def ordered_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    *,
+    workers: int = 1,
+    executor: str = "thread",
+) -> list[R]:
+    """Apply ``fn`` over ``items`` with ``workers`` concurrency, preserving
+    input order.  ``executor`` is ``"thread"`` (default) or ``"process"``
+    (fork-based; falls back to threads when fork is unsupported)."""
+    seq = list(items)
+    workers = resolve_workers(workers)
+    if workers <= 1 or len(seq) <= 1:
+        return [fn(item) for item in seq]
+    if executor == "process":
+        try:
+            return forked_map(fn, seq, workers=workers)
+        except ValueError:
+            pass  # no fork start method on this platform
+    width = fanout_width(workers)
+    if width <= 1:
+        return [fn(item) for item in seq]
+    return thread_map(fn, seq, workers=width)
+
+
+__all__ = [
+    "fanout_width",
+    "forked_map",
+    "ordered_map",
+    "resolve_workers",
+    "thread_map",
+]

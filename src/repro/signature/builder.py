@@ -171,6 +171,7 @@ class SignatureInterpreter:
         relevant_methods: set[str] | None = None,
         blocked_field_stores: set[StmtRef] | None = None,
         rounds: int = 2,
+        index=None,
     ) -> None:
         self.program = program
         self.callgraph = callgraph
@@ -179,6 +180,9 @@ class SignatureInterpreter:
         self.relevant_methods = relevant_methods
         self.blocked_field_stores = blocked_field_stores or set()
         self.rounds = rounds
+        #: optional repro.perf.ProgramIndex: memoizes CFGs, loop structure
+        #: and traversal order across rounds and re-evaluated methods
+        self.index = index
 
         # interpretation state (reset per run)
         self.call_stack: list[StmtRef] = []
@@ -408,11 +412,18 @@ class SignatureInterpreter:
     def _interpret_body(
         self, method: Method, this: AVal | None, args: list[AVal], depth: int
     ) -> AVal:
-        cfg = cfg_of(method)
-        if not cfg.blocks:
-            return UNKNOWN_ANY
-        loops = loop_info(cfg)
-        rpo = reverse_postorder(cfg)
+        if self.index is not None:
+            cfg = self.index.cfg_of(method)
+            if not cfg.blocks:
+                return UNKNOWN_ANY
+            loops = self.index.loop_info(method)
+            rpo = self.index.rpo(method)
+        else:
+            cfg = cfg_of(method)
+            if not cfg.blocks:
+                return UNKNOWN_ANY
+            loops = loop_info(cfg)
+            rpo = reverse_postorder(cfg)
         frame = _Frame(method)
         out_envs: dict[int, dict[str, AVal]] = {}
         header_in_prev: dict[int, dict[str, AVal]] = {}

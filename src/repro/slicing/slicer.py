@@ -16,6 +16,8 @@ from ..cfg.callgraph import CallGraph
 from ..ir.program import Program
 from ..ir.statements import StmtRef
 from ..ir.values import Local, walk_values
+from ..perf.index import ProgramIndex
+from ..perf.parallel import fanout_width, forked_map, resolve_workers, thread_map
 from ..taint.engine import TaintConfig, TaintEngine
 from ..taint.slices import SliceResult
 from .demarcation import DPInstance, DemarcationRegistry, scan_demarcation_points
@@ -75,16 +77,24 @@ class NetworkSlicer:
         registry: DemarcationRegistry | None = None,
         event_roots: dict[str, frozenset[str]] | None = None,
         linked_returns: dict[str, list[tuple[str, int]]] | None = None,
+        index: ProgramIndex | None = None,
+        workers: int = 1,
+        executor: str = "thread",
     ) -> None:
         self.program = program
         self.callgraph = callgraph
         self.registry = registry or DemarcationRegistry()
+        self.index = index
+        self._stmt_tables: dict[str, list | None] = {}
+        self.workers = workers
+        self.executor = executor
         self.engine = TaintEngine(
             program,
             callgraph,
             config,
             event_roots=event_roots,
             linked_returns=linked_returns,
+            index=index,
         )
 
     def scan(self) -> list[DPInstance]:
@@ -97,12 +107,71 @@ class NetworkSlicer:
         return DPSlices(dp=dp, request=request, response=response)
 
     def slice_all(self) -> SlicingReport:
+        """Slice every demarcation point; with ``workers > 1`` the points
+        fan out over an executor.  Results are collected in scan order, so
+        the report is identical to a serial run."""
         report = SlicingReport(total_statements=self.program.statement_count())
-        for dp in self.scan():
-            report.slices.append(self.slice_dp(dp))
+        dps = self.scan()
+        workers = resolve_workers(self.workers)
+        if workers > 1 and len(dps) > 1:
+            if self.index is not None:
+                # one shared build of the heap index instead of a race on
+                # first use (the per-method artifacts stay lazy + locked)
+                self.index.field_stores
+            report.slices = self._slice_parallel(dps, workers)
+        else:
+            report.slices = [self.slice_dp(dp) for dp in dps]
         return report
 
+    def _slice_parallel(self, dps: list[DPInstance], workers: int) -> list[DPSlices]:
+        if self.executor == "process":
+            try:
+                return _forked_slices(self, dps, workers)
+            except (ValueError, OSError):
+                pass  # platform without fork — degrade to threads
+        # one contiguous chunk per worker: per-DP tasks are too fine-grained
+        # (executor queue churn dwarfs the work); concatenating the chunks
+        # preserves scan order.  Thread fan-out is clamped to the core count
+        # — extra GIL-bound threads only add convoy overhead.
+        width = fanout_width(workers)
+        if width <= 1:
+            return self._slice_chunk(dps)
+        chunks = _chunked(dps, width)
+        nested = thread_map(self._slice_chunk, chunks, workers=width)
+        return [s for chunk in nested for s in chunk]
+
+    def _slice_chunk(self, dps: list[DPInstance]) -> list[DPSlices]:
+        return [self.slice_dp(dp) for dp in dps]
+
     # -- object-aware augmentation (paper §3.1) -------------------------------
+    def _locals_at(self, ref: StmtRef) -> tuple[frozenset, frozenset] | None:
+        """(defined, used) locals of the statement, via the shared index
+        when available; None when the method is unknown."""
+        if self.index is not None:
+            table = self._stmt_tables.get(ref.method_id, False)
+            if table is False:
+                try:
+                    method = self.program.method_by_id(ref.method_id)
+                except KeyError:
+                    table = None
+                else:
+                    table = self.index.stmt_locals(method)
+                self._stmt_tables[ref.method_id] = table
+            return table[ref.index] if table is not None else None
+        try:
+            method = self.program.method_by_id(ref.method_id)
+        except KeyError:
+            return None
+        stmt = method.stmt_at(ref.index)
+        defs = frozenset(d for d in stmt.defs() if isinstance(d, Local))
+        uses = frozenset(
+            v
+            for use in stmt.uses()
+            for v in walk_values(use)
+            if isinstance(v, Local)
+        )
+        return (defs, uses)
+
     def _augment(self, response: SliceResult, request: SliceResult) -> None:
         """Pull statements the forward slice depends on but does not contain
         — initialisation of objects created before the demarcation point —
@@ -116,10 +185,10 @@ class NetworkSlicer:
             for ref in request.stmts:
                 if ref in response.stmts:
                     continue
-                method = self.program.method_by_id(ref.method_id)
-                stmt = method.stmt_at(ref.index)
-                defines = {v for v in stmt.defs() if isinstance(v, Local)}
-                if any((ref.method_id, v) in needed for v in defines):
+                located = self._locals_at(ref)
+                if located is None:
+                    continue
+                if any((ref.method_id, v) in needed for v in located[0]):
                     response.stmts.add(ref)
                     changed = True
             # 2) objects initialised before the DP outside any slice: pull
@@ -135,6 +204,15 @@ class NetworkSlicer:
                 except KeyError:
                     continue
                 assert method.body is not None
+                if self.index is not None:
+                    per_stmt = self.index.stmt_locals(method)
+                    for idx, (defs, _uses) in enumerate(per_stmt):
+                        if defs & locals_:
+                            ref = StmtRef(method.method_id, idx)
+                            if ref not in response.stmts:
+                                response.stmts.add(ref)
+                                changed = True
+                    continue
                 for stmt in method.body:
                     if any(
                         isinstance(d, Local) and d in locals_
@@ -150,19 +228,53 @@ class NetworkSlicer:
         defined: set[tuple[str, Local]] = set()
         used: set[tuple[str, Local]] = set()
         for ref in sl.stmts:
-            try:
-                method = self.program.method_by_id(ref.method_id)
-            except KeyError:
+            located = self._locals_at(ref)
+            if located is None:
                 continue
-            stmt = method.stmt_at(ref.index)
-            for d in stmt.defs():
-                if isinstance(d, Local):
-                    defined.add((ref.method_id, d))
-            for use in stmt.uses():
-                for v in walk_values(use):
-                    if isinstance(v, Local):
-                        used.add((ref.method_id, v))
+            defs, uses = located
+            mid = ref.method_id
+            for d in defs:
+                defined.add((mid, d))
+            for v in uses:
+                used.add((mid, v))
         return used - defined
+
+
+def _chunked(items: list, parts: int) -> list[list]:
+    """Split into at most ``parts`` contiguous, near-equal chunks."""
+    parts = min(parts, len(items))
+    size, extra = divmod(len(items), parts)
+    out, start = [], 0
+    for i in range(parts):
+        end = start + size + (1 if i < extra else 0)
+        out.append(items[start:end])
+        start = end
+    return out
+
+
+#: Slicer the fork-based process workers inherit (set just before forking;
+#: only chunk indices go out and picklable DPSlices results come back).
+_FORK_SLICER: NetworkSlicer | None = None
+_FORK_CHUNKS: list[list[DPInstance]] = []
+
+
+def _slice_chunk_at(i: int) -> list[DPSlices]:
+    assert _FORK_SLICER is not None
+    return [_FORK_SLICER.slice_dp(dp) for dp in _FORK_CHUNKS[i]]
+
+
+def _forked_slices(
+    slicer: NetworkSlicer, dps: list[DPInstance], workers: int
+) -> list[DPSlices]:
+    global _FORK_SLICER, _FORK_CHUNKS
+    _FORK_SLICER, _FORK_CHUNKS = slicer, _chunked(dps, workers)
+    try:
+        nested = forked_map(
+            _slice_chunk_at, range(len(_FORK_CHUNKS)), workers=workers
+        )
+        return [s for chunk in nested for s in chunk]
+    finally:
+        _FORK_SLICER, _FORK_CHUNKS = None, []
 
 
 __all__ = ["DPSlices", "NetworkSlicer", "SlicingReport"]

@@ -55,64 +55,132 @@ def _used_locals(stmt: Stmt) -> set[Local]:
     return out
 
 
-def compute_defuse(method: Method) -> DefUseInfo:
-    """Flow-sensitive reaching definitions via a statement-level worklist."""
-    info = DefUseInfo(method)
+def _reaching_bits(
+    method: Method,
+) -> tuple[dict[Local, list[tuple[int, int]]], dict[Local, list[int]], list[int]]:
+    """The worklist core shared by both def-use variants: per-local
+    definition-bit groups ``[(bit, stmt_index), ...]``, definition sites,
+    and the per-statement reaching-definition bitmasks at statement entry."""
     body = method.body
-    if body is None or not body.statements:
-        return info
+    assert body is not None
     cfg: ControlFlowGraph = cfg_of(method)
+    stmts = body.statements
+    n = len(stmts)
 
-    # Enumerate definition sites.
-    all_defs: list[tuple[int, Local]] = []
-    def_ids: dict[tuple[int, Local], int] = {}
-    for stmt in body.statements:
+    def_local: list[Local | None] = [None] * n
+    def_bit: list[int] = [0] * n
+    def_groups: dict[Local, list[tuple[int, int]]] = {}
+    def_sites: dict[Local, list[int]] = {}
+    next_id = 0
+    for i, stmt in enumerate(stmts):
         local = _defined_local(stmt)
         if local is not None:
-            def_ids[(stmt.index, local)] = len(all_defs)
-            all_defs.append((stmt.index, local))
-            info.def_sites.setdefault(local, []).append(stmt.index)
-    kill_mask: dict[Local, int] = {}
-    for (idx, local), did in def_ids.items():
-        kill_mask[local] = kill_mask.get(local, 0) | (1 << did)
+            def_local[i] = local
+            def_bit[i] = next_id
+            def_groups.setdefault(local, []).append((next_id, i))
+            def_sites.setdefault(local, []).append(i)
+            next_id += 1
+    kill_mask: dict[Local, int] = {
+        local: sum(1 << did for did, _ in group)
+        for local, group in def_groups.items()
+    }
 
-    n = len(body.statements)
     stmt_in = [0] * n
     stmt_out = [0] * n
     pred = cfg.stmt_pred
     succ = cfg.stmt_succ
-    worklist = list(range(n))
+    worklist = list(range(n - 1, -1, -1))  # pop() → statement order
     while worklist:
         i = worklist.pop()
-        stmt = body.statements[i]
         new_in = 0
         for p in pred.get(i, ()):
             new_in |= stmt_out[p]
-        local = _defined_local(stmt)
+        local = def_local[i]
         if local is not None:
-            new_out = (new_in & ~kill_mask[local]) | (1 << def_ids[(i, local)])
+            new_out = (new_in & ~kill_mask[local]) | (1 << def_bit[i])
         else:
             new_out = new_in
         if new_in != stmt_in[i] or new_out != stmt_out[i]:
             stmt_in[i] = new_in
             stmt_out[i] = new_out
             worklist.extend(succ.get(i, ()))
+    return def_groups, def_sites, stmt_in
+
+
+def compute_defuse(
+    method: Method,
+    stmt_uses: list[frozenset[Local]] | None = None,
+) -> DefUseInfo:
+    """Flow-sensitive reaching definitions via a statement-level worklist.
+
+    ``stmt_uses`` optionally supplies the per-statement used-local sets
+    (e.g. from :meth:`repro.perf.index.ProgramIndex.stmt_locals`) so the
+    value trees are not re-walked here."""
+    info = DefUseInfo(method)
+    body = method.body
+    if body is None or not body.statements:
+        return info
+    def_groups, info.def_sites, stmt_in = _reaching_bits(method)
 
     # Materialise the def→use relation.
-    for stmt in body.statements:
-        used = _used_locals(stmt)
+    reached: dict[tuple[int, Local], list[int]] = {}
+    for i, stmt in enumerate(body.statements):
+        used = stmt_uses[i] if stmt_uses is not None else _used_locals(stmt)
+        if not used:
+            continue
+        mask = stmt_in[i]
         for local in used:
-            info.use_sites.setdefault(local, []).append(stmt.index)
-            reaching = tuple(
-                d_idx
-                for bit, (d_idx, d_local) in enumerate(all_defs)
-                if d_local == local and stmt_in[stmt.index] & (1 << bit)
+            info.use_sites.setdefault(local, []).append(i)
+            group = def_groups.get(local)
+            reaching = (
+                tuple(d_idx for did, d_idx in group if (mask >> did) & 1)
+                if group
+                else ()
             )
-            info.defs_reaching[(stmt.index, local)] = reaching
+            info.defs_reaching[(i, local)] = reaching
             for d_idx in reaching:
-                key = (d_idx, local)
-                info.uses_reached[key] = info.uses_reached.get(key, ()) + (stmt.index,)
+                reached.setdefault((d_idx, local), []).append(i)
+    info.uses_reached = {key: tuple(sites) for key, sites in reached.items()}
     return info
+
+
+class LazyDefUse:
+    """Query-compatible def-use view that materialises ``reaching_defs``
+    entries on demand instead of for every (statement, local) pair.
+
+    Used by the memoized index engine: taint facts only touch a subset of
+    the pairs, so the full materialisation (and the ``uses_reached``
+    inverse, which no analysis consumes) is wasted work there.  Answers are
+    bit-for-bit equal to :func:`compute_defuse`'s."""
+
+    __slots__ = ("method", "def_sites", "use_sites", "_def_groups", "_stmt_in", "_memo")
+
+    def __init__(self, method: Method, stmt_uses: list[frozenset[Local]]) -> None:
+        self.method = method
+        self.use_sites: dict[Local, list[int]] = {}
+        if method.body is None or not method.body.statements:
+            self.def_sites: dict[Local, list[int]] = {}
+            self._def_groups: dict[Local, list[tuple[int, int]]] = {}
+            self._stmt_in: list[int] = []
+        else:
+            self._def_groups, self.def_sites, self._stmt_in = _reaching_bits(method)
+            for i, used in enumerate(stmt_uses):
+                for local in used:
+                    self.use_sites.setdefault(local, []).append(i)
+        self._memo: dict[tuple[int, Local], tuple[int, ...]] = {}
+
+    def reaching_defs(self, stmt: Stmt, local: Local) -> tuple[int, ...]:
+        key = (stmt.index, local)
+        got = self._memo.get(key)
+        if got is None:
+            group = self._def_groups.get(local)
+            if not group:
+                got = ()
+            else:
+                mask = self._stmt_in[stmt.index]
+                got = tuple(d_idx for did, d_idx in group if (mask >> did) & 1)
+            self._memo[key] = got
+        return got
 
 
 _DEFUSE_CACHE: dict[int, DefUseInfo] = {}
@@ -127,4 +195,4 @@ def defuse_of(method: Method) -> DefUseInfo:
     return cached
 
 
-__all__ = ["DefUseInfo", "compute_defuse", "defuse_of"]
+__all__ = ["DefUseInfo", "LazyDefUse", "compute_defuse", "defuse_of"]

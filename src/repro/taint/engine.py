@@ -53,6 +53,7 @@ from ..ir.values import (
     Value,
     walk_values,
 )
+from ..perf.index import ProgramIndex, field_key
 from .defuse import defuse_of
 from .slices import SliceResult
 
@@ -69,6 +70,13 @@ NOFLOW_CALLS = frozenset(
         ("java.io.PrintStream", "println"),
     }
 )
+
+#: ``NOFLOW_CALLS`` regrouped by class so the inner propagation loop checks
+#: membership without building a ``(class, name)`` tuple per invoke.
+_NOFLOW_BY_CLASS: dict[str, frozenset[str]] = {
+    cls: frozenset(n for c, n in NOFLOW_CALLS if c == cls)
+    for cls in {c for c, _ in NOFLOW_CALLS}
+}
 
 
 @dataclass
@@ -91,16 +99,22 @@ class TaintEngine:
         *,
         event_roots: dict[str, frozenset[str]] | None = None,
         linked_returns: dict[str, list[tuple[str, int]]] | None = None,
+        index: ProgramIndex | None = None,
     ) -> None:
         self.program = program
         self.callgraph = callgraph
         self.config = config or TaintConfig()
+        #: shared memoized artifacts; None runs the reference (serial) path
+        self.index = index
         #: method id -> set of entry-point roots whose event may run it.
         self.event_roots = event_roots or {}
         #: method id -> [(continuation method id, param index receiving the
         #: return value)] — AsyncTask-style framework result plumbing.
         self.linked_returns = linked_returns or {}
         self._reach_cache: dict[str, list[set[int]]] = {}
+        #: per-method (defuse, reach, reach-to, mention-mask) bundle so the
+        #: index fast path pays one dict probe per step, not four
+        self._tables: dict[str, tuple] = {}
         self._field_stores: dict[tuple[str, str], list[StmtRef]] | None = None
         self._field_loads: dict[tuple[str, str], list[StmtRef]] | None = None
 
@@ -133,10 +147,14 @@ class TaintEngine:
         return reach
 
     def _field_key(self, f: FieldSig) -> tuple[str, str]:
-        return (f.class_name, f.name)
+        return field_key(f)
 
     def _index_fields(self) -> None:
         if self._field_stores is not None:
+            return
+        if self.index is not None:
+            self._field_stores = self.index.field_stores
+            self._field_loads = self.index.field_loads
             return
         stores: dict[tuple[str, str], list[StmtRef]] = {}
         loads: dict[tuple[str, str], list[StmtRef]] = {}
@@ -170,7 +188,8 @@ class TaintEngine:
 
     @staticmethod
     def _is_noflow(expr: InvokeExpr) -> bool:
-        return (expr.sig.class_name, expr.sig.name) in NOFLOW_CALLS
+        names = _NOFLOW_BY_CLASS.get(expr.sig.class_name)
+        return names is not None and expr.sig.name in names
 
     # ---------------------------------------------------------------- backward
     def backward_slice(self, seeds: list[tuple[StmtRef, Value]]) -> SliceResult:
@@ -206,15 +225,51 @@ class TaintEngine:
             self._backward_step(ref, local, hops, result, need)
         return result
 
+    def _slice_tables(self, method: Method) -> tuple:
+        """(defuse, reach masks, reach-to masks, mention masks) for the
+        index fast paths, bundled under one engine-local probe."""
+        mid = method.method_id
+        tables = self._tables.get(mid)
+        if tables is None:
+            idx = self.index
+            tables = (
+                idx.defuse_of(method),
+                idx.reach_masks(method),
+                idx.reach_to_masks(method),
+                idx.mention_masks(method),
+            )
+            self._tables[mid] = tables
+        return tables
+
     def _backward_step(self, ref, local, hops, result, need) -> None:
         method = self._method(ref.method_id)
         assert method.body is not None
-        du = defuse_of(method)
+        if self.index is not None:
+            du, masks, reach_to, mention = self._slice_tables(method)
+        else:
+            du = defuse_of(method)
         use_stmt = method.stmt_at(ref.index)
         result.tainted_locals.add((method.method_id, local))
         defs = du.reaching_defs(use_stmt, local)
         if not defs and local in set(use_stmt.defs()):
             defs = (ref.index,)
+        if self.index is not None:
+            # fast path: the def→use region is a three-way bitmask
+            # intersection (statements the def reaches ∩ statements that
+            # reach the use ∩ statements mentioning the local) instead of a
+            # per-definition full-body scan.
+            use_mask = reach_to[ref.index] & mention.get(local, 0)
+            mid = method.method_id
+            for d_idx in defs:
+                region = (masks[d_idx] & use_mask) | (1 << d_idx)
+                while region:
+                    low = region & -region
+                    s_idx = low.bit_length() - 1
+                    region ^= low
+                    stmt = method.stmt_at(s_idx)
+                    result.stmts.add(StmtRef(mid, s_idx))
+                    self._backward_inflows(method, stmt, local, hops, result, need)
+            return
         reach = self._reach(method)
         for d_idx in defs:
             region = {
@@ -389,9 +444,13 @@ class TaintEngine:
         return result
 
     def _uses_after(self, method: Method, local: Local, from_idx: int) -> list[int]:
+        if self.index is not None:
+            du, masks, _, _ = self._slice_tables(method)
+            mask = masks[from_idx]
+            return [s for s in du.use_sites.get(local, ()) if (mask >> s) & 1]
         du = defuse_of(method)
-        reach = self._reach(method)
         sites = du.use_sites.get(local, [])
+        reach = self._reach(method)
         return [s for s in sites if s in reach[from_idx] or s == from_idx]
 
     def _forward_step(self, ref, local, hops, result, fact) -> None:

@@ -71,8 +71,9 @@ def endpoints(draw, index: int = 0):
 
 @st.composite
 def gen_apps(draw):
+    # names become method names (ep_<name>), so they must be unique too
     eps = draw(st.lists(endpoints(), min_size=1, max_size=4,
-                        unique_by=lambda e: e.path))
+                        unique_by=(lambda e: e.path, lambda e: e.name)))
     return GenApp(
         key="prop",
         name="PropApp",
