@@ -41,9 +41,9 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.cli import report_to_dict  # noqa: E402
 from repro.core.config import AnalysisConfig  # noqa: E402
 from repro.core.extractocol import Extractocol  # noqa: E402
+from repro.core.report import report_to_dict  # noqa: E402
 from repro.corpus import get_spec  # noqa: E402
 
 DEFAULT_APPS = ["ted", "kayak", "pinterest", "wishlocal"]

@@ -13,6 +13,7 @@ printer/parser round-trip on every corpus program.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import zipfile
 from pathlib import Path
@@ -26,10 +27,10 @@ from .resources import Resources
 _FILES = ("manifest.json", "resources.json", "entrypoints.json", "classes.jimple")
 
 
-def save_apk(apk: Apk, path: str | Path) -> Path:
-    """Write an APK model to a ``.sapk`` directory (or ``.zip`` file)."""
-    path = Path(path)
-    contents = {
+def bundle_contents(apk: Apk) -> dict[str, str]:
+    """The canonical ``.sapk`` file set for an APK model — the single
+    source of truth for both on-disk bundles and content digests."""
+    return {
         "manifest.json": json.dumps(apk.manifest.to_dict(), indent=2),
         "resources.json": json.dumps(apk.resources.to_dict(), indent=2),
         "entrypoints.json": json.dumps(
@@ -48,6 +49,27 @@ def save_apk(apk: Apk, path: str | Path) -> Path:
         ),
         "classes.jimple": print_program(apk.program),
     }
+
+
+def apk_digest(apk: Apk) -> str:
+    """Content address of an APK model: the SHA-256 over its canonical
+    ``.sapk`` serialisation.  Loading a bundle and re-digesting yields the
+    same value, so corpus keys, exported bundles and uploaded bundles all
+    land on the same cache entries in the service result store."""
+    contents = bundle_contents(apk)
+    h = hashlib.sha256()
+    for name in _FILES:
+        h.update(name.encode("utf-8"))
+        h.update(b"\x00")
+        h.update(contents[name].encode("utf-8"))
+        h.update(b"\x00")
+    return h.hexdigest()
+
+
+def save_apk(apk: Apk, path: str | Path) -> Path:
+    """Write an APK model to a ``.sapk`` directory (or ``.zip`` file)."""
+    path = Path(path)
+    contents = bundle_contents(apk)
     if path.suffix == ".zip":
         with zipfile.ZipFile(path, "w") as zf:
             for name, text in contents.items():
@@ -92,4 +114,4 @@ def load_apk(path: str | Path) -> Apk:
     )
 
 
-__all__ = ["load_apk", "save_apk"]
+__all__ = ["apk_digest", "bundle_contents", "load_apk", "save_apk"]

@@ -8,6 +8,9 @@
     python -m repro fuzz diode --mode manual    # run a fuzzing baseline
     python -m repro export diode out.sapk       # save a corpus app to disk
     python -m repro eval table1|table2|figures|casestudies
+    python -m repro batch                       # whole corpus via the scheduler
+    python -m repro batch ted kayak --workers 4 # selected targets
+    python -m repro serve --port 8425           # HTTP analysis service
 """
 
 from __future__ import annotations
@@ -50,12 +53,11 @@ def cmd_corpus(args) -> int:
 
 def cmd_analyze(args) -> int:
     from repro import Extractocol
+    from repro.core.report import report_to_dict
 
     apk, config = _load(args.target)
-    if args.no_async_heuristic:
-        config.async_heuristic = False
-    if args.async_heuristic:
-        config.async_heuristic = True
+    if args.async_heuristic is not None:
+        config.async_heuristic = args.async_heuristic
     config.workers = args.workers
     config.executor = args.executor
     report = Extractocol(config).analyze(apk)
@@ -123,34 +125,104 @@ def cmd_eval(args) -> int:
     return 0
 
 
-def report_to_dict(report) -> dict:
-    """JSON-serialisable view of an AnalysisReport."""
+def _default_store() -> str:
+    import os
 
-    def txn_dict(txn) -> dict:
-        return {
-            "id": txn.txn_id,
-            "method": txn.request.method,
-            "uri_regex": txn.request.uri_regex,
-            "headers": {k: str(v) for k, v in txn.request.headers},
-            "body": str(txn.request.body) if txn.request.body is not None else None,
-            "body_kind": txn.request.body_kind,
-            "response_kind": txn.response.kind,
-            "response_body": (
-                str(txn.response.body) if txn.response.body is not None else None
-            ),
-            "consumers": sorted(txn.response.consumers),
-            "depends_on": [str(d) for d in txn.depends_on],
-            "dynamic_uri": txn.request.is_dynamic,
-        }
+    return os.environ.get("REPRO_STORE", "~/.cache/repro/store")
 
-    return {
-        "app": report.app,
-        "stats": report.stats().as_row(),
-        "slice_fraction": report.slice_fraction,
-        "demarcation_points": report.demarcation_points,
-        "transactions": [txn_dict(t) for t in report.transactions],
-        "unidentified": [txn_dict(t) for t in report.unidentified],
-    }
+
+def cmd_batch(args) -> int:
+    from repro.service import JobScheduler, ResultStore
+
+    targets = args.targets
+    if not targets:
+        from repro.corpus import app_keys
+
+        targets = app_keys()
+
+    store = ResultStore(Path(args.store).expanduser())
+    scheduler = JobScheduler(
+        store,
+        workers=args.workers,
+        timeout=args.timeout,
+        retries=args.retries,
+    )
+    jobs = []
+    try:
+        for target in targets:
+            try:
+                jobs.append((target, scheduler.submit_target(target)))
+            except LookupError as exc:
+                raise SystemExit(str(exc))
+        scheduler.wait([j for _, j in jobs])
+    finally:
+        scheduler.shutdown(drain=True)
+
+    analyses = scheduler.metrics.counter("analyses_run").value
+    failed = [t for t, j in jobs if j.status.value != "done"]
+    hits = sum(j.cache_hit for _, j in jobs)
+
+    if args.json:
+        print(json.dumps({
+            "jobs": [dict(j.to_dict(), target=t) for t, j in jobs],
+            "cache_hits": hits,
+            "analyses_run": analyses,
+            "failed": len(failed),
+            "store": store.stats(),
+        }, indent=2, sort_keys=True))
+        return 1 if failed else 0
+
+    print(f"{'target':16s} {'status':8s} {'cache':6s} {'txns':>5s} {'ms':>8s}")
+    for target, job in jobs:
+        envelope = store.load(job.result_key) if job.result_key else None
+        txns = (
+            str(len(envelope["report"]["transactions"]))
+            if envelope is not None
+            else "-"
+        )
+        ms = f"{job.seconds * 1000:.1f}" if job.seconds is not None else "-"
+        cache = "hit" if job.cache_hit else "miss"
+        print(f"{target:16s} {job.status.value:8s} {cache:6s} {txns:>5s} {ms:>8s}")
+        if job.error:
+            print(f"  error: {job.error}")
+    print()
+    print(
+        f"{len(jobs)} jobs: {len(jobs) - len(failed)} done "
+        f"({hits} cached), {len(failed)} failed; "
+        f"analyses run: {analyses}; store: {store.stats()['entries']} entries"
+    )
+    return 1 if failed else 0
+
+
+def cmd_serve(args) -> int:
+    from repro.service.api import AnalysisService
+
+    service = AnalysisService(
+        Path(args.store).expanduser(),
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        timeout=args.timeout,
+        retries=args.retries,
+    )
+    print(f"repro service listening on {service.url} "
+          f"(store: {service.store.root})")
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:
+        print("\ndraining and shutting down")
+        service.stop(drain=True)
+    return 0
+
+
+def __getattr__(name: str):
+    """Backwards-compat: ``report_to_dict`` moved to ``repro.core.report``;
+    keep the old import path alive without paying the import at startup."""
+    if name == "report_to_dict":
+        from repro.core.report import report_to_dict
+
+        return report_to_dict
+    raise AttributeError(f"module 'repro.cli' has no attribute {name!r}")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -166,10 +238,13 @@ def main(argv: list[str] | None = None) -> int:
     p_analyze = sub.add_parser("analyze", help="analyze an app")
     p_analyze.add_argument("target", help="corpus key or .sapk path")
     p_analyze.add_argument("--json", action="store_true")
-    p_analyze.add_argument("--no-async-heuristic", action="store_true",
-                           help="disable §3.4's async-event handling")
-    p_analyze.add_argument("--async-heuristic", action="store_true",
-                           help="force-enable §3.4's async-event handling")
+    g_async = p_analyze.add_mutually_exclusive_group()
+    g_async.add_argument("--async-heuristic", dest="async_heuristic",
+                         action="store_true", default=None,
+                         help="force-enable §3.4's async-event handling")
+    g_async.add_argument("--no-async-heuristic", dest="async_heuristic",
+                         action="store_false",
+                         help="disable §3.4's async-event handling")
     p_analyze.add_argument("--workers", type=int, default=1, metavar="N",
                            help="slice demarcation points with N workers "
                                 "(1 = serial reference engine, 0 = one per "
@@ -200,6 +275,34 @@ def main(argv: list[str] | None = None) -> int:
                         help="evaluate corpus apps concurrently with N "
                              "workers before rendering")
     p_eval.set_defaults(fn=cmd_eval)
+
+    p_batch = sub.add_parser(
+        "batch", help="run targets through the scheduler + result store"
+    )
+    p_batch.add_argument("targets", nargs="*",
+                         help="corpus keys or .sapk paths (default: whole corpus)")
+    p_batch.add_argument("--store", default=_default_store(), metavar="DIR",
+                         help="result store root (default: $REPRO_STORE or "
+                              "~/.cache/repro/store)")
+    p_batch.add_argument("--workers", type=int, default=0, metavar="N",
+                         help="scheduler worker threads (0 = one per CPU)")
+    p_batch.add_argument("--timeout", type=float, default=None, metavar="SEC",
+                         help="per-job analysis deadline")
+    p_batch.add_argument("--retries", type=int, default=1, metavar="N",
+                         help="retries per job on analyzer exceptions")
+    p_batch.add_argument("--json", action="store_true",
+                         help="machine-readable batch summary")
+    p_batch.set_defaults(fn=cmd_batch)
+
+    p_serve = sub.add_parser("serve", help="run the HTTP analysis service")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8425)
+    p_serve.add_argument("--store", default=_default_store(), metavar="DIR")
+    p_serve.add_argument("--workers", type=int, default=0, metavar="N",
+                         help="scheduler worker threads (0 = one per CPU)")
+    p_serve.add_argument("--timeout", type=float, default=None, metavar="SEC")
+    p_serve.add_argument("--retries", type=int, default=1, metavar="N")
+    p_serve.set_defaults(fn=cmd_serve)
 
     args = parser.parse_args(argv)
     return args.fn(args)

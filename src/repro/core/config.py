@@ -2,7 +2,15 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import hashlib
+import json
+from dataclasses import dataclass, field, fields
+
+#: Fields that select *how* the analysis executes, not *what* it computes.
+#: Reports are identical across these knobs (the parallel engine is
+#: differentially tested against the serial one), so the service result
+#: store must not shard its cache on them.
+_EXECUTION_FIELDS = frozenset({"workers", "executor"})
 
 
 @dataclass
@@ -62,6 +70,31 @@ class AnalysisConfig:
         from ..perf.parallel import resolve_workers
 
         return resolve_workers(self.workers) > 1
+
+    def semantic_fields(self) -> dict:
+        """The fields that can change analysis *output*, as JSON-safe
+        values — every dataclass field except the execution knobs, so a
+        newly added knob shards the cache by default instead of silently
+        aliasing stale entries."""
+        out = {}
+        for f in sorted(fields(self), key=lambda f: f.name):
+            if f.name in _EXECUTION_FIELDS:
+                continue
+            value = getattr(self, f.name)
+            out[f.name] = list(value) if isinstance(value, tuple) else value
+        return out
+
+    def cache_key(self) -> str:
+        """Stable content hash of the semantically relevant configuration.
+
+        Two configs with the same key produce byte-identical reports for
+        the same APK; ``workers``/``executor`` are excluded, so a report
+        analysed serially is a cache hit for a parallel request and vice
+        versa."""
+        blob = json.dumps(
+            self.semantic_fields(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
 
 
 __all__ = ["AnalysisConfig"]

@@ -1,0 +1,45 @@
+"""The serving layer: batch/daemon analysis around ``Extractocol.analyze``.
+
+PR 1 made one analysis fast; this package makes *fleets* of analyses
+operable.  Three layers, separately usable:
+
+:mod:`repro.service.store`
+    Content-addressed, schema-versioned on-disk result store keyed by
+    ``(APK digest, AnalysisConfig.cache_key())`` with atomic writes.
+
+:mod:`repro.service.jobs`
+    Bounded-queue thread-pool scheduler with cache integration, in-flight
+    deduplication, per-job timeouts, retry with backoff, graceful drain.
+
+:mod:`repro.service.api`
+    Stdlib HTTP JSON API (``repro serve``) exposing submit/status/report/
+    metrics/health endpoints.
+
+``repro batch`` (CLI) drives the scheduler directly, no HTTP involved.
+"""
+
+from .jobs import Job, JobScheduler, JobStatus, JobTimeout, QueueFull, resolve_target
+from .metrics import MetricsRegistry
+from .store import ResultStore, result_key
+
+__all__ = [
+    "AnalysisService",
+    "Job",
+    "JobScheduler",
+    "JobStatus",
+    "JobTimeout",
+    "MetricsRegistry",
+    "QueueFull",
+    "ResultStore",
+    "resolve_target",
+    "result_key",
+]
+
+
+def __getattr__(name: str):
+    # AnalysisService pulls in http.server; keep it lazy for batch users.
+    if name == "AnalysisService":
+        from .api import AnalysisService
+
+        return AnalysisService
+    raise AttributeError(f"module 'repro.service' has no attribute {name!r}")

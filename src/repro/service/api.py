@@ -1,0 +1,222 @@
+"""Stdlib HTTP JSON API around the job scheduler and result store.
+
+Endpoints::
+
+    POST /analyze          {"target": "<corpus key | .sapk path>",
+                            "config": {...AnalysisConfig overrides}}
+                           — or a raw ``.sapk`` zip body
+                           (Content-Type: application/zip) with config
+                           overrides in the X-Repro-Config header
+    GET  /jobs             all jobs
+    GET  /jobs/<id>        one job
+    GET  /report/<key>     stored result envelope by result key
+    GET  /metrics          counters / gauges / histograms + store stats
+    GET  /healthz          liveness + queue snapshot
+
+``POST /analyze`` answers ``202`` with the job (``200`` when the result
+was already stored — the job is born done as a cache hit).  The server is
+a ``ThreadingHTTPServer``: concurrent posts for the same APK are collapsed
+onto one job by the scheduler's in-flight deduplication.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+
+from ..apk.loader import load_apk
+from ..core.config import AnalysisConfig
+from .jobs import JobScheduler, QueueFull, resolve_target
+from .metrics import MetricsRegistry
+from .store import ResultStore
+
+_ZIP_TYPES = {"application/zip", "application/octet-stream"}
+
+
+class AnalysisService:
+    """The service facade: one store + one scheduler + one HTTP server."""
+
+    def __init__(
+        self,
+        store_root: str | Path,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 8425,
+        workers: int = 2,
+        max_queue: int = 128,
+        timeout: float | None = None,
+        retries: int = 1,
+        analyzer=None,
+    ) -> None:
+        self.metrics = MetricsRegistry()
+        self.store = ResultStore(store_root, metrics=self.metrics)
+        self.scheduler = JobScheduler(
+            self.store,
+            workers=workers,
+            max_queue=max_queue,
+            timeout=timeout,
+            retries=retries,
+            metrics=self.metrics,
+            analyzer=analyzer,
+        )
+        handler = _make_handler(self)
+        self.server = ThreadingHTTPServer((host, port), handler)
+        self._thread: threading.Thread | None = None
+
+    # ---------------------------------------------------------- lifecycle
+    @property
+    def address(self) -> tuple[str, int]:
+        return self.server.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "AnalysisService":
+        """Serve in a background thread (tests, embedding)."""
+        self._thread = threading.Thread(
+            target=self.server.serve_forever, name="repro-http", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        self.server.serve_forever()
+
+    def stop(self, *, drain: bool = True) -> None:
+        self.server.shutdown()
+        self.server.server_close()
+        if self._thread is not None:
+            self._thread.join(5)
+        self.scheduler.shutdown(drain=drain)
+
+    # ---------------------------------------------------------- handlers
+    def handle_analyze(self, body: bytes, content_type: str, headers) -> tuple[int, dict]:
+        overrides: dict | None = None
+        if content_type.split(";")[0].strip() in _ZIP_TYPES:
+            raw = headers.get("X-Repro-Config")
+            if raw:
+                overrides = json.loads(raw)
+            apk, config, label = self._load_bundle(body, overrides)
+        else:
+            try:
+                payload = json.loads(body or b"{}")
+            except json.JSONDecodeError:
+                return 400, {"error": "request body is not valid JSON"}
+            target = payload.get("target")
+            if not target:
+                return 400, {"error": "missing 'target'"}
+            overrides = payload.get("config")
+            try:
+                apk, config, label = resolve_target(target, overrides)
+            except LookupError as exc:
+                return 404, {"error": str(exc)}
+            except ValueError as exc:
+                return 400, {"error": str(exc)}
+        try:
+            job = self.scheduler.submit(apk, config, label=label)
+        except QueueFull as exc:
+            return 429, {"error": str(exc)}
+        return (200 if job.cache_hit else 202), {"job": job.to_dict()}
+
+    def _load_bundle(self, body: bytes, overrides: dict | None):
+        with tempfile.NamedTemporaryFile(suffix=".zip") as tmp:
+            tmp.write(body)
+            tmp.flush()
+            apk = load_apk(tmp.name)
+        config = AnalysisConfig()
+        if overrides:
+            for name, value in overrides.items():
+                if not hasattr(config, name):
+                    raise ValueError(f"unknown AnalysisConfig field {name!r}")
+                if name == "scope_prefixes":
+                    value = tuple(value)
+                setattr(config, name, value)
+        return apk, config, apk.name or "uploaded"
+
+    def handle_metrics(self) -> dict:
+        data = self.metrics.to_dict()
+        data["store"] = self.store.stats()
+        return data
+
+    def handle_healthz(self) -> dict:
+        jobs = self.scheduler.jobs()
+        return {
+            "status": "ok",
+            "jobs": len(jobs),
+            "queued": sum(j.status.value == "queued" for j in jobs),
+            "running": sum(j.status.value == "running" for j in jobs),
+            "store_entries": len(self.store.entries()),
+        }
+
+
+def _make_handler(service: AnalysisService):
+    class Handler(BaseHTTPRequestHandler):
+        server_version = "repro-service/1"
+        protocol_version = "HTTP/1.1"
+
+        # silence per-request stderr logging; metrics cover observability
+        def log_message(self, fmt, *args) -> None:
+            pass
+
+        def _send(self, status: int, payload: dict) -> None:
+            body = json.dumps(payload, sort_keys=True, indent=2).encode()
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def do_GET(self) -> None:
+            path = self.path.rstrip("/")
+            if path == "/healthz":
+                self._send(200, service.handle_healthz())
+            elif path == "/metrics":
+                self._send(200, service.handle_metrics())
+            elif path == "/jobs":
+                self._send(
+                    200,
+                    {"jobs": [j.to_dict() for j in service.scheduler.jobs()]},
+                )
+            elif path.startswith("/jobs/"):
+                job = service.scheduler.job(path.removeprefix("/jobs/"))
+                if job is None:
+                    self._send(404, {"error": "no such job"})
+                else:
+                    self._send(200, {"job": job.to_dict()})
+            elif path.startswith("/report/"):
+                envelope = service.store.load(path.removeprefix("/report/"))
+                if envelope is None:
+                    self._send(404, {"error": "no such report"})
+                else:
+                    self._send(200, envelope)
+            else:
+                self._send(404, {"error": f"unknown path {self.path!r}"})
+
+        def do_POST(self) -> None:
+            if self.path.rstrip("/") != "/analyze":
+                self._send(404, {"error": f"unknown path {self.path!r}"})
+                return
+            length = int(self.headers.get("Content-Length") or 0)
+            body = self.rfile.read(length) if length else b""
+            content_type = self.headers.get("Content-Type", "application/json")
+            try:
+                status, payload = service.handle_analyze(
+                    body, content_type, self.headers
+                )
+            except ValueError as exc:
+                status, payload = 400, {"error": str(exc)}
+            except Exception as exc:  # defensive: never kill the acceptor
+                status, payload = 500, {
+                    "error": f"{type(exc).__name__}: {exc}"
+                }
+            self._send(status, payload)
+
+    return Handler
+
+
+__all__ = ["AnalysisService"]

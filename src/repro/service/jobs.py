@@ -1,0 +1,415 @@
+"""In-process job scheduler for batch/daemon analysis.
+
+The scheduler turns ``Extractocol.analyze`` into a managed workload:
+
+* a **bounded queue** feeding a **thread worker pool** (sized with the same
+  :func:`repro.perf.parallel.resolve_workers` knob semantics as the
+  analysis engine: ``0`` means one worker per CPU),
+* **result-store integration** — a submit whose ``(apk digest, config
+  key)`` is already stored completes immediately as a cache hit; a fresh
+  result is written back on success,
+* **in-flight deduplication** — concurrent submits of the same key share
+  one job (and therefore exactly one analysis),
+* **per-job timeout**, **retry with exponential backoff** on analyzer
+  exceptions, and **graceful drain** on shutdown.
+
+Everything is observable through a :class:`~repro.service.metrics
+.MetricsRegistry`.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+import traceback as traceback_mod
+from dataclasses import dataclass, field
+from enum import Enum
+from pathlib import Path
+
+from ..apk.loader import apk_digest as compute_apk_digest
+from ..apk.loader import load_apk
+from ..apk.model import Apk
+from ..core.config import AnalysisConfig
+from ..perf.parallel import resolve_workers
+from .metrics import MetricsRegistry
+from .store import ResultStore
+
+
+class JobTimeout(Exception):
+    """The analysis exceeded the scheduler's per-job deadline."""
+
+
+class QueueFull(Exception):
+    """The bounded submission queue is at capacity (backpressure)."""
+
+
+class JobStatus(str, Enum):
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+
+_TERMINAL = {JobStatus.DONE, JobStatus.FAILED, JobStatus.CANCELLED}
+
+
+@dataclass
+class Job:
+    """One analysis request moving through the scheduler."""
+
+    job_id: str
+    label: str
+    apk_digest: str
+    config_key: str
+    status: JobStatus = JobStatus.QUEUED
+    cache_hit: bool = False
+    attempts: int = 0
+    result_key: str | None = None
+    error: str | None = None
+    traceback: str | None = None
+    submitted_at: float = 0.0
+    started_at: float | None = None
+    finished_at: float | None = None
+    #: jobs deduplicated onto this one (their submits returned this Job)
+    dedup_count: int = 0
+    _apk: Apk | None = field(default=None, repr=False)
+    _config: AnalysisConfig | None = field(default=None, repr=False)
+    _done: threading.Event = field(default_factory=threading.Event, repr=False)
+
+    @property
+    def finished(self) -> bool:
+        return self.status in _TERMINAL
+
+    @property
+    def seconds(self) -> float | None:
+        if self.started_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+    def wait(self, timeout: float | None = None) -> bool:
+        return self._done.wait(timeout)
+
+    def to_dict(self) -> dict:
+        return {
+            "id": self.job_id,
+            "label": self.label,
+            "status": self.status.value,
+            "apk_digest": self.apk_digest,
+            "config_key": self.config_key,
+            "result_key": self.result_key,
+            "cache_hit": self.cache_hit,
+            "attempts": self.attempts,
+            "dedup_count": self.dedup_count,
+            "error": self.error,
+            "traceback": self.traceback,
+            "seconds": self.seconds,
+        }
+
+
+def resolve_target(
+    target: str, overrides: dict | None = None
+) -> tuple[Apk, AnalysisConfig, str]:
+    """Resolve a corpus key or ``.sapk`` path into ``(apk, config, label)``
+    with the same per-app defaults the ``analyze`` CLI verb applies, so
+    stored reports are byte-identical to ``repro analyze`` output."""
+    from ..corpus import app_keys, get_spec
+
+    if target in app_keys():
+        spec = get_spec(target)
+        apk = spec.build_apk()
+        config = AnalysisConfig(
+            async_heuristic=(spec.kind == "closed"),
+            scope_prefixes=spec.scope_prefixes,
+        )
+        label = target
+    else:
+        path = Path(target)
+        if not path.exists():
+            raise LookupError(
+                f"{target!r} is neither a corpus app key nor an .sapk bundle"
+            )
+        apk = load_apk(path)
+        config = AnalysisConfig()
+        label = apk.name or path.stem
+    if overrides:
+        for name, value in overrides.items():
+            if not hasattr(config, name):
+                raise ValueError(f"unknown AnalysisConfig field {name!r}")
+            if name == "scope_prefixes":
+                value = tuple(value)
+            setattr(config, name, value)
+    return apk, config, label
+
+
+def _default_analyzer(apk: Apk, config: AnalysisConfig):
+    from ..core.extractocol import Extractocol
+
+    return Extractocol(config).analyze(apk)
+
+
+class JobScheduler:
+    """Bounded-queue thread-pool scheduler around the result store.
+
+    ``analyzer`` is injectable for testing (failure injection, counting);
+    it must be a ``(apk, config) -> AnalysisReport`` callable.
+    """
+
+    def __init__(
+        self,
+        store: ResultStore,
+        *,
+        workers: int = 2,
+        max_queue: int = 128,
+        timeout: float | None = None,
+        retries: int = 1,
+        backoff: float = 0.05,
+        metrics: MetricsRegistry | None = None,
+        analyzer=None,
+    ) -> None:
+        self.store = store
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        if store.metrics is None:
+            store.metrics = self.metrics
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.analyzer = analyzer or _default_analyzer
+        self.workers = resolve_workers(workers)
+        self._queue: queue.Queue = queue.Queue(maxsize=max_queue)
+        self._jobs: dict[str, Job] = {}
+        self._inflight: dict[str, Job] = {}
+        self._lock = threading.Lock()
+        self._counter = 0
+        self._shutdown = False
+        self._threads = [
+            threading.Thread(
+                target=self._worker, name=f"repro-worker-{i}", daemon=True
+            )
+            for i in range(self.workers)
+        ]
+        for t in self._threads:
+            t.start()
+
+    # ----------------------------------------------------------- submit
+    def submit(
+        self, apk: Apk, config: AnalysisConfig, *, label: str | None = None
+    ) -> Job:
+        """Enqueue an analysis; returns its :class:`Job`.
+
+        Cache hits complete synchronously without queueing; a submit whose
+        key is already queued or running returns the existing job.  Raises
+        :class:`QueueFull` when the bounded queue is at capacity.
+        """
+        digest = compute_apk_digest(apk)
+        config_key = config.cache_key()
+        key = f"{digest}-{config_key}"
+        with self._lock:
+            if self._shutdown:
+                raise RuntimeError("scheduler is shut down")
+            inflight = self._inflight.get(key)
+            if inflight is not None:
+                inflight.dedup_count += 1
+                self.metrics.counter("jobs_deduplicated").inc()
+                return inflight
+            job = Job(
+                job_id=f"j{self._counter:05d}",
+                label=label or apk.name or digest[:12],
+                apk_digest=digest,
+                config_key=config_key,
+                submitted_at=time.monotonic(),
+                _apk=apk,
+                _config=config,
+            )
+            self._counter += 1
+            self._jobs[job.job_id] = job
+            self.metrics.counter("jobs_submitted").inc()
+
+            if self.store.get(digest, config_key) is not None:
+                self._finish(job, JobStatus.DONE, cache_hit=True, key=key)
+                return job
+
+            try:
+                self._queue.put_nowait(job)
+            except queue.Full:
+                del self._jobs[job.job_id]
+                self.metrics.counter("jobs_rejected").inc()
+                raise QueueFull(
+                    f"queue at capacity ({self._queue.maxsize}); retry later"
+                ) from None
+            self._inflight[key] = job
+            self.metrics.gauge("queue_depth").inc()
+        return job
+
+    def submit_target(self, target: str, overrides: dict | None = None) -> Job:
+        apk, config, label = resolve_target(target, overrides)
+        return self.submit(apk, config, label=label)
+
+    # ------------------------------------------------------------ query
+    def job(self, job_id: str) -> Job | None:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> list[Job]:
+        with self._lock:
+            return sorted(self._jobs.values(), key=lambda j: j.job_id)
+
+    def wait(self, jobs=None, timeout: float | None = None) -> bool:
+        """Block until the given jobs (default: all known) finish.
+        Returns False if ``timeout`` elapsed first."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for job in list(jobs) if jobs is not None else self.jobs():
+            remaining = (
+                None if deadline is None else max(0.0, deadline - time.monotonic())
+            )
+            if not job.wait(remaining):
+                return False
+        return True
+
+    # ------------------------------------------------------------ workers
+    def _worker(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is None:  # shutdown sentinel
+                self._queue.task_done()
+                return
+            self.metrics.gauge("queue_depth").dec()
+            self.metrics.gauge("running").inc()
+            job.status = JobStatus.RUNNING
+            job.started_at = time.monotonic()
+            try:
+                self._run_job(job)
+            finally:
+                self.metrics.gauge("running").dec()
+                self._queue.task_done()
+
+    def _run_job(self, job: Job) -> None:
+        key = f"{job.apk_digest}-{job.config_key}"
+        apk, config = job._apk, job._config
+        last_exc: BaseException | None = None
+        for attempt in range(1, self.retries + 2):
+            job.attempts = attempt
+            try:
+                started = time.monotonic()
+                self.metrics.counter("analyses_run").inc()
+                report = self._call_with_timeout(
+                    lambda: self.analyzer(apk, config)
+                )
+                self.metrics.histogram("analyze_seconds").observe(
+                    time.monotonic() - started
+                )
+                job.result_key = self.store.put(
+                    job.apk_digest,
+                    job.config_key,
+                    report,
+                    analysis_seconds=time.monotonic() - started,
+                )
+                with self._lock:
+                    self._finish(job, JobStatus.DONE, key=key)
+                return
+            except JobTimeout as exc:
+                # a deadline blow-through is not transient: do not retry
+                job.error = str(exc)
+                self.metrics.counter("jobs_timeout").inc()
+                break
+            except Exception as exc:
+                last_exc = exc
+                job.error = f"{type(exc).__name__}: {exc}"
+                job.traceback = traceback_mod.format_exc()
+                if attempt <= self.retries:
+                    self.metrics.counter("jobs_retried").inc()
+                    time.sleep(self.backoff * (2 ** (attempt - 1)))
+        with self._lock:
+            self._finish(job, JobStatus.FAILED, key=key)
+
+    def _call_with_timeout(self, fn):
+        if self.timeout is None:
+            return fn()
+        box: dict = {}
+
+        def run() -> None:
+            try:
+                box["result"] = fn()
+            except BaseException as exc:  # propagated to the worker below
+                box["error"] = exc
+
+        t = threading.Thread(target=run, daemon=True)
+        t.start()
+        t.join(self.timeout)
+        if t.is_alive():
+            raise JobTimeout(f"analysis exceeded {self.timeout:g}s deadline")
+        if "error" in box:
+            raise box["error"]
+        return box["result"]
+
+    def _finish(
+        self,
+        job: Job,
+        status: JobStatus,
+        *,
+        key: str,
+        cache_hit: bool = False,
+    ) -> None:
+        """Terminal transition; caller holds ``self._lock``."""
+        job.status = status
+        job.cache_hit = cache_hit
+        if cache_hit:
+            job.started_at = job.finished_at = time.monotonic()
+            job.result_key = key
+        else:
+            job.finished_at = time.monotonic()
+        self._inflight.pop(key, None)
+        if status is JobStatus.DONE:
+            self.metrics.counter("jobs_done").inc()
+            if job.seconds is not None and not cache_hit:
+                self.metrics.histogram("job_seconds").observe(job.seconds)
+        elif status is JobStatus.FAILED:
+            self.metrics.counter("jobs_failed").inc()
+        job._apk = job._config = None  # release the program graph
+        job._done.set()
+
+    # ---------------------------------------------------------- shutdown
+    def shutdown(self, *, drain: bool = True, timeout: float | None = None) -> None:
+        """Stop the pool.  ``drain=True`` finishes queued work first;
+        ``drain=False`` cancels everything still queued."""
+        with self._lock:
+            if self._shutdown:
+                return
+            self._shutdown = True
+            if not drain:
+                cancelled: list[Job] = []
+                try:
+                    while True:
+                        cancelled.append(self._queue.get_nowait())
+                        self._queue.task_done()
+                except queue.Empty:
+                    pass
+                for job in cancelled:
+                    if job is not None:
+                        job.error = "cancelled at shutdown"
+                        self._finish(
+                            job,
+                            JobStatus.CANCELLED,
+                            key=f"{job.apk_digest}-{job.config_key}",
+                        )
+        for _ in self._threads:
+            self._queue.put(None)
+        for t in self._threads:
+            t.join(timeout)
+
+    def __enter__(self) -> "JobScheduler":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown(drain=True)
+
+
+__all__ = [
+    "Job",
+    "JobScheduler",
+    "JobStatus",
+    "JobTimeout",
+    "QueueFull",
+    "resolve_target",
+]

@@ -1,0 +1,199 @@
+"""Content-addressed on-disk result store.
+
+Analysis results are immutable functions of ``(APK content, semantic
+config)``: the parallel engine is differentially tested to produce
+byte-identical reports to the serial one, so a report computed once can be
+served forever.  The store therefore keys entries by
+
+    ``<sha256 of the canonical .sapk serialisation>-<AnalysisConfig.cache_key()>``
+
+and writes each entry exactly once, atomically (temp file + ``os.replace``
+in the same directory), as canonical JSON (``sort_keys=True, indent=2``).
+Entries carry a schema version; entries written by an older schema are
+treated as misses and rewritten, never mis-parsed.
+
+Layout::
+
+    <root>/objects/<key[:2]>/<key>.json
+
+The two-level fan-out keeps directories small for fleet-sized corpora.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+from pathlib import Path
+
+from ..core.report import AnalysisReport, report_from_dict, report_to_dict
+from .metrics import MetricsRegistry
+
+#: Bump when the envelope or report dict shape changes incompatibly.
+SCHEMA_VERSION = 1
+
+
+def result_key(apk_digest: str, config_key: str) -> str:
+    """The content address of one analysis result."""
+    return f"{apk_digest}-{config_key}"
+
+
+def canonical_json(data: dict) -> str:
+    """The store's one serialisation: byte-stable for identical dicts."""
+    return json.dumps(data, sort_keys=True, indent=2)
+
+
+class ResultStore:
+    """Durable cache of analysis reports, content-addressed and versioned.
+
+    ``get``/``put`` operate on report dicts (the :func:`report_to_dict`
+    form); :meth:`get_report` rebuilds a live report view.  Hit/miss/write
+    counts are tracked on the instance and mirrored into an optional
+    :class:`MetricsRegistry`.
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        *,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.root = Path(root).expanduser()
+        self.objects = self.root / "objects"
+        self.objects.mkdir(parents=True, exist_ok=True)
+        self.metrics = metrics
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    # ------------------------------------------------------------- paths
+    def path_for(self, key: str) -> Path:
+        return self.objects / key[:2] / f"{key}.json"
+
+    # ------------------------------------------------------------- reads
+    def get(self, apk_digest: str, config_key: str) -> dict | None:
+        """The stored envelope for ``(apk, config)``, or ``None`` on miss.
+
+        Unreadable, corrupt or schema-incompatible entries count as misses:
+        the caller re-analyses and the fresh ``put`` replaces them.
+        """
+        key = result_key(apk_digest, config_key)
+        envelope = self.load(key)
+        if (
+            envelope is None
+            or envelope.get("schema") != SCHEMA_VERSION
+            or "report" not in envelope
+        ):
+            self._record(hit=False)
+            return None
+        self._record(hit=True)
+        return envelope
+
+    def load(self, key: str) -> dict | None:
+        """Load an envelope by full result key (no hit/miss accounting —
+        this is the ``GET /report/<key>`` lookup, not a cache probe)."""
+        path = self.path_for(key)
+        try:
+            return json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    def get_report(
+        self, apk_digest: str, config_key: str
+    ) -> AnalysisReport | None:
+        envelope = self.get(apk_digest, config_key)
+        if envelope is None:
+            return None
+        return report_from_dict(envelope["report"])
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    # ------------------------------------------------------------ writes
+    def put(
+        self,
+        apk_digest: str,
+        config_key: str,
+        report: AnalysisReport,
+        *,
+        analysis_seconds: float | None = None,
+    ) -> str:
+        """Store a report; returns its result key.
+
+        The write is atomic: readers either see the complete entry or the
+        previous state, never a torn file.  Timing metadata lives in the
+        envelope — outside ``report`` — so the report payload stays
+        byte-identical across runs.
+        """
+        key = result_key(apk_digest, config_key)
+        envelope = {
+            "schema": SCHEMA_VERSION,
+            "key": key,
+            "apk_digest": apk_digest,
+            "config_key": config_key,
+            "app": report.app,
+            "analysis_seconds": (
+                analysis_seconds
+                if analysis_seconds is not None
+                else report.analysis_seconds
+            ),
+            "report": report_to_dict(report),
+        }
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{key[:8]}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(canonical_json(envelope))
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        with self._lock:
+            self.writes += 1
+        if self.metrics is not None:
+            self.metrics.counter("store_writes").inc()
+        return key
+
+    # ------------------------------------------------------------- stats
+    def _record(self, *, hit: bool) -> None:
+        with self._lock:
+            if hit:
+                self.hits += 1
+            else:
+                self.misses += 1
+        if self.metrics is not None:
+            self.metrics.counter("cache_hits" if hit else "cache_misses").inc()
+
+    def entries(self) -> list[str]:
+        """All stored result keys (directory scan; for stats/debugging)."""
+        return sorted(
+            p.stem for p in self.objects.glob("*/*.json")
+        )
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "writes": self.writes,
+                "entries": len(self.entries()),
+                "schema": SCHEMA_VERSION,
+            }
+
+
+__all__ = [
+    "ResultStore",
+    "SCHEMA_VERSION",
+    "canonical_json",
+    "result_key",
+]

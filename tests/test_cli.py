@@ -66,6 +66,12 @@ class TestCli:
         assert "lat" in uri_with
         assert "lat" not in uri_without
 
+    def test_async_flags_mutually_exclusive(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["analyze", "weather", "--async-heuristic",
+                  "--no-async-heuristic"])
+        capsys.readouterr()  # swallow argparse's usage message
+
     def test_module_invocation(self):
         result = subprocess.run(
             [sys.executable, "-m", "repro", "corpus"],
@@ -73,6 +79,31 @@ class TestCli:
         )
         assert result.returncode == 0
         assert "diode" in result.stdout
+
+
+class TestBatch:
+    def test_batch_cold_then_warm(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        cold = run_cli(capsys, "batch", "diode", "tzm", "--store", store,
+                       "--workers", "2")
+        assert "2 jobs: 2 done (0 cached), 0 failed" in cold
+        assert "analyses run: 2" in cold
+        warm = run_cli(capsys, "batch", "diode", "tzm", "--store", store,
+                       "--workers", "2")
+        assert "2 jobs: 2 done (2 cached), 0 failed" in warm
+        assert "analyses run: 0" in warm
+
+    def test_batch_json_summary(self, capsys, tmp_path):
+        out = run_cli(capsys, "batch", "wallabag", "--store",
+                      str(tmp_path / "store"), "--json")
+        data = json.loads(out)
+        assert data["analyses_run"] == 1 and data["failed"] == 0
+        assert data["jobs"][0]["target"] == "wallabag"
+        assert data["jobs"][0]["status"] == "done"
+
+    def test_batch_unknown_target_exits(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["batch", "not-an-app", "--store", str(tmp_path / "s")])
 
 
 class TestReportDict:

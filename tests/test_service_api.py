@@ -1,0 +1,175 @@
+"""End-to-end HTTP service tests: start the server, submit concurrent
+jobs, and verify dedup, cached re-submission (byte-identical to a fresh
+run), metrics, health and bundle upload."""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import Extractocol
+from repro.core.report import report_to_dict
+from repro.service import resolve_target
+from repro.service.api import AnalysisService
+from repro.service.store import canonical_json
+
+
+@pytest.fixture()
+def service(tmp_path):
+    svc = AnalysisService(tmp_path / "store", port=0, workers=4).start()
+    yield svc
+    svc.stop()
+
+
+def _request(svc, method, path, body=None, headers=None):
+    req = urllib.request.Request(
+        svc.url + path, data=body, method=method,
+        headers=headers or ({"Content-Type": "application/json"} if body else {}),
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=30) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def get(svc, path):
+    return _request(svc, "GET", path)
+
+
+def post(svc, path, payload):
+    return _request(svc, "POST", path, json.dumps(payload).encode())
+
+
+def wait_done(svc, job_id, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        status, data = get(svc, f"/jobs/{job_id}")
+        assert status == 200
+        if data["job"]["status"] in ("done", "failed", "cancelled"):
+            return data["job"]
+        time.sleep(0.02)
+    raise AssertionError(f"job {job_id} did not finish in {timeout}s")
+
+
+class TestAnalyzeLifecycle:
+    def test_submit_poll_fetch_report(self, service):
+        status, data = post(service, "/analyze", {"target": "diode"})
+        assert status == 202
+        job = wait_done(service, data["job"]["id"])
+        assert job["status"] == "done" and not job["cache_hit"]
+
+        status, envelope = get(service, f"/report/{job['result_key']}")
+        assert status == 200
+        apk, config, _ = resolve_target("diode")
+        fresh = Extractocol(config).analyze(apk)
+        # the cached report is byte-identical to a fresh analysis
+        assert canonical_json(envelope["report"]) == canonical_json(
+            report_to_dict(fresh)
+        )
+
+    def test_cached_resubmission_served_without_reanalysis(self, service):
+        _, data = post(service, "/analyze", {"target": "tzm"})
+        wait_done(service, data["job"]["id"])
+        status, data = post(service, "/analyze", {"target": "tzm"})
+        assert status == 200  # answered synchronously from the store
+        assert data["job"]["cache_hit"] and data["job"]["status"] == "done"
+        _, metrics = get(service, "/metrics")
+        assert metrics["counters"]["analyses_run"] == 1
+
+    def test_config_overrides_shard_results(self, service):
+        _, a = post(service, "/analyze", {"target": "wallabag"})
+        _, b = post(service, "/analyze",
+                    {"target": "wallabag", "config": {"rounds": 1}})
+        ja = wait_done(service, a["job"]["id"])
+        jb = wait_done(service, b["job"]["id"])
+        assert ja["config_key"] != jb["config_key"]
+        assert ja["apk_digest"] == jb["apk_digest"]
+
+    def test_concurrent_posts_trigger_exactly_one_analysis(self, tmp_path):
+        def slow_analyzer(apk, config):
+            time.sleep(0.5)  # hold the job in-flight while posts race in
+            return Extractocol(config).analyze(apk)
+
+        svc = AnalysisService(
+            tmp_path / "store", port=0, workers=4, analyzer=slow_analyzer
+        ).start()
+        try:
+            results = []
+
+            def submit():
+                results.append(
+                    post(svc, "/analyze", {"target": "radioreddit"})
+                )
+
+            threads = [threading.Thread(target=submit) for _ in range(8)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            ids = {data["job"]["id"] for _, data in results}
+            assert len(ids) == 1, f"expected one deduplicated job, got {ids}"
+            wait_done(svc, ids.pop())
+            _, metrics = get(svc, "/metrics")
+            assert metrics["counters"]["analyses_run"] == 1
+            assert metrics["counters"]["jobs_deduplicated"] == 7
+        finally:
+            svc.stop()
+
+    def test_upload_sapk_bundle(self, service, tmp_path):
+        from repro.apk.loader import save_apk
+        from repro.corpus import build_app
+
+        path = save_apk(build_app("blippex"), tmp_path / "b.zip")
+        status, data = _request(
+            service, "POST", "/analyze", path.read_bytes(),
+            headers={
+                "Content-Type": "application/zip",
+                # match the corpus default for open-source apps so the
+                # upload and the corpus key land on the same cache entry
+                "X-Repro-Config": json.dumps({"async_heuristic": False}),
+            },
+        )
+        assert status == 202
+        job = wait_done(service, data["job"]["id"])
+        assert job["status"] == "done"
+        # same content + same semantic config ⇒ same cache entry
+        status, data = post(service, "/analyze", {"target": "blippex"})
+        assert status == 200 and data["job"]["cache_hit"]
+
+
+class TestOperationalEndpoints:
+    def test_healthz_and_jobs_listing(self, service):
+        status, health = get(service, "/healthz")
+        assert status == 200 and health["status"] == "ok"
+        _, data = post(service, "/analyze", {"target": "diode"})
+        wait_done(service, data["job"]["id"])
+        status, listing = get(service, "/jobs")
+        assert status == 200 and len(listing["jobs"]) == 1
+
+    def test_metrics_shape(self, service):
+        _, data = post(service, "/analyze", {"target": "diode"})
+        wait_done(service, data["job"]["id"])
+        _, metrics = get(service, "/metrics")
+        assert {"counters", "gauges", "histograms", "store"} <= metrics.keys()
+        assert metrics["counters"]["jobs_done"] == 1
+        assert metrics["gauges"]["queue_depth"] == 0
+        assert metrics["histograms"]["analyze_seconds"]["count"] == 1
+        assert metrics["store"]["writes"] == 1
+
+    def test_error_paths(self, service):
+        assert post(service, "/analyze", {"target": "not-an-app"})[0] == 404
+        assert post(service, "/analyze", {})[0] == 400
+        assert post(service, "/analyze",
+                    {"target": "diode", "config": {"bogus": 1}})[0] == 400
+        assert get(service, "/jobs/j99999")[0] == 404
+        assert get(service, "/report/deadbeef")[0] == 404
+        assert get(service, "/nope")[0] == 404
+        status, _ = _request(service, "POST", "/analyze", b"not json",
+                             headers={"Content-Type": "application/json"})
+        assert status == 400

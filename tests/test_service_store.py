@@ -1,0 +1,149 @@
+"""The content-addressed result store and the config cache key."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import AnalysisConfig, Extractocol
+from repro.apk.loader import apk_digest, load_apk, save_apk
+from repro.core.report import report_to_dict
+from repro.service import MetricsRegistry, ResultStore, result_key
+from repro.service.store import SCHEMA_VERSION, canonical_json
+
+
+@pytest.fixture(scope="module")
+def diode_report():
+    from repro.corpus import build_app
+
+    apk = build_app("diode")
+    config = AnalysisConfig()
+    return apk, config, Extractocol(config).analyze(apk)
+
+
+class TestCacheKey:
+    def test_stable_across_processes(self):
+        # a literal, so a refactor that silently changes key derivation
+        # (and would orphan every stored entry) fails loudly here
+        assert AnalysisConfig().cache_key() == "ade5584a43cb62b9"
+
+    def test_execution_knobs_do_not_shard_the_cache(self):
+        base = AnalysisConfig()
+        for variant in (
+            AnalysisConfig(workers=8),
+            AnalysisConfig(workers=0),
+            AnalysisConfig(executor="process"),
+            AnalysisConfig(workers=4, executor="process"),
+        ):
+            assert variant.cache_key() == base.cache_key()
+
+    def test_semantic_fields_do_shard_the_cache(self):
+        base = AnalysisConfig()
+        for variant in (
+            AnalysisConfig(async_heuristic=False),
+            AnalysisConfig(rounds=1),
+            AnalysisConfig(use_slicing=False),
+            AnalysisConfig(scope_prefixes=("com.kayak",)),
+            AnalysisConfig(max_async_hops_override=3),
+            AnalysisConfig(model_intents=True),
+        ):
+            assert variant.cache_key() != base.cache_key()
+
+    def test_worker_count_does_not_change_the_report(self):
+        """The contract the shared cache key rests on: serial and parallel
+        engines produce byte-identical reports."""
+        from repro.corpus import build_app
+
+        apk = build_app("radioreddit")
+        serial = Extractocol(AnalysisConfig(workers=1)).analyze(apk)
+        parallel = Extractocol(AnalysisConfig(workers=4)).analyze(apk)
+        assert json.dumps(report_to_dict(serial), sort_keys=True) == json.dumps(
+            report_to_dict(parallel), sort_keys=True
+        )
+
+
+class TestApkDigest:
+    def test_digest_stable_across_save_load(self, tmp_path, diode_report):
+        apk, _, _ = diode_report
+        save_apk(apk, tmp_path / "d.sapk")
+        assert apk_digest(load_apk(tmp_path / "d.sapk")) == apk_digest(apk)
+
+    def test_different_apps_different_digests(self):
+        from repro.corpus import build_app
+
+        assert apk_digest(build_app("diode")) != apk_digest(build_app("tzm"))
+
+
+class TestResultStore:
+    def test_put_get_roundtrip(self, tmp_path, diode_report):
+        apk, config, report = diode_report
+        store = ResultStore(tmp_path / "store")
+        digest, ckey = apk_digest(apk), config.cache_key()
+        assert store.get(digest, ckey) is None  # cold miss
+        key = store.put(digest, ckey, report)
+        assert key == result_key(digest, ckey)
+        envelope = store.get(digest, ckey)
+        assert envelope["schema"] == SCHEMA_VERSION
+        assert envelope["report"] == report_to_dict(report)
+        assert envelope["analysis_seconds"] > 0
+        assert store.stats() == {
+            "hits": 1, "misses": 1, "writes": 1, "entries": 1,
+            "schema": SCHEMA_VERSION,
+        }
+
+    def test_stored_bytes_identical_to_fresh_serialisation(
+        self, tmp_path, diode_report
+    ):
+        apk, config, report = diode_report
+        store = ResultStore(tmp_path / "store")
+        key = store.put(apk_digest(apk), config.cache_key(), report)
+        on_disk = json.loads(store.path_for(key).read_text())
+        fresh = Extractocol(config).analyze(apk)
+        assert canonical_json(on_disk["report"]) == canonical_json(
+            report_to_dict(fresh)
+        )
+
+    def test_get_report_rebuilds_view(self, tmp_path, diode_report):
+        apk, config, report = diode_report
+        store = ResultStore(tmp_path / "store")
+        store.put(apk_digest(apk), config.cache_key(), report)
+        rebuilt = store.get_report(apk_digest(apk), config.cache_key())
+        assert rebuilt.summary() == report.summary()
+
+    def test_schema_mismatch_is_a_miss(self, tmp_path, diode_report):
+        apk, config, report = diode_report
+        store = ResultStore(tmp_path / "store")
+        key = store.put(apk_digest(apk), config.cache_key(), report)
+        envelope = json.loads(store.path_for(key).read_text())
+        envelope["schema"] = SCHEMA_VERSION + 1
+        store.path_for(key).write_text(json.dumps(envelope))
+        assert store.get(apk_digest(apk), config.cache_key()) is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path, diode_report):
+        apk, config, report = diode_report
+        store = ResultStore(tmp_path / "store")
+        key = store.put(apk_digest(apk), config.cache_key(), report)
+        store.path_for(key).write_text("{ torn write")
+        assert store.get(apk_digest(apk), config.cache_key()) is None
+
+    def test_no_temp_file_residue(self, tmp_path, diode_report):
+        apk, config, report = diode_report
+        store = ResultStore(tmp_path / "store")
+        store.put(apk_digest(apk), config.cache_key(), report)
+        residue = [
+            p for p in (tmp_path / "store").rglob("*") if p.suffix == ".tmp"
+        ]
+        assert residue == []
+
+    def test_metrics_mirrored(self, tmp_path, diode_report):
+        apk, config, report = diode_report
+        metrics = MetricsRegistry()
+        store = ResultStore(tmp_path / "store", metrics=metrics)
+        store.get(apk_digest(apk), config.cache_key())
+        store.put(apk_digest(apk), config.cache_key(), report)
+        store.get(apk_digest(apk), config.cache_key())
+        counters = metrics.to_dict()["counters"]
+        assert counters["cache_misses"] == 1
+        assert counters["cache_hits"] == 1
+        assert counters["store_writes"] == 1
