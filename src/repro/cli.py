@@ -5,6 +5,9 @@
     python -m repro corpus                      # list corpus apps
     python -m repro analyze diode               # analyze a corpus app
     python -m repro analyze path/to/app.sapk    # analyze an .sapk bundle
+    python -m repro analyze diode --trace t.jsonl   # + emit a pipeline trace
+    python -m repro trace diode --flame         # trace as collapsed stacks
+    python -m repro explain radioreddit 1 uri   # taint provenance of a field
     python -m repro fuzz diode --mode manual    # run a fuzzing baseline
     python -m repro export diode out.sapk       # save a corpus app to disk
     python -m repro eval table1|table2|figures|casestudies
@@ -54,13 +57,20 @@ def cmd_corpus(args) -> int:
 def cmd_analyze(args) -> int:
     from repro import Extractocol
     from repro.core.report import report_to_dict
+    from repro.obs.tracer import NULL_TRACER, Tracer
 
     apk, config = _load(args.target)
     if args.async_heuristic is not None:
         config.async_heuristic = args.async_heuristic
     config.workers = args.workers
     config.executor = args.executor
-    report = Extractocol(config).analyze(apk)
+    tracer = Tracer() if args.trace else NULL_TRACER
+    report = Extractocol(config, tracer=tracer).analyze(apk)
+    if args.trace:
+        from repro.obs.export import write_jsonl
+
+        write_jsonl(tracer.root, args.trace, timings=args.trace_timings)
+        print(f"trace written to {args.trace}", file=sys.stderr)
     if args.json:
         print(json.dumps(report_to_dict(report), indent=2))
         return 0
@@ -72,6 +82,47 @@ def cmd_analyze(args) -> int:
     for txn in report.unidentified:
         print(f"#{txn.txn_id} [unidentified] {txn.request.method} "
               f"{txn.request.uri_regex}")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Run one traced analysis and print/write the trace (JSONL by
+    default, collapsed flamegraph stacks with ``--flame``)."""
+    from repro import Extractocol
+    from repro.obs.export import collapsed_stacks, to_jsonl
+    from repro.obs.tracer import Tracer
+
+    apk, config = _load(args.target)
+    config.workers = args.workers
+    config.executor = args.executor
+    tracer = Tracer()
+    Extractocol(config, tracer=tracer).analyze(apk)
+    if args.flame:
+        text = collapsed_stacks(tracer.root)
+    else:
+        text = to_jsonl(tracer.root, timings=args.timings)
+    if args.out:
+        Path(args.out).write_text(text)
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def cmd_explain(args) -> int:
+    """Explain where a signature field comes from: the chain of concrete
+    statements from the producing constant to the demarcation point."""
+    from repro.obs.provenance import explain
+
+    apk, config = _load(args.target)
+    try:
+        result = explain(apk, config, request=args.request, field=args.field)
+    except LookupError as exc:
+        raise SystemExit(str(exc))
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(result.describe())
     return 0
 
 
@@ -122,6 +173,12 @@ def cmd_eval(args) -> int:
         print(evalx.render_table5())
         print()
         print(evalx.render_table6())
+    if args.verbose:
+        # phase-timing profile of every app the render above evaluated —
+        # served from the evaluation cache (analysis_workers=1, same key
+        # the renderers use), no re-analysis
+        print()
+        print(evalx.render_phase_table())
     return 0
 
 
@@ -255,7 +312,44 @@ def main(argv: list[str] | None = None) -> int:
                            help="executor backing parallel slicing "
                                 "(process = fork pool, falls back to "
                                 "threads without fork support)")
+    p_analyze.add_argument("--trace", metavar="FILE", default=None,
+                           help="write a JSONL pipeline trace to FILE")
+    p_analyze.add_argument("--trace-timings", action="store_true",
+                           help="include wall-clock seconds per span "
+                                "(makes the trace run-specific)")
     p_analyze.set_defaults(fn=cmd_analyze)
+
+    p_trace = sub.add_parser(
+        "trace", help="run one traced analysis and emit the trace"
+    )
+    p_trace.add_argument("target", help="corpus key or .sapk path")
+    p_trace.add_argument("--flame", action="store_true",
+                         help="collapsed flamegraph stacks (self-time in "
+                              "microseconds) instead of JSONL")
+    p_trace.add_argument("--out", metavar="FILE", default=None,
+                         help="write to FILE instead of stdout")
+    p_trace.add_argument("--timings", action="store_true",
+                         help="include wall-clock seconds in JSONL spans")
+    p_trace.add_argument("--workers", type=int, default=1, metavar="N")
+    p_trace.add_argument("--executor", choices=["thread", "process"],
+                         default="thread")
+    p_trace.set_defaults(fn=cmd_trace)
+
+    p_explain = sub.add_parser(
+        "explain",
+        help="taint provenance: why is this field in the signature?",
+    )
+    p_explain.add_argument("target", help="corpus key or .sapk path")
+    p_explain.add_argument(
+        "request",
+        help="transaction selector: a txn id or a 'METHOD uri' substring",
+    )
+    p_explain.add_argument(
+        "field",
+        help="'uri', 'body', 'header:<name>', or a literal fragment",
+    )
+    p_explain.add_argument("--json", action="store_true")
+    p_explain.set_defaults(fn=cmd_explain)
 
     p_fuzz = sub.add_parser("fuzz", help="run a UI-fuzzing baseline")
     p_fuzz.add_argument("target")
@@ -274,6 +368,8 @@ def main(argv: list[str] | None = None) -> int:
     p_eval.add_argument("--workers", type=int, default=1, metavar="N",
                         help="evaluate corpus apps concurrently with N "
                              "workers before rendering")
+    p_eval.add_argument("--verbose", action="store_true",
+                        help="append a per-app phase-timing table")
     p_eval.set_defaults(fn=cmd_eval)
 
     p_batch = sub.add_parser(

@@ -8,9 +8,10 @@ from dataclasses import dataclass, field, fields
 
 #: Fields that select *how* the analysis executes, not *what* it computes.
 #: Reports are identical across these knobs (the parallel engine is
-#: differentially tested against the serial one), so the service result
-#: store must not shard its cache on them.
-_EXECUTION_FIELDS = frozenset({"workers", "executor"})
+#: differentially tested against the serial one; provenance recording only
+#: adds side tables to the slices), so the service result store must not
+#: shard its cache on them.
+_EXECUTION_FIELDS = frozenset({"workers", "executor", "record_provenance"})
 
 
 @dataclass
@@ -57,6 +58,9 @@ class AnalysisConfig:
     model_sockets: bool = False
     workers: int = 1
     executor: str = "thread"
+    #: record taint provenance parent links for ``repro explain``; an
+    #: execution knob — the report is unchanged, only slice side tables grow
+    record_provenance: bool = False
 
     @property
     def max_async_hops(self) -> int:

@@ -21,6 +21,8 @@ from ..apk.model import Apk, TriggerKind
 from ..cfg.callgraph import build_callgraph
 from ..deps.interdep import infer_dependencies
 from ..deps.transactions import Transaction, from_record
+from ..obs.phases import PhaseStats
+from ..obs.tracer import NULL_TRACER
 from ..perf.index import ProgramIndex
 from ..semantics.async_model import compute_event_roots, discover_callbacks
 from ..semantics.model import SemanticModel
@@ -33,7 +35,14 @@ from .report import AnalysisReport
 
 
 class Extractocol:
-    """The analysis entry point.  Stateless across :meth:`analyze` calls."""
+    """The analysis entry point.
+
+    Stateless across :meth:`analyze` calls except for two observability
+    artifacts refreshed per call: ``last_slicing`` (the raw
+    :class:`~repro.slicing.slicer.SlicingReport`, needed by
+    ``repro explain``) and the spans emitted on ``tracer`` (the default
+    :data:`~repro.obs.tracer.NULL_TRACER` discards them for free).
+    """
 
     def __init__(
         self,
@@ -41,82 +50,116 @@ class Extractocol:
         *,
         model: SemanticModel | None = None,
         registry: DemarcationRegistry | None = None,
+        tracer=NULL_TRACER,
     ) -> None:
         self.config = config or AnalysisConfig()
         self.model = model
         self.registry = registry
+        self.tracer = tracer
+        self.last_slicing = None
 
     # ------------------------------------------------------------------ phases
     def analyze(self, apk: Apk) -> AnalysisReport:
         started = time.perf_counter()
+        stats = PhaseStats()
+        app_span = self.tracer.span(f"analyze:{apk.name}")
         program = apk.program
-        callgraph = build_callgraph(program)
 
-        # Implicit call flows (AsyncTask & friends, §3.4) extend the call
-        # graph before slicing so backward/forward propagation crosses them.
-        cbinfo = discover_callbacks(program, callgraph)
-        if self.config.model_intents:
-            from ..semantics.extensions import discover_intent_edges
+        with app_span.child("phase:setup") as sp:
+            t0 = time.perf_counter()
+            callgraph = build_callgraph(program)
 
-            discover_intent_edges(program, callgraph)
-        event_roots = compute_event_roots(
-            program,
-            callgraph,
-            [ep.method_id for ep in apk.entrypoints],
-            cbinfo.boundary_methods,
-        )
+            # Implicit call flows (AsyncTask & friends, §3.4) extend the
+            # call graph before slicing so backward/forward propagation
+            # crosses them.
+            cbinfo = discover_callbacks(program, callgraph)
+            if self.config.model_intents:
+                from ..semantics.extensions import discover_intent_edges
 
-        # The memoized parallel engine shares one ProgramIndex between both
-        # taint directions, the slicer and the signature interpreter; the
-        # serial path (workers=1) stays the reference implementation.
-        index = ProgramIndex(program, callgraph) if self.config.parallel else None
+                discover_intent_edges(program, callgraph)
+            event_roots = compute_event_roots(
+                program,
+                callgraph,
+                [ep.method_id for ep in apk.entrypoints],
+                cbinfo.boundary_methods,
+            )
+
+            # The memoized parallel engine shares one ProgramIndex between
+            # both taint directions, the slicer and the signature
+            # interpreter; the serial path (workers=1) stays the reference
+            # implementation.
+            index = ProgramIndex(program, callgraph) if self.config.parallel else None
+            sp.count("entrypoints", len(apk.entrypoints))
+            sp.count("statements", program.statement_count())
+            stats.seconds["setup"] = time.perf_counter() - t0
 
         # Phase 1 — network-aware program slicing.
-        slicer = NetworkSlicer(
-            program,
-            callgraph,
-            config=TaintConfig(max_async_hops=self.config.max_async_hops),
-            registry=self.registry,
-            event_roots=event_roots,
-            linked_returns=cbinfo.linked_returns,
-            index=index,
-            workers=self.config.workers,
-            executor=self.config.executor,
-        )
-        slicing = slicer.slice_all()
-
-        relevant = None
-        if self.config.use_slicing:
-            relevant = self._relevant_methods(slicing, callgraph)
-        blocked = slicing.missed_async_flows - slicing.sliced_statements
+        with app_span.child("phase:slicing") as sp:
+            t0 = time.perf_counter()
+            slicer = NetworkSlicer(
+                program,
+                callgraph,
+                config=TaintConfig(
+                    max_async_hops=self.config.max_async_hops,
+                    record_provenance=self.config.record_provenance,
+                ),
+                registry=self.registry,
+                event_roots=event_roots,
+                linked_returns=cbinfo.linked_returns,
+                index=index,
+                workers=self.config.workers,
+                executor=self.config.executor,
+            )
+            slicing = slicer.slice_all(span=sp)
+            self.last_slicing = slicing
+            stats.seconds["slicing"] = time.perf_counter() - t0
+            stats.count("demarcation_points", len(slicing.slices))
+            for s in slicing.slices:
+                for name, amount in s.request.stats.items():
+                    stats.count(f"taint_{name}", amount)
+                for name, amount in s.response.stats.items():
+                    stats.count(f"taint_{name}", amount)
 
         # Phase 2 — signature extraction over the slices.
-        model = self.model
-        if model is None and (self.config.model_intents or self.config.model_sockets):
-            from ..semantics.extensions import build_model
+        with app_span.child("phase:signatures") as sp:
+            t0 = time.perf_counter()
+            relevant = None
+            if self.config.use_slicing:
+                relevant = self._relevant_methods(slicing, callgraph)
+            blocked = slicing.missed_async_flows - slicing.sliced_statements
 
-            model = build_model(
-                model_intents=self.config.model_intents,
-                model_sockets=self.config.model_sockets,
+            model = self.model
+            if model is None and (self.config.model_intents or self.config.model_sockets):
+                from ..semantics.extensions import build_model
+
+                model = build_model(
+                    model_intents=self.config.model_intents,
+                    model_sockets=self.config.model_sockets,
+                )
+            interp = SignatureInterpreter(
+                program,
+                callgraph,
+                model=model,
+                resources=apk.resources,
+                relevant_methods=relevant,
+                blocked_field_stores=blocked,
+                rounds=self.config.rounds,
+                index=index,
             )
-        interp = SignatureInterpreter(
-            program,
-            callgraph,
-            model=model,
-            resources=apk.resources,
-            relevant_methods=relevant,
-            blocked_field_stores=blocked,
-            rounds=self.config.rounds,
-            index=index,
-        )
-        roots = [(ep.method_id, ep.kind.value) for ep in apk.entrypoints]
-        result = interp.run(roots)
+            roots = [(ep.method_id, ep.kind.value) for ep in apk.entrypoints]
+            result = interp.run(roots, span=sp)
+            stats.seconds["signatures"] = time.perf_counter() - t0
+            stats.count("methods_evaluated", len(result.evaluated_methods))
 
         # Phase 3 — transactions + dependencies.
-        transactions = [from_record(r) for r in result.transactions]
-        transactions = self._scope_filter(transactions, program)
-        infer_dependencies(transactions)
-        transactions = _dedupe(transactions)
+        with app_span.child("phase:dependencies") as sp:
+            t0 = time.perf_counter()
+            transactions = [from_record(r) for r in result.transactions]
+            transactions = self._scope_filter(transactions, program)
+            infer_dependencies(transactions, span=sp if sp else None)
+            transactions = _dedupe(transactions)
+            stats.seconds["dependencies"] = time.perf_counter() - t0
+            stats.count("transactions", len(transactions))
 
         report = AnalysisReport(
             app=apk.name,
@@ -125,8 +168,13 @@ class Extractocol:
             slice_fraction=slicing.slice_fraction,
             demarcation_points=len(slicing.slices),
             analysis_seconds=time.perf_counter() - started,
+            phase_stats=stats,
         )
         report.dependencies = [d for t in report.transactions for d in t.depends_on]
+        if app_span:
+            app_span.seconds = report.analysis_seconds
+            for name, amount in sorted(stats.counters.items()):
+                app_span.count(name, amount)
         return report
 
     # ------------------------------------------------------------------ helpers

@@ -16,6 +16,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 
 from ..deps.transactions import Dependency, Transaction
+from ..obs.phases import PhaseStats
 from ..signature.lang import Const
 
 
@@ -56,6 +57,10 @@ class AnalysisReport:
     slice_fraction: float = 0.0
     demarcation_points: int = 0
     analysis_seconds: float = 0.0
+    #: per-phase timing/counter profile (``repro.obs``); like
+    #: ``analysis_seconds`` it is run-specific, so the default
+    #: serialisation omits it (``include_phase_stats`` opts in)
+    phase_stats: PhaseStats | None = None
 
     # -- derived views ----------------------------------------------------
     def stats(self) -> SignatureStats:
@@ -221,11 +226,13 @@ def _txn_to_dict(txn) -> dict:
     }
 
 
-def report_to_dict(report) -> dict:
+def report_to_dict(report, *, include_phase_stats: bool = False) -> dict:
     """JSON-serialisable view of an :class:`AnalysisReport` (live or one
     rebuilt by :func:`report_from_dict`).  Timing is intentionally omitted
-    so two runs over the same APK/config serialise identically."""
-    return {
+    so two runs over the same APK/config serialise identically;
+    ``include_phase_stats`` opts the run-specific phase profile back in
+    (the exact-round-trip contract then only holds per run)."""
+    out = {
         "app": report.app,
         "stats": report.stats().as_row(),
         "slice_fraction": report.slice_fraction,
@@ -233,6 +240,9 @@ def report_to_dict(report) -> dict:
         "transactions": [_txn_to_dict(t) for t in report.transactions],
         "unidentified": [_txn_to_dict(t) for t in report.unidentified],
     }
+    if include_phase_stats and report.phase_stats is not None:
+        out["phase_stats"] = report.phase_stats.to_dict()
+    return out
 
 
 _DEP_RE = re.compile(r"^txn(\d+)\[(.*)\] -> txn(\d+)\.(.*)$", re.DOTALL)
@@ -284,6 +294,8 @@ def report_from_dict(data: dict) -> AnalysisReport:
         slice_fraction=data.get("slice_fraction", 0.0),
         demarcation_points=data.get("demarcation_points", 0),
     )
+    if "phase_stats" in data:
+        report.phase_stats = PhaseStats.from_dict(data["phase_stats"])
     report.dependencies = [d for t in report.transactions for d in t.depends_on]
     return report
 

@@ -39,8 +39,12 @@ def _scan_term(term: Term | None, dst: Transaction, dst_field: str,
     return out
 
 
-def infer_dependencies(transactions: list[Transaction]) -> list[Dependency]:
-    """Populate ``depends_on`` on every transaction and return all edges."""
+def infer_dependencies(
+    transactions: list[Transaction], *, span=None
+) -> list[Dependency]:
+    """Populate ``depends_on`` on every transaction and return all edges.
+    ``span`` (a live :class:`repro.obs.tracer.Span`) gains the scanned /
+    inferred counters when provided."""
     known_ids = {t.txn_id for t in transactions}
     edges: list[Dependency] = []
     for txn in transactions:
@@ -59,6 +63,9 @@ def infer_dependencies(transactions: list[Transaction]) -> list[Dependency]:
                 unique.append(d)
         txn.depends_on = unique
         edges.extend(unique)
+    if span is not None:
+        span.count("transactions_scanned", len(transactions))
+        span.count("edges_inferred", len(edges))
     return edges
 
 

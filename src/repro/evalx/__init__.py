@@ -18,7 +18,13 @@ from .casestudy import (
 from .figures import figure6, figure7, render_figures
 from .paperdata import (FIGURE6, FIGURE7, PAPER_TOTAL_PAIRS, TABLE1,
                         TABLE2, TIMING, row_for)
-from .runner import AppEvaluation, clear_cache, evaluate_app, evaluate_corpus
+from .runner import (
+    AppEvaluation,
+    clear_cache,
+    evaluate_app,
+    evaluate_corpus,
+    render_phase_table,
+)
 from .table1 import generate_table1, render_table1, row_for_app, total_pairs
 from .table2 import render_table2, table2
 from .traces import count_trace, summarize_trace

@@ -77,4 +77,29 @@ def clear_cache() -> None:
     evaluate_app.cache_clear()
 
 
-__all__ = ["AppEvaluation", "clear_cache", "evaluate_app", "evaluate_corpus"]
+def render_phase_table(
+    keys: Iterable[str] | None = None, *, workers: int = 1
+) -> str:
+    """Per-app phase-timing table (``repro eval --verbose``).
+
+    Reuses the :class:`~repro.obs.phases.PhaseStats` every cached report
+    already carries — apps evaluated earlier in the same process cost
+    nothing extra."""
+    from ..obs.phases import phase_table
+
+    key_list = list(keys) if keys is not None else app_keys()
+    stats = {
+        key: ev.report.phase_stats
+        for key in key_list
+        if (ev := evaluate_app(key, workers)).report.phase_stats is not None
+    }
+    return phase_table(stats)
+
+
+__all__ = [
+    "AppEvaluation",
+    "clear_cache",
+    "evaluate_app",
+    "evaluate_corpus",
+    "render_phase_table",
+]

@@ -1,0 +1,63 @@
+"""repro.obs — observability for the analysis pipeline.
+
+Zero-dependency tracing (nested spans with deterministic ids), per-phase
+stats embedded in analysis reports, a unified metrics registry with
+Prometheus text exposition, trace export (JSONL / collapsed stacks), and
+taint provenance ("why is this field in the signature?").
+
+The provenance helpers are imported lazily: they pull in the full
+pipeline (`repro.core.extractocol`), which itself imports this package
+for tracing.
+"""
+
+from __future__ import annotations
+
+from .export import (
+    TRACE_SCHEMA_VERSION,
+    collapsed_stacks,
+    span_events,
+    to_jsonl,
+    validate_jsonl,
+    write_jsonl,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    render_prometheus,
+)
+from .phases import PHASES, PhaseStats, phase_table
+from .tracer import NULL_SPAN, NULL_TRACER, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "FieldProvenance",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "PHASES",
+    "PhaseStats",
+    "ProvenanceStep",
+    "Span",
+    "TRACE_SCHEMA_VERSION",
+    "Tracer",
+    "collapsed_stacks",
+    "explain",
+    "phase_table",
+    "render_prometheus",
+    "span_events",
+    "to_jsonl",
+    "validate_jsonl",
+    "write_jsonl",
+]
+
+
+def __getattr__(name: str):
+    if name in ("FieldProvenance", "ProvenanceStep", "explain"):
+        from . import provenance
+
+        return getattr(provenance, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

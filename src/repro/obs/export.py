@@ -1,0 +1,139 @@
+"""Trace export: deterministic JSONL span events and flamegraph stacks.
+
+JSONL schema (one JSON object per line):
+
+* line 1 — ``{"type": "meta", "schema": 1, "root": "<root span name>"}``
+* then one ``{"type": "span", ...}`` per span in depth-first creation
+  order with fields:
+
+  - ``id`` — 16-hex-digit prefix of ``sha256(path)``; stable across runs
+    because span paths are unique, deterministic strings (never ``id()``)
+  - ``parent`` — parent span's id, or ``null`` for the exported root
+  - ``name`` — the span's own name (``phase:slicing``, ``dp:<site>``, ...)
+  - ``path`` — ``/``-joined name chain from the exported root
+  - ``attrs`` — JSON-safe attributes, keys sorted
+  - ``counters`` — integer counters, keys sorted
+  - ``seconds`` — wall-clock duration; **only present when
+    ``timings=True``**, so the default export is byte-deterministic for a
+    deterministic workload
+
+The collapsed-stack format (:func:`collapsed_stacks`) is one
+``frame;frame;frame <value>`` line per span, where the value is the
+span's *self* time in integer microseconds — directly consumable by
+``flamegraph.pl`` and speedscope.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .tracer import Span
+
+#: Bump when the JSONL event shape changes incompatibly.
+TRACE_SCHEMA_VERSION = 1
+
+
+def span_events(root: Span, *, timings: bool = False) -> list[dict]:
+    """All spans under ``root`` (inclusive) as JSON-safe event dicts in
+    depth-first creation order."""
+    events: list[dict] = []
+
+    def visit(span: Span, parent_id: str | None) -> None:
+        event: dict = {
+            "type": "span",
+            "id": span.span_id,
+            "parent": parent_id,
+            "name": span.name,
+            "path": span.path,
+            "attrs": {k: span.attrs[k] for k in sorted(span.attrs)},
+            "counters": {k: span.counters[k] for k in sorted(span.counters)},
+        }
+        if timings:
+            event["seconds"] = span.seconds
+        events.append(event)
+        for child in span.children:
+            visit(child, span.span_id)
+
+    visit(root, None)
+    return events
+
+
+def to_jsonl(root: Span, *, timings: bool = False) -> str:
+    """The trace as JSONL text (meta line + one line per span)."""
+    lines = [
+        json.dumps(
+            {"type": "meta", "schema": TRACE_SCHEMA_VERSION, "root": root.name},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+    ]
+    for event in span_events(root, timings=timings):
+        lines.append(json.dumps(event, sort_keys=True, separators=(",", ":")))
+    return "\n".join(lines) + "\n"
+
+
+def write_jsonl(root: Span, path, *, timings: bool = False) -> None:
+    from pathlib import Path
+
+    Path(path).write_text(to_jsonl(root, timings=timings))
+
+
+def validate_jsonl(text: str) -> list[dict]:
+    """Parse and structurally validate a JSONL trace; returns the span
+    events.  Raises ``ValueError`` on any schema violation (used by the CI
+    trace-smoke step and the determinism tests)."""
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        raise ValueError("empty trace")
+    meta = json.loads(lines[0])
+    if meta.get("type") != "meta" or meta.get("schema") != TRACE_SCHEMA_VERSION:
+        raise ValueError(f"bad meta line: {lines[0]!r}")
+    events = []
+    ids: set[str] = set()
+    for line in lines[1:]:
+        event = json.loads(line)
+        for key in ("type", "id", "parent", "name", "path", "attrs", "counters"):
+            if key not in event:
+                raise ValueError(f"span event missing {key!r}: {line!r}")
+        if event["type"] != "span":
+            raise ValueError(f"unexpected event type {event['type']!r}")
+        if event["id"] in ids:
+            raise ValueError(f"duplicate span id {event['id']!r}")
+        if event["parent"] is not None and event["parent"] not in ids:
+            raise ValueError(f"span {event['id']!r} appears before its parent")
+        if not isinstance(event["counters"], dict) or not all(
+            isinstance(v, int) for v in event["counters"].values()
+        ):
+            raise ValueError(f"non-integer counters in {line!r}")
+        ids.add(event["id"])
+        events.append(event)
+    if not events:
+        raise ValueError("trace has no span events")
+    return events
+
+
+def collapsed_stacks(root: Span) -> str:
+    """The trace as collapsed stacks (``a;b;c <self-microseconds>``),
+    consumable by flamegraph.pl / speedscope.  Spans with zero self time
+    are kept (value 0) so the tree shape survives."""
+    lines = []
+    for span in root.walk():
+        stack: list[str] = []
+        cursor: Span | None = span
+        while cursor is not None:
+            stack.append(cursor.name.replace(";", "_"))
+            if cursor is root:
+                break
+            cursor = cursor.parent
+        lines.append(f"{';'.join(reversed(stack))} {int(span.self_seconds * 1e6)}")
+    return "\n".join(lines) + "\n"
+
+
+__all__ = [
+    "TRACE_SCHEMA_VERSION",
+    "collapsed_stacks",
+    "span_events",
+    "to_jsonl",
+    "validate_jsonl",
+    "write_jsonl",
+]

@@ -1,0 +1,79 @@
+"""Per-phase timing/counter profile of one analysis run.
+
+:class:`PhaseStats` is the durable shape: embedded in
+:class:`~repro.core.report.AnalysisReport`, carried in the service result
+store's envelope, and printed by ``repro eval --verbose``.  Its dict form
+round-trips exactly (``PhaseStats.from_dict(s.to_dict()) == s``) but is
+**not** part of the default report serialisation — timings differ between
+runs, and the store's byte-identity contract covers the report payload
+only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Canonical phase names, in pipeline order (paper Figure 2 plus the
+#: call-graph/async-model preparation that precedes it).
+PHASES = ("setup", "slicing", "signatures", "dependencies")
+
+
+@dataclass
+class PhaseStats:
+    """Seconds per pipeline phase plus pipeline-wide integer counters."""
+
+    seconds: dict[str, float] = field(default_factory=dict)
+    counters: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.seconds.values())
+
+    def count(self, name: str, amount: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    # -------------------------------------------------------- serialisation
+    def to_dict(self) -> dict:
+        """JSON-safe form; keys sorted so the output is canonical."""
+        return {
+            "seconds": {k: self.seconds[k] for k in sorted(self.seconds)},
+            "counters": {k: self.counters[k] for k in sorted(self.counters)},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PhaseStats":
+        return cls(
+            seconds={k: float(v) for k, v in data.get("seconds", {}).items()},
+            counters={k: int(v) for k, v in data.get("counters", {}).items()},
+        )
+
+    # ------------------------------------------------------------ rendering
+    def table(self) -> str:
+        """One app's phase timings as an aligned two-column table."""
+        lines = [f"{'phase':14s} {'ms':>10s}"]
+        for phase in PHASES:
+            if phase in self.seconds:
+                lines.append(f"{phase:14s} {self.seconds[phase] * 1000:10.2f}")
+        for phase in sorted(set(self.seconds) - set(PHASES)):
+            lines.append(f"{phase:14s} {self.seconds[phase] * 1000:10.2f}")
+        lines.append(f"{'total':14s} {self.total_seconds * 1000:10.2f}")
+        return "\n".join(lines)
+
+
+def phase_table(stats_by_app: dict[str, "PhaseStats"]) -> str:
+    """Many apps' phase timings as one table (``repro eval --verbose``)."""
+    header = (
+        f"{'app':16s}"
+        + "".join(f"{p + ' ms':>16s}" for p in PHASES)
+        + f"{'total ms':>12s}"
+    )
+    lines = [header]
+    for app, stats in stats_by_app.items():
+        cells = "".join(
+            f"{stats.seconds.get(p, 0.0) * 1000:16.2f}" for p in PHASES
+        )
+        lines.append(f"{app:16s}{cells}{stats.total_seconds * 1000:12.2f}")
+    return "\n".join(lines)
+
+
+__all__ = ["PHASES", "PhaseStats", "phase_table"]

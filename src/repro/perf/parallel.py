@@ -6,13 +6,20 @@ reports produced from the result list are identical to a serial run.  The
 thread executor is the default (artifacts are shared in-process through the
 :class:`~repro.perf.index.ProgramIndex` locks); a fork-based process
 executor is available for picklable workloads via :func:`forked_map`.
+
+Every map accepts an optional ``span`` (see :mod:`repro.obs.tracer`): when
+given, each work item gets a ``<label>-<i>`` child span carrying its wall
+time.  The spans are created *after* the pool drains, in input order, so
+traced runs stay deterministic regardless of scheduling.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from functools import partial
 from typing import Callable, Iterable, Sequence, TypeVar
 
 T = TypeVar("T")
@@ -35,22 +42,56 @@ def fanout_width(workers: int | None) -> int:
     return max(1, min(resolve_workers(workers), os.cpu_count() or 1))
 
 
+def _timed_call(fn: Callable[[T], R], item: T) -> tuple[R, float]:
+    """Module-level so it survives pickling into forked workers."""
+    t0 = time.perf_counter()
+    result = fn(item)
+    return result, time.perf_counter() - t0
+
+
+def _record_worker_spans(span, timed: list[tuple[R, float]], label: str) -> list[R]:
+    """Unwrap (result, seconds) pairs, emitting one child span per item in
+    input order (deterministic paths: ``<label>-1``, ``<label>-2``, ...)."""
+    results: list[R] = []
+    for i, (result, secs) in enumerate(timed, 1):
+        child = span.child(f"{label}-{i}")
+        child.seconds = secs
+        results.append(result)
+    return results
+
+
 def thread_map(
-    fn: Callable[[T], R], items: Sequence[T], *, workers: int
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    *,
+    workers: int,
+    span=None,
+    label: str = "worker",
 ) -> list[R]:
     with ThreadPoolExecutor(max_workers=min(workers, len(items))) as pool:
-        return list(pool.map(fn, items))
+        if span is None or not span:
+            return list(pool.map(fn, items))
+        timed = list(pool.map(partial(_timed_call, fn), items))
+    return _record_worker_spans(span, timed, label)
 
 
 def forked_map(
-    fn: Callable[[T], R], items: Sequence[T], *, workers: int
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    *,
+    workers: int,
+    span=None,
+    label: str = "worker",
 ) -> list[R]:
     """Process-pool map via ``fork`` so workers inherit the parent's program
     state without pickling it; only ``items`` and results cross the pipe.
     Raises ``ValueError`` where fork is unavailable (callers fall back)."""
     ctx = multiprocessing.get_context("fork")
     with ProcessPoolExecutor(max_workers=min(workers, len(items)), mp_context=ctx) as pool:
-        return list(pool.map(fn, items))
+        if span is None or not span:
+            return list(pool.map(fn, items))
+        timed = list(pool.map(partial(_timed_call, fn), items))
+    return _record_worker_spans(span, timed, label)
 
 
 def ordered_map(
@@ -59,6 +100,8 @@ def ordered_map(
     *,
     workers: int = 1,
     executor: str = "thread",
+    span=None,
+    label: str = "worker",
 ) -> list[R]:
     """Apply ``fn`` over ``items`` with ``workers`` concurrency, preserving
     input order.  ``executor`` is ``"thread"`` (default) or ``"process"``
@@ -66,16 +109,24 @@ def ordered_map(
     seq = list(items)
     workers = resolve_workers(workers)
     if workers <= 1 or len(seq) <= 1:
-        return [fn(item) for item in seq]
+        if span is None or not span:
+            return [fn(item) for item in seq]
+        return _record_worker_spans(
+            span, [_timed_call(fn, item) for item in seq], label
+        )
     if executor == "process":
         try:
-            return forked_map(fn, seq, workers=workers)
+            return forked_map(fn, seq, workers=workers, span=span, label=label)
         except ValueError:
             pass  # no fork start method on this platform
     width = fanout_width(workers)
     if width <= 1:
-        return [fn(item) for item in seq]
-    return thread_map(fn, seq, workers=width)
+        if span is None or not span:
+            return [fn(item) for item in seq]
+        return _record_worker_spans(
+            span, [_timed_call(fn, item) for item in seq], label
+        )
+    return thread_map(fn, seq, workers=width, span=span, label=label)
 
 
 __all__ = [

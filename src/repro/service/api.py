@@ -11,6 +11,9 @@ Endpoints::
     GET  /jobs/<id>        one job
     GET  /report/<key>     stored result envelope by result key
     GET  /metrics          counters / gauges / histograms + store stats
+                           (JSON by default; ``?format=prometheus`` or an
+                           ``Accept: text/plain`` header switches to
+                           Prometheus text exposition)
     GET  /healthz          liveness + queue snapshot
 
 ``POST /analyze`` answers ``202`` with the job (``200`` when the result
@@ -27,8 +30,11 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 
+from urllib.parse import parse_qs, urlsplit
+
 from ..apk.loader import load_apk
 from ..core.config import AnalysisConfig
+from ..obs.metrics import render_prometheus
 from .jobs import JobScheduler, QueueFull, resolve_target
 from .metrics import MetricsRegistry
 from .store import ResultStore
@@ -143,6 +149,13 @@ class AnalysisService:
         data["store"] = self.store.stats()
         return data
 
+    def handle_metrics_prometheus(self) -> str:
+        """The registry in Prometheus text exposition format, with the
+        store stats mirrored in as gauges."""
+        for name, value in self.store.stats().items():
+            self.metrics.gauge(f"store_{name}").set(int(value))
+        return render_prometheus(self.metrics)
+
     def handle_healthz(self) -> dict:
         jobs = self.scheduler.jobs()
         return {
@@ -171,12 +184,32 @@ def _make_handler(service: AnalysisService):
             self.end_headers()
             self.wfile.write(body)
 
+        def _send_text(self, status: int, text: str, content_type: str) -> None:
+            body = text.encode()
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
         def do_GET(self) -> None:
-            path = self.path.rstrip("/")
+            url = urlsplit(self.path)
+            path = url.path.rstrip("/")
+            query = parse_qs(url.query)
             if path == "/healthz":
                 self._send(200, service.handle_healthz())
             elif path == "/metrics":
-                self._send(200, service.handle_metrics())
+                wants_text = query.get("format", [""])[0] == "prometheus" or (
+                    "text/plain" in self.headers.get("Accept", "")
+                )
+                if wants_text:
+                    self._send_text(
+                        200,
+                        service.handle_metrics_prometheus(),
+                        "text/plain; version=0.0.4; charset=utf-8",
+                    )
+                else:
+                    self._send(200, service.handle_metrics())
             elif path == "/jobs":
                 self._send(
                     200,

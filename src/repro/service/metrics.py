@@ -1,144 +1,20 @@
 """Operational metrics for the analysis service.
 
-A deliberately small, dependency-free metrics layer: counters (monotonic),
-gauges (instantaneous levels such as queue depth), and histograms
-(latency distributions with fixed log-scale buckets).  Everything is
-thread-safe and exports to a plain dict so ``GET /metrics`` can serve it
-as JSON without a scrape-format dependency.
+The implementation moved to :mod:`repro.obs.metrics` so the pipeline and
+the service share one registry (and one Prometheus renderer); this module
+remains as a re-export shim for existing imports.
 """
 
 from __future__ import annotations
 
-import threading
-from bisect import bisect_right
-
-#: Histogram bucket upper bounds, in seconds (log-ish scale spanning the
-#: sub-millisecond synthetic corpus up to multi-minute real-APK runs).
-DEFAULT_BUCKETS = (
-    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0, 300.0
+from ..obs.metrics import (
+    Counter,
+    DEFAULT_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    render_prometheus,
 )
-
-
-class Counter:
-    """A monotonically increasing counter."""
-
-    def __init__(self) -> None:
-        self._value = 0
-        self._lock = threading.Lock()
-
-    def inc(self, amount: int = 1) -> None:
-        if amount < 0:
-            raise ValueError("counters only go up; use a Gauge")
-        with self._lock:
-            self._value += amount
-
-    @property
-    def value(self) -> int:
-        with self._lock:
-            return self._value
-
-
-class Gauge:
-    """An instantaneous level (queue depth, running jobs)."""
-
-    def __init__(self) -> None:
-        self._value = 0
-        self._lock = threading.Lock()
-
-    def set(self, value: int) -> None:
-        with self._lock:
-            self._value = value
-
-    def inc(self, amount: int = 1) -> None:
-        with self._lock:
-            self._value += amount
-
-    def dec(self, amount: int = 1) -> None:
-        with self._lock:
-            self._value -= amount
-
-    @property
-    def value(self) -> int:
-        with self._lock:
-            return self._value
-
-
-class Histogram:
-    """Fixed-bucket histogram of observations (seconds)."""
-
-    def __init__(self, buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
-        self._bounds = tuple(sorted(buckets))
-        self._counts = [0] * (len(self._bounds) + 1)  # +1 for +Inf
-        self._count = 0
-        self._total = 0.0
-        self._min: float | None = None
-        self._max: float | None = None
-        self._lock = threading.Lock()
-
-    def observe(self, value: float) -> None:
-        with self._lock:
-            self._counts[bisect_right(self._bounds, value)] += 1
-            self._count += 1
-            self._total += value
-            self._min = value if self._min is None else min(self._min, value)
-            self._max = value if self._max is None else max(self._max, value)
-
-    def summary(self) -> dict:
-        with self._lock:
-            buckets = {
-                f"le_{bound:g}": count
-                for bound, count in zip(self._bounds, self._counts)
-            }
-            buckets["le_inf"] = self._counts[-1]
-            return {
-                "count": self._count,
-                "sum": self._total,
-                "min": self._min,
-                "max": self._max,
-                "mean": (self._total / self._count) if self._count else None,
-                "buckets": buckets,
-            }
-
-    @property
-    def count(self) -> int:
-        with self._lock:
-            return self._count
-
-
-class MetricsRegistry:
-    """Named metrics, created on first use, exported as one JSON dict."""
-
-    def __init__(self) -> None:
-        self._counters: dict[str, Counter] = {}
-        self._gauges: dict[str, Gauge] = {}
-        self._histograms: dict[str, Histogram] = {}
-        self._lock = threading.Lock()
-
-    def counter(self, name: str) -> Counter:
-        with self._lock:
-            return self._counters.setdefault(name, Counter())
-
-    def gauge(self, name: str) -> Gauge:
-        with self._lock:
-            return self._gauges.setdefault(name, Gauge())
-
-    def histogram(self, name: str) -> Histogram:
-        with self._lock:
-            return self._histograms.setdefault(name, Histogram())
-
-    def to_dict(self) -> dict:
-        with self._lock:
-            counters = dict(self._counters)
-            gauges = dict(self._gauges)
-            histograms = dict(self._histograms)
-        return {
-            "counters": {n: c.value for n, c in sorted(counters.items())},
-            "gauges": {n: g.value for n, g in sorted(gauges.items())},
-            "histograms": {
-                n: h.summary() for n, h in sorted(histograms.items())
-            },
-        }
-
 
 __all__ = [
     "Counter",
@@ -146,4 +22,5 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "render_prometheus",
 ]

@@ -141,6 +141,10 @@ class ResultStore:
             ),
             "report": report_to_dict(report),
         }
+        if report.phase_stats is not None:
+            # run-specific profile: envelope metadata, like
+            # analysis_seconds — never inside the "report" payload
+            envelope["phase_stats"] = report.phase_stats.to_dict()
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(

@@ -57,6 +57,7 @@ from ..ir.values import (
     UnOpExpr,
     Value,
 )
+from ..obs.tracer import NULL_SPAN
 from ..semantics.avals import (
     AppObjAV,
     AVal,
@@ -199,7 +200,7 @@ class SignatureInterpreter:
         self._evaluated: set[str] = set()
 
     # ------------------------------------------------------------------ driver
-    def run(self, roots: list[tuple[str, str]]) -> InterpResult:
+    def run(self, roots: list[tuple[str, str]], *, span=NULL_SPAN) -> InterpResult:
         """Interpret each entry point.  ``roots`` — (method_id, trigger kind).
 
         Two rounds by default: the first populates heap/DB/preference
@@ -207,29 +208,39 @@ class SignatureInterpreter:
         visible ("multiple iterations until it does not discover new
         dependencies", §3.4).
         """
-        for _ in range(max(1, self.rounds)):
-            self._arrivals.clear()
-            self._accs.clear()
-            self._memo.clear()
-            self._conns.clear()
-            for method_id, kind in roots:
-                try:
-                    method = self.program.method_by_id(method_id)
-                except KeyError:
-                    continue
-                self.current_root = method_id
-                origin = _ENTRY_ORIGINS.get(kind, None)
-                args: list[AVal] = [
-                    Unknown(_kind_of_type(p.name), origin=origin)
-                    for p in method.sig.param_types
-                ]
-                this = AppObjAV.of(method.class_name) if not method.is_static else None
-                self.call_stack = []
-                self._eval_method(method, this, args, depth=0, memoize=False)
-            # flush never-read connections (fire-and-forget sends)
-            for conn in self._conns:
-                if conn._resp is None and conn.body_parts:
-                    conn.finalize(self, StmtRef("<conn>", conn.conn_id))
+        for round_no in range(max(1, self.rounds)):
+            evaluated_before = len(self._evaluated)
+            round_span = span.child(f"round-{round_no + 1}")
+            with round_span:
+                self._arrivals.clear()
+                self._accs.clear()
+                self._memo.clear()
+                self._conns.clear()
+                for method_id, kind in roots:
+                    try:
+                        method = self.program.method_by_id(method_id)
+                    except KeyError:
+                        continue
+                    self.current_root = method_id
+                    origin = _ENTRY_ORIGINS.get(kind, None)
+                    args: list[AVal] = [
+                        Unknown(_kind_of_type(p.name), origin=origin)
+                        for p in method.sig.param_types
+                    ]
+                    this = AppObjAV.of(method.class_name) if not method.is_static else None
+                    self.call_stack = []
+                    self._eval_method(method, this, args, depth=0, memoize=False)
+                # flush never-read connections (fire-and-forget sends)
+                for conn in self._conns:
+                    if conn._resp is None and conn.body_parts:
+                        conn.finalize(self, StmtRef("<conn>", conn.conn_id))
+            round_span.count(
+                "methods_evaluated", len(self._evaluated) - evaluated_before
+            )
+            round_span.count("transactions", len(self._arrivals))
+        if span:
+            span.count("roots", len(roots))
+            span.count("methods_evaluated", len(self._evaluated))
         result = InterpResult(
             transactions=sorted(self._arrivals.values(), key=lambda t: t.txn_id),
             evaluated_methods=set(self._evaluated),

@@ -10,12 +10,14 @@ statements pulled in from the request-side context.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from ..cfg.callgraph import CallGraph
 from ..ir.program import Program
 from ..ir.statements import StmtRef
 from ..ir.values import Local, walk_values
+from ..obs.tracer import NULL_SPAN
 from ..perf.index import ProgramIndex
 from ..perf.parallel import fanout_width, forked_map, resolve_workers, thread_map
 from ..taint.engine import TaintConfig, TaintEngine
@@ -28,6 +30,8 @@ class DPSlices:
     dp: DPInstance
     request: SliceResult
     response: SliceResult
+    #: wall time spent slicing this demarcation point
+    seconds: float = 0.0
 
     @property
     def all_stmts(self) -> set[StmtRef]:
@@ -101,15 +105,23 @@ class NetworkSlicer:
         return scan_demarcation_points(self.program, self.callgraph, self.registry)
 
     def slice_dp(self, dp: DPInstance) -> DPSlices:
+        started = time.perf_counter()
         request = self.engine.backward_slice(dp.request_seeds)
         response = self.engine.forward_slice(dp.response_seeds)
         self._augment(response, request)
-        return DPSlices(dp=dp, request=request, response=response)
+        return DPSlices(
+            dp=dp,
+            request=request,
+            response=response,
+            seconds=time.perf_counter() - started,
+        )
 
-    def slice_all(self) -> SlicingReport:
+    def slice_all(self, *, span=NULL_SPAN) -> SlicingReport:
         """Slice every demarcation point; with ``workers > 1`` the points
         fan out over an executor.  Results are collected in scan order, so
-        the report is identical to a serial run."""
+        the report is identical to a serial run.  When ``span`` is a live
+        span, one ``dp:<site>`` child per demarcation point is emitted —
+        after collection, in scan order, so traces are deterministic."""
         report = SlicingReport(total_statements=self.program.statement_count())
         dps = self.scan()
         workers = resolve_workers(self.workers)
@@ -118,15 +130,26 @@ class NetworkSlicer:
                 # one shared build of the heap index instead of a race on
                 # first use (the per-method artifacts stay lazy + locked)
                 self.index.field_stores
-            report.slices = self._slice_parallel(dps, workers)
+            report.slices = self._slice_parallel(dps, workers, span)
         else:
             report.slices = [self.slice_dp(dp) for dp in dps]
+        if span:
+            span.set("demarcation_points", len(dps))
+            for s in report.slices:
+                child = span.child(f"dp:{s.dp.site}")
+                child.seconds = s.seconds
+                for name, amount in sorted(s.request.stats.items()):
+                    child.count(f"request_{name}", amount)
+                for name, amount in sorted(s.response.stats.items()):
+                    child.count(f"response_{name}", amount)
         return report
 
-    def _slice_parallel(self, dps: list[DPInstance], workers: int) -> list[DPSlices]:
+    def _slice_parallel(
+        self, dps: list[DPInstance], workers: int, span=NULL_SPAN
+    ) -> list[DPSlices]:
         if self.executor == "process":
             try:
-                return _forked_slices(self, dps, workers)
+                return _forked_slices(self, dps, workers, span)
             except (ValueError, OSError):
                 pass  # platform without fork — degrade to threads
         # one contiguous chunk per worker: per-DP tasks are too fine-grained
@@ -137,7 +160,7 @@ class NetworkSlicer:
         if width <= 1:
             return self._slice_chunk(dps)
         chunks = _chunked(dps, width)
-        nested = thread_map(self._slice_chunk, chunks, workers=width)
+        nested = thread_map(self._slice_chunk, chunks, workers=width, span=span)
         return [s for chunk in nested for s in chunk]
 
     def _slice_chunk(self, dps: list[DPInstance]) -> list[DPSlices]:
@@ -264,13 +287,13 @@ def _slice_chunk_at(i: int) -> list[DPSlices]:
 
 
 def _forked_slices(
-    slicer: NetworkSlicer, dps: list[DPInstance], workers: int
+    slicer: NetworkSlicer, dps: list[DPInstance], workers: int, span=NULL_SPAN
 ) -> list[DPSlices]:
     global _FORK_SLICER, _FORK_CHUNKS
     _FORK_SLICER, _FORK_CHUNKS = slicer, _chunked(dps, workers)
     try:
         nested = forked_map(
-            _slice_chunk_at, range(len(_FORK_CHUNKS)), workers=workers
+            _slice_chunk_at, range(len(_FORK_CHUNKS)), workers=workers, span=span
         )
         return [s for chunk in nested for s in chunk]
     finally:

@@ -88,6 +88,9 @@ class TaintConfig:
     max_async_hops: int = 1
     #: safety valve against pathological programs
     max_worklist_items: int = 2_000_000
+    #: record per-statement provenance parent links (``SliceResult.prov``)
+    #: for ``repro explain``; off by default to keep the hot loop clean.
+    record_provenance: bool = False
 
 
 class TaintEngine:
@@ -111,6 +114,10 @@ class TaintEngine:
         #: method id -> [(continuation method id, param index receiving the
         #: return value)] — AsyncTask-style framework result plumbing.
         self.linked_returns = linked_returns or {}
+        #: preloaded so every recording site pays one attribute test, not a
+        #: config dereference; immutable per engine, so safe under the
+        #: engine-per-worker concurrency model
+        self._record_prov = self.config.record_provenance
         self._reach_cache: dict[str, list[set[int]]] = {}
         #: per-method (defuse, reach, reach-to, mention-mask) bundle so the
         #: index fast path pays one dict probe per step, not four
@@ -198,8 +205,10 @@ class TaintEngine:
         result = SliceResult("backward")
         seen: dict[tuple, int] = {}
         queue: deque[tuple[StmtRef, Local, int]] = deque()
+        enqueued = widened = 0
 
         def need(ref: StmtRef, value: Value, hops: int) -> None:
+            nonlocal enqueued, widened
             if isinstance(value, Constant):
                 return
             if not isinstance(value, Local):
@@ -211,11 +220,16 @@ class TaintEngine:
             prev = seen.get(key)
             if prev is not None and prev <= hops:
                 return
+            if prev is not None:
+                widened += 1
             seen[key] = hops
+            enqueued += 1
             queue.append((ref, value, hops))
 
         for ref, value in seeds:
             result.stmts.add(ref)
+            if self._record_prov:
+                result.prov.setdefault(ref, None)
             need(ref, value, 0)
 
         budget = self.config.max_worklist_items
@@ -223,6 +237,13 @@ class TaintEngine:
             budget -= 1
             ref, local, hops = queue.popleft()
             self._backward_step(ref, local, hops, result, need)
+        result.stats = {
+            "worklist_iterations": self.config.max_worklist_items - budget,
+            "facts_enqueued": enqueued,
+            "hop_widenings": widened,
+            "stmts": len(result.stmts),
+            "missed_async_flows": len(result.missed_async_flows),
+        }
         return result
 
     def _slice_tables(self, method: Method) -> tuple:
@@ -267,7 +288,12 @@ class TaintEngine:
                     s_idx = low.bit_length() - 1
                     region ^= low
                     stmt = method.stmt_at(s_idx)
-                    result.stmts.add(StmtRef(mid, s_idx))
+                    s_ref = StmtRef(mid, s_idx)
+                    result.stmts.add(s_ref)
+                    if self._record_prov:
+                        result.prov.setdefault(
+                            s_ref, None if s_ref == ref else ref
+                        )
                     self._backward_inflows(method, stmt, local, hops, result, need)
             return
         reach = self._reach(method)
@@ -282,7 +308,10 @@ class TaintEngine:
             region.add(d_idx)
             for s_idx in region:
                 stmt = method.stmt_at(s_idx)
-                result.stmts.add(StmtRef(method.method_id, s_idx))
+                s_ref = StmtRef(method.method_id, s_idx)
+                result.stmts.add(s_ref)
+                if self._record_prov:
+                    result.prov.setdefault(s_ref, None if s_ref == ref else ref)
                 self._backward_inflows(method, stmt, local, hops, result, need)
 
     @staticmethod
@@ -332,6 +361,8 @@ class TaintEngine:
                     if isinstance(r, ReturnStmt) and r.value is not None:
                         r_ref = callee.stmt_ref(r)
                         result.stmts.add(r_ref)
+                        if self._record_prov:
+                            result.prov.setdefault(r_ref, ref)
                         need(r_ref, r.value, hops)
             if not callees or self.callgraph.is_library_call(ref):
                 if rhs.base is not None:
@@ -351,6 +382,8 @@ class TaintEngine:
                 store_m = self._method(store_ref.method_id)
                 store_stmt = store_m.stmt_at(store_ref.index)
                 result.stmts.add(store_ref)
+                if self._record_prov:
+                    result.prov.setdefault(store_ref, ref)
                 assert isinstance(store_stmt, AssignStmt)
                 need(store_ref, store_stmt.rhs, hops + cost)
                 tgt = store_stmt.target
@@ -364,6 +397,7 @@ class TaintEngine:
 
     def _backward_identity(self, method, stmt, hops, result, need) -> None:
         rhs = stmt.rhs
+        ident_ref = method.stmt_ref(stmt)
         callers = self.callgraph.callers_of(method.method_id)
         # Crossing from a boundary callback (posted runnable, timer task)
         # back to its registration site moves to an earlier asynchronous
@@ -377,6 +411,8 @@ class TaintEngine:
                 caller = self._method(site.method_id)
                 expr = caller.stmt_at(site.index).invoke
                 result.stmts.add(site)
+                if self._record_prov:
+                    result.prov.setdefault(site, ident_ref)
                 result.call_edges.add((site, method.method_id))
                 if expr is not None and rhs.index < len(expr.args):
                     cost = self._cross_event_cost(site.method_id, method.method_id)
@@ -395,6 +431,8 @@ class TaintEngine:
                     result.missed_async_flows.add(site)
                     continue
                 result.stmts.add(site)
+                if self._record_prov:
+                    result.prov.setdefault(site, ident_ref)
                 result.call_edges.add((site, method.method_id))
                 receiver = self._receiver_value(expr, method.class_name)
                 if receiver is not None:
@@ -420,20 +458,27 @@ class TaintEngine:
         result = SliceResult("forward")
         seen: dict[tuple, int] = {}
         queue: deque[tuple[StmtRef, Local, int]] = deque()
+        enqueued = widened = 0
 
         def fact(ref: StmtRef, value: Value, hops: int) -> None:
             """``value`` holds tainted data from statement ``ref`` onward."""
+            nonlocal enqueued, widened
             if not isinstance(value, Local):
                 return
             key = (ref.method_id, ref.index, value.name)
             prev = seen.get(key)
             if prev is not None and prev <= hops:
                 return
+            if prev is not None:
+                widened += 1
             seen[key] = hops
+            enqueued += 1
             queue.append((ref, value, hops))
 
         for ref, value in seeds:
             result.stmts.add(ref)
+            if self._record_prov:
+                result.prov.setdefault(ref, None)
             fact(ref, value, 0)
 
         budget = self.config.max_worklist_items
@@ -441,6 +486,13 @@ class TaintEngine:
             budget -= 1
             ref, local, hops = queue.popleft()
             self._forward_step(ref, local, hops, result, fact)
+        result.stats = {
+            "worklist_iterations": self.config.max_worklist_items - budget,
+            "facts_enqueued": enqueued,
+            "hop_widenings": widened,
+            "stmts": len(result.stmts),
+            "missed_async_flows": len(result.missed_async_flows),
+        }
         return result
 
     def _uses_after(self, method: Method, local: Local, from_idx: int) -> list[int]:
@@ -461,6 +513,8 @@ class TaintEngine:
             stmt = method.stmt_at(u_idx)
             u_ref = StmtRef(method.method_id, u_idx)
             result.stmts.add(u_ref)
+            if self._record_prov:
+                result.prov.setdefault(u_ref, None if u_ref == ref else ref)
             self._forward_outflows(method, stmt, u_ref, local, hops, result, fact)
 
     def _forward_outflows(self, method, stmt, ref, local, hops, result, fact) -> None:
@@ -518,6 +572,8 @@ class TaintEngine:
                 caller = self._method(site.method_id)
                 call_stmt = caller.stmt_at(site.index)
                 result.stmts.add(site)
+                if self._record_prov:
+                    result.prov.setdefault(site, ref)
                 result.call_edges.add((site, method.method_id))
                 if isinstance(call_stmt, AssignStmt) and isinstance(call_stmt.target, Local):
                     fact(site, call_stmt.target, hops)
@@ -537,6 +593,8 @@ class TaintEngine:
             load_m = self._method(load_ref.method_id)
             load_stmt = load_m.stmt_at(load_ref.index)
             result.stmts.add(load_ref)
+            if self._record_prov:
+                result.prov.setdefault(load_ref, ref)
             if isinstance(load_stmt, AssignStmt) and isinstance(load_stmt.target, Local):
                 fact(load_ref, load_stmt.target, hops + cost)
 

@@ -30,6 +30,14 @@ class SliceResult:
     origin_params: set[tuple[str, int]] = field(default_factory=set)
     #: implicit flows skipped because they exceeded the async-hop budget
     missed_async_flows: set[StmtRef] = field(default_factory=set)
+    #: provenance parent links (only when ``TaintConfig.record_provenance``):
+    #: statement -> the statement whose processing pulled it into the slice
+    #: (``None`` for seeds).  Walking parents from any statement reaches a
+    #: seed, i.e. the demarcation point.
+    prov: dict[StmtRef, StmtRef | None] = field(default_factory=dict)
+    #: engine effort counters (worklist_iterations, facts_enqueued,
+    #: hop_widenings, ...) — diagnostics only, never serialized by default
+    stats: dict[str, int] = field(default_factory=dict)
 
     @property
     def methods(self) -> set[str]:
@@ -42,6 +50,10 @@ class SliceResult:
         self.tainted_locals |= other.tainted_locals
         self.origin_params |= other.origin_params
         self.missed_async_flows |= other.missed_async_flows
+        for ref, parent in other.prov.items():
+            self.prov.setdefault(ref, parent)
+        for name, amount in other.stats.items():
+            self.stats[name] = self.stats.get(name, 0) + amount
 
     def __len__(self) -> int:
         return len(self.stmts)

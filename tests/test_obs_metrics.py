@@ -1,0 +1,124 @@
+"""Tests for the unified metrics registry: thread-safety under concurrent
+observers, the Prometheus text renderer, and the service re-export shim."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    render_prometheus,
+)
+
+
+class TestHistogramConcurrency:
+    def test_concurrent_observe_and_summary_consistent(self):
+        """observe() and summary() share one lock: a summary taken while
+        observers hammer the histogram is internally consistent — its
+        bucket counts always sum to its count and sum/min/max agree."""
+        h = Histogram(buckets=(0.1, 1.0, 10.0))
+        n_threads, per_thread = 8, 500
+        inconsistencies: list[str] = []
+        start = threading.Barrier(n_threads + 1)
+
+        def observer(seed: int) -> None:
+            start.wait()
+            for i in range(per_thread):
+                h.observe((seed + i) % 20)
+
+        def reader() -> None:
+            start.wait()
+            for _ in range(200):
+                s = h.summary()
+                if sum(s["buckets"].values()) != s["count"]:
+                    inconsistencies.append("buckets != count")
+                if s["count"] and not (s["min"] <= s["max"]):
+                    inconsistencies.append("min > max")
+
+        threads = [
+            threading.Thread(target=observer, args=(t,)) for t in range(n_threads)
+        ] + [threading.Thread(target=reader)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not inconsistencies
+        final = h.summary()
+        assert final["count"] == n_threads * per_thread
+        assert sum(final["buckets"].values()) == final["count"]
+
+    def test_snapshot_matches_summary(self):
+        h = Histogram(buckets=(1.0, 2.0))
+        for v in (0.5, 1.5, 5.0):
+            h.observe(v)
+        bounds, counts, count, total = h.snapshot()
+        assert bounds == (1.0, 2.0)
+        assert counts == [1, 1, 1]
+        assert count == 3
+        assert total == pytest.approx(7.0)
+
+
+class TestPrometheusRendering:
+    def test_counter_gauge_histogram_exposition(self):
+        reg = MetricsRegistry()
+        reg.counter("analyses_run").inc(3)
+        reg.gauge("queue_depth").set(2)
+        h = reg.histogram("analysis_seconds")
+        h.observe(0.02)
+        h.observe(0.5)
+        h.observe(400.0)
+        text = render_prometheus(reg)
+        lines = text.splitlines()
+        assert "# TYPE repro_analyses_run_total counter" in lines
+        assert "repro_analyses_run_total 3" in lines
+        assert "repro_queue_depth 2" in lines
+        # histogram buckets are cumulative and end at +Inf == count
+        assert 'repro_analysis_seconds_bucket{le="+Inf"} 3' in lines
+        assert "repro_analysis_seconds_count 3" in lines
+        sum_line = next(
+            l for l in lines if l.startswith("repro_analysis_seconds_sum ")
+        )
+        assert float(sum_line.split()[-1]) == pytest.approx(400.52)
+        cumulative = [
+            int(l.split()[-1])
+            for l in lines
+            if l.startswith("repro_analysis_seconds_bucket")
+        ]
+        assert cumulative == sorted(cumulative)
+
+    def test_metric_name_sanitisation(self):
+        reg = MetricsRegistry()
+        reg.counter("cache.hits-by route").inc()
+        text = render_prometheus(reg)
+        assert "repro_cache_hits_by_route_total 1" in text
+
+    def test_render_is_deterministic(self):
+        reg = MetricsRegistry()
+        reg.counter("b").inc()
+        reg.counter("a").inc(2)
+        reg.gauge("z").set(1)
+        assert render_prometheus(reg) == render_prometheus(reg)
+        # names render sorted
+        text = render_prometheus(reg)
+        assert text.index("repro_a_total") < text.index("repro_b_total")
+
+
+class TestServiceShim:
+    def test_service_metrics_reexports_obs_metrics(self):
+        from repro.obs import metrics as obs_metrics
+        from repro.service import metrics as service_metrics
+
+        assert service_metrics.MetricsRegistry is obs_metrics.MetricsRegistry
+        assert service_metrics.Counter is obs_metrics.Counter
+        assert service_metrics.Gauge is Gauge
+        assert service_metrics.Histogram is Histogram
+        assert service_metrics.render_prometheus is render_prometheus
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
