@@ -1,0 +1,85 @@
+"""Lint overhead guards.
+
+Two budgets mirror ``test_bench_obs.py``:
+
+1. The default ``lint_level="off"`` must cost exactly one branch in
+   ``Extractocol.analyze`` — asserted as a 1.10x min-of-N ceiling against
+   an identical engine, generous enough for scheduler noise on shared CI
+   boxes while still catching an accidentally-eager lint pass (running
+   the three pass families costs several times the analysis on these
+   millisecond-scale apps, so a real regression blows way past 1.10x).
+2. Linting the whole shipped corpus stays inside a hard wall-clock budget
+   — the CI ``lint-corpus`` job runs it on every push, so it must remain
+   cheap enough to never be the long pole.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import AnalysisConfig, Extractocol
+from repro.corpus import app_keys, build_app, get_spec
+from repro.lint import lint_apk
+
+ROUNDS = 7
+
+#: Whole-corpus lint wall-clock ceiling (seconds).  Empirically ~1.5 s for
+#: all 34 apps including corpus construction; 30 s absorbs cold caches and
+#: slow shared runners while still catching an accidental quadratic pass.
+CORPUS_BUDGET_SECONDS = 30.0
+
+
+def _min_seconds(make_engine, apk, config) -> float:
+    best = float("inf")
+    for _ in range(ROUNDS):
+        engine = make_engine(config)
+        t0 = time.perf_counter()
+        engine.analyze(apk)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_lint_off_costs_one_branch(benchmark):
+    spec = get_spec("diode")
+    apk = spec.build_apk()
+
+    def run():
+        baseline = _min_seconds(
+            lambda c: Extractocol(c),
+            apk,
+            AnalysisConfig(scope_prefixes=spec.scope_prefixes),
+        )
+        gated = _min_seconds(
+            lambda c: Extractocol(c),
+            apk,
+            AnalysisConfig(scope_prefixes=spec.scope_prefixes, lint_level="off"),
+        )
+        return baseline, gated
+
+    baseline, gated = benchmark.pedantic(run, rounds=1, iterations=1)
+    ratio = gated / baseline
+    print(f"\n  baseline {baseline * 1000:.2f} ms  "
+          f"lint_level=off {gated * 1000:.2f} ms  ratio {ratio:.3f}")
+    assert ratio <= 1.10, (
+        f"lint_level='off' costs {ratio:.2f}x (budget 1.10x): the gate is "
+        "supposed to be a single branch"
+    )
+
+
+def test_whole_corpus_lint_within_budget(benchmark):
+    keys = app_keys()
+
+    def run():
+        t0 = time.perf_counter()
+        total_findings = 0
+        for key in keys:
+            total_findings += len(lint_apk(build_app(key)).findings)
+        return time.perf_counter() - t0, total_findings
+
+    elapsed, total_findings = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\n  linted {len(keys)} apps in {elapsed:.2f} s "
+          f"({total_findings} findings)")
+    assert elapsed <= CORPUS_BUDGET_SECONDS, (
+        f"whole-corpus lint took {elapsed:.1f} s "
+        f"(budget {CORPUS_BUDGET_SECONDS:.0f} s)"
+    )

@@ -6,6 +6,8 @@
     python -m repro analyze diode               # analyze a corpus app
     python -m repro analyze path/to/app.sapk    # analyze an .sapk bundle
     python -m repro analyze diode --trace t.jsonl   # + emit a pipeline trace
+    python -m repro lint                        # lint the whole corpus
+    python -m repro lint diode --json           # lint one app, JSON findings
     python -m repro trace diode --flame         # trace as collapsed stacks
     python -m repro explain radioreddit 1 uri   # taint provenance of a field
     python -m repro fuzz diode --mode manual    # run a fuzzing baseline
@@ -83,6 +85,85 @@ def cmd_analyze(args) -> int:
         print(f"#{txn.txn_id} [unidentified] {txn.request.method} "
               f"{txn.request.uri_regex}")
     return 0
+
+
+def cmd_lint(args) -> int:
+    """Run the static lint suite (``repro.lint``) over one app, several
+    apps, or the whole corpus; exit non-zero on error-severity findings
+    not covered by the baseline."""
+    from repro.corpus import app_keys
+    from repro.lint import Baseline, Severity, findings_to_jsonl, lint_apk
+
+    targets = list(args.targets)
+    if args.all or not targets:
+        targets = app_keys()
+
+    baseline = None
+    if args.baseline and Path(args.baseline).exists():
+        baseline = Baseline.load(args.baseline)
+
+    reports = []
+    all_findings = []
+    for target in targets:
+        apk, config = _load(target)
+        report = None
+        slicing = None
+        if args.analyze:
+            from repro import Extractocol
+
+            engine = Extractocol(config)
+            report = engine.analyze(apk)
+            slicing = engine.last_slicing
+        lint = lint_apk(apk, report=report, slicing=slicing)
+        reports.append((target, lint))
+        all_findings.extend(lint.findings)
+
+    if args.write_baseline:
+        Baseline.from_findings(all_findings).save(args.write_baseline)
+        print(
+            f"baseline with {len(all_findings)} finding(s) written to "
+            f"{args.write_baseline}",
+            file=sys.stderr,
+        )
+        return 0
+
+    new_errors = [f for f in all_findings if f.severity == Severity.ERROR]
+    if baseline is not None:
+        new_errors = baseline.new_findings(new_errors)
+
+    if args.json:
+        payload = {
+            "apps": [
+                dict(lint.to_dict(), target=target) for target, lint in reports
+            ],
+            "totals": {
+                "apps": len(reports),
+                "findings": len(all_findings),
+                "errors": sum(
+                    1 for f in all_findings if f.severity == Severity.ERROR
+                ),
+                "new_errors": len(new_errors),
+            },
+        }
+        print(json.dumps(payload, indent=2))
+    elif args.jsonl:
+        sys.stdout.write(findings_to_jsonl(all_findings))
+    else:
+        for target, lint in reports:
+            counts = lint.counts()
+            shown = ", ".join(
+                f"{counts[s]} {s}" for s in ("error", "warning", "info") if counts[s]
+            )
+            print(f"{target:16s} {shown or 'clean'}")
+            for f in lint.findings:
+                print(f"  {f}")
+        suffix = " (all covered by baseline)" if baseline and not new_errors else ""
+        total_err = sum(1 for f in all_findings if f.severity == Severity.ERROR)
+        print(
+            f"{len(reports)} app(s): {len(all_findings)} finding(s), "
+            f"{total_err} error(s){suffix}"
+        )
+    return 1 if new_errors else 0
 
 
 def cmd_trace(args) -> int:
@@ -318,6 +399,29 @@ def main(argv: list[str] | None = None) -> int:
                            help="include wall-clock seconds per span "
                                 "(makes the trace run-specific)")
     p_analyze.set_defaults(fn=cmd_analyze)
+
+    p_lint = sub.add_parser(
+        "lint", help="run the static lint suite (typecheck/dataflow/soundness)"
+    )
+    p_lint.add_argument("targets", nargs="*",
+                        help="corpus keys or .sapk paths (default: whole corpus)")
+    p_lint.add_argument("--all", action="store_true",
+                        help="lint every corpus app (the default when no "
+                             "targets are given)")
+    p_lint.add_argument("--analyze", action="store_true",
+                        help="also run the full analysis and include the "
+                             "post-analysis SIG0xx signature lints")
+    p_lint.add_argument("--json", action="store_true",
+                        help="machine-readable per-app reports + totals")
+    p_lint.add_argument("--jsonl", action="store_true",
+                        help="schema-checked findings JSONL on stdout")
+    p_lint.add_argument("--baseline", metavar="FILE", default=None,
+                        help="suppression file: known findings never fail "
+                             "the run")
+    p_lint.add_argument("--write-baseline", metavar="FILE", default=None,
+                        help="record all current findings as the baseline "
+                             "and exit 0")
+    p_lint.set_defaults(fn=cmd_lint)
 
     p_trace = sub.add_parser(
         "trace", help="run one traced analysis and emit the trace"

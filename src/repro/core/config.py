@@ -61,6 +61,11 @@ class AnalysisConfig:
     #: record taint provenance parent links for ``repro explain``; an
     #: execution knob — the report is unchanged, only slice side tables grow
     record_provenance: bool = False
+    #: pre-analysis lint gate (``repro.lint``): "off" (default) skips lint
+    #: entirely; "record" carries findings on the report; "error" aborts on
+    #: error-severity findings; "strict" aborts on warnings too.  Semantic:
+    #: findings land in the serialised report, so the cache shards on it.
+    lint_level: str = "off"
 
     @property
     def max_async_hops(self) -> int:

@@ -65,6 +65,26 @@ class Extractocol:
         app_span = self.tracer.span(f"analyze:{apk.name}")
         program = apk.program
 
+        # Opt-in pre-analysis lint gate (DESIGN.md "Static checking"): the
+        # default "off" costs exactly this one branch; any other level runs
+        # the static pass families and may abort before the pipeline.
+        lint_findings = []
+        if self.config.lint_level != "off":
+            from ..lint.runner import gate as lint_gate
+            from ..lint.runner import lint_apk
+
+            with app_span.child("phase:lint") as sp:
+                t0 = time.perf_counter()
+                lint_report = lint_apk(
+                    apk, registry=self.registry, model=self.model
+                )
+                lint_gate(lint_report, self.config.lint_level)
+                lint_findings = lint_report.findings
+                stats.seconds["lint"] = time.perf_counter() - t0
+                for severity, amount in lint_report.counts().items():
+                    if amount:
+                        sp.count(f"findings_{severity}", amount)
+
         with app_span.child("phase:setup") as sp:
             t0 = time.perf_counter()
             callgraph = build_callgraph(program)
@@ -171,6 +191,16 @@ class Extractocol:
             phase_stats=stats,
         )
         report.dependencies = [d for t in report.transactions for d in t.depends_on]
+        if self.config.lint_level != "off":
+            from ..lint.diagnostics import count_by_severity, sort_findings
+            from ..lint.signature import signature_report
+
+            report.lint_findings = sort_findings(
+                lint_findings + signature_report(report, slicing)
+            )
+            for severity, amount in count_by_severity(report.lint_findings).items():
+                if amount:
+                    stats.count(f"lint_findings_{severity}", amount)
         if app_span:
             app_span.seconds = report.analysis_seconds
             for name, amount in sorted(stats.counters.items()):

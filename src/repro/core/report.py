@@ -61,6 +61,12 @@ class AnalysisReport:
     #: ``analysis_seconds`` it is run-specific, so the default
     #: serialisation omits it (``include_phase_stats`` opts in)
     phase_stats: PhaseStats | None = None
+    #: lint findings (``repro.lint`` Diagnostic list) attached when the
+    #: analysis ran with ``AnalysisConfig.lint_level != "off"``; empty
+    #: means "lint ran clean" *or* "lint never ran" — the serialised form
+    #: is identical either way (the ``lint`` key appears only when
+    #: findings exist, keeping lint-off reports byte-identical)
+    lint_findings: list = field(default_factory=list)
 
     # -- derived views ----------------------------------------------------
     def stats(self) -> SignatureStats:
@@ -242,6 +248,8 @@ def report_to_dict(report, *, include_phase_stats: bool = False) -> dict:
     }
     if include_phase_stats and report.phase_stats is not None:
         out["phase_stats"] = report.phase_stats.to_dict()
+    if report.lint_findings:
+        out["lint"] = [f.to_dict() for f in report.lint_findings]
     return out
 
 
@@ -296,6 +304,10 @@ def report_from_dict(data: dict) -> AnalysisReport:
     )
     if "phase_stats" in data:
         report.phase_stats = PhaseStats.from_dict(data["phase_stats"])
+    if "lint" in data:
+        from ..lint.diagnostics import Diagnostic
+
+        report.lint_findings = [Diagnostic.from_dict(f) for f in data["lint"]]
     report.dependencies = [d for t in report.transactions for d in t.depends_on]
     return report
 

@@ -59,6 +59,11 @@ from .values import (
     field_sig,
     walk_values,
 )
-from .validate import assert_valid, validate_method, validate_program
+from .validate import (
+    assert_valid,
+    superclass_cycles,
+    validate_method,
+    validate_program,
+)
 
 __all__ = [name for name in dir() if not name.startswith("_")]

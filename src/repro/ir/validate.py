@@ -70,13 +70,51 @@ def validate_method(method: Method) -> list[ValidationError]:
     return errors
 
 
+def superclass_cycles(program: Program) -> list[list[str]]:
+    """Cycles in the superclass relation, each as the list of program
+    classes on the cycle (entry class first, deterministic order).
+
+    A cycle — ``A extends B extends A``, or ``A extends A`` — would loop
+    :meth:`Program.superclasses` and everything built on it (CHA dispatch,
+    dominator computation, event roots), so it must be caught before any
+    analysis walks the hierarchy.  Chains ending at a library class (not
+    present in the program) terminate and are fine.
+    """
+    state: dict[str, int] = {}  # 0/absent = unvisited, 1 = on stack, 2 = done
+    cycles: list[list[str]] = []
+    for start in sorted(program.classes):
+        if state.get(start):
+            continue
+        chain: list[str] = []
+        current: str | None = start
+        while current is not None and current in program.classes:
+            mark = state.get(current)
+            if mark == 2:
+                break
+            if mark == 1:
+                cycles.append(chain[chain.index(current):])
+                break
+            state[current] = 1
+            chain.append(current)
+            current = program.classes[current].superclass
+        for name in chain:
+            state[name] = 2
+    return cycles
+
+
 def validate_program(program: Program) -> list[ValidationError]:
     errors: list[ValidationError] = []
     for method in program.methods():
         errors.extend(validate_method(method))
-    for cls in program.classes.values():
-        if cls.superclass and cls.superclass == cls.name:
-            errors.append(ValidationError(cls.name, -1, "class extends itself"))
+    for cycle in superclass_cycles(program):
+        if len(cycle) == 1:
+            errors.append(ValidationError(cycle[0], -1, "class extends itself"))
+            continue
+        loop = " -> ".join(cycle + [cycle[0]])
+        for name in cycle:
+            errors.append(
+                ValidationError(name, -1, f"superclass cycle: {loop}")
+            )
     return errors
 
 
@@ -87,4 +125,10 @@ def assert_valid(program: Program) -> None:
         raise ValueError(f"invalid IR program ({len(errors)} errors):\n{listing}")
 
 
-__all__ = ["ValidationError", "assert_valid", "validate_method", "validate_program"]
+__all__ = [
+    "ValidationError",
+    "assert_valid",
+    "superclass_cycles",
+    "validate_method",
+    "validate_program",
+]

@@ -1,0 +1,211 @@
+"""CFG dataflow lints (``DF0xx`` rules).
+
+Three classic intra-procedural analyses over the statement-level CFG
+(:attr:`repro.cfg.cfg.ControlFlowGraph.stmt_succ` /
+:attr:`~repro.cfg.cfg.ControlFlowGraph.stmt_pred`):
+
+* **DF001 definite assignment** — a forward *must* analysis (meet =
+  intersection over predecessors): a local read at a statement where some
+  CFG path from the entry reaches it without an intervening assignment.
+  Taint propagation over such a local silently drops flows, so this is an
+  error.
+* **DF002 unreachable statements** — blocks no CFG path from the entry
+  reaches.  Reported once per maximal run of unreachable statements.
+* **DF003 dead stores** — backward liveness: an assignment whose value no
+  later statement can read.  Informational: the builder's ``_invoke``
+  idiom intentionally parks unused call results in fresh ``$``-temps, so
+  those (and identity bindings) are exempt.
+"""
+
+from __future__ import annotations
+
+from ..cfg.cfg import ControlFlowGraph
+from ..ir.method import Method
+from ..ir.program import Program
+from ..ir.statements import AssignStmt
+from ..ir.values import InvokeExpr, Local
+from .diagnostics import Diagnostic, make_finding
+
+
+def _reachable_stmts(cfg: ControlFlowGraph) -> set[int]:
+    entry = cfg.entry
+    if entry is None:
+        return set()
+    seen: set[int] = set()
+    stack = [entry.start]
+    succ = cfg.stmt_succ
+    while stack:
+        idx = stack.pop()
+        if idx in seen:
+            continue
+        seen.add(idx)
+        stack.extend(succ.get(idx, ()))
+    return seen
+
+
+def _used_locals(stmt) -> set[Local]:
+    return {v for v in stmt.all_used_values() if isinstance(v, Local)}
+
+
+def _defined_locals(stmt) -> set[Local]:
+    return {v for v in stmt.defs() if isinstance(v, Local)}
+
+
+def _check_definite_assignment(
+    method: Method, cfg: ControlFlowGraph, reachable: set[int],
+    out: list[Diagnostic],
+) -> None:
+    body = method.body
+    assert body is not None
+    stmts = body.statements
+    all_locals = frozenset(body.locals.values())
+    pred = cfg.stmt_pred
+    entry = cfg.entry.start if cfg.entry is not None else 0
+
+    # in[s] = ∩ out[p]; out[s] = in[s] ∪ defs(s).  Initialise to ⊤ (all
+    # locals) everywhere except the entry and iterate until the decreasing
+    # chains stabilise.
+    assigned_in: dict[int, frozenset[Local]] = {}
+    assigned_out: dict[int, frozenset[Local]] = {}
+    for idx in reachable:
+        assigned_in[idx] = frozenset() if idx == entry else all_locals
+        assigned_out[idx] = assigned_in[idx] | _defined_locals(stmts[idx])
+
+    changed = True
+    while changed:
+        changed = False
+        for idx in sorted(reachable):
+            preds = [p for p in pred.get(idx, ()) if p in reachable]
+            if idx == entry and not preds:
+                new_in: frozenset[Local] = frozenset()
+            elif preds:
+                new_in = frozenset.intersection(
+                    *(assigned_out[p] for p in preds)
+                )
+                if idx == entry:
+                    new_in = frozenset()  # entry may also be a loop header
+            else:
+                new_in = frozenset()
+            if new_in != assigned_in[idx]:
+                assigned_in[idx] = new_in
+                assigned_out[idx] = new_in | _defined_locals(stmts[idx])
+                changed = True
+
+    for idx in sorted(reachable):
+        maybe_unset = _used_locals(stmts[idx]) - assigned_in[idx]
+        for local in sorted(maybe_unset, key=lambda v: v.name):
+            out.append(
+                make_finding(
+                    "DF001",
+                    f"local {local.name!r} may be used before assignment",
+                    class_name=method.class_name,
+                    method_id=method.method_id,
+                    index=idx,
+                )
+            )
+
+
+def _check_unreachable(
+    method: Method, cfg: ControlFlowGraph, reachable: set[int],
+    out: list[Diagnostic],
+) -> None:
+    body = method.body
+    assert body is not None
+    dead = sorted(i for i in range(len(body.statements)) if i not in reachable)
+    # Group maximal runs so one hole yields one finding, not one per stmt.
+    run_start: int | None = None
+    prev = None
+    runs: list[tuple[int, int]] = []
+    for idx in dead:
+        if run_start is None:
+            run_start = prev = idx
+        elif idx == prev + 1:
+            prev = idx
+        else:
+            runs.append((run_start, prev))
+            run_start = prev = idx
+    if run_start is not None:
+        runs.append((run_start, prev))
+    for start, end in runs:
+        span = f"#{start}" if start == end else f"#{start}-#{end}"
+        out.append(
+            make_finding(
+                "DF002",
+                f"statements {span} are unreachable from the method entry",
+                class_name=method.class_name,
+                method_id=method.method_id,
+                index=start,
+            )
+        )
+
+
+def _check_dead_stores(
+    method: Method, cfg: ControlFlowGraph, reachable: set[int],
+    out: list[Diagnostic],
+) -> None:
+    body = method.body
+    assert body is not None
+    stmts = body.statements
+    succ = cfg.stmt_succ
+
+    live_in: dict[int, frozenset[Local]] = {i: frozenset() for i in reachable}
+    changed = True
+    while changed:
+        changed = False
+        for idx in sorted(reachable, reverse=True):
+            live_out: set[Local] = set()
+            for s in succ.get(idx, ()):
+                if s in reachable:
+                    live_out |= live_in[s]
+            new_in = frozenset(
+                (live_out - _defined_locals(stmts[idx])) | _used_locals(stmts[idx])
+            )
+            if new_in != live_in[idx]:
+                live_in[idx] = new_in
+                changed = True
+
+    for idx in sorted(reachable):
+        stmt = stmts[idx]
+        if not isinstance(stmt, AssignStmt) or not isinstance(stmt.target, Local):
+            continue  # field/array stores escape; identity stmts are bindings
+        local = stmt.target
+        if local.name.startswith("$"):
+            continue  # builder-generated temp (unused invoke results, ...)
+        if isinstance(stmt.rhs, InvokeExpr):
+            continue  # the call is the point; the result may be incidental
+        live_out: set[Local] = set()
+        for s in succ.get(idx, ()):
+            if s in reachable:
+                live_out |= live_in[s]
+        if local not in live_out:
+            out.append(
+                make_finding(
+                    "DF003",
+                    f"value assigned to {local.name!r} is never read",
+                    class_name=method.class_name,
+                    method_id=method.method_id,
+                    index=idx,
+                )
+            )
+
+
+def dataflow_program(
+    program: Program, skip_methods: set[str] | frozenset[str] = frozenset()
+) -> list[Diagnostic]:
+    """Run the ``DF0xx`` family.  ``skip_methods`` — method ids the
+    typechecker found structurally broken (no CFG can be built)."""
+    out: list[Diagnostic] = []
+    for method in program.methods():
+        if method.body is None or len(method.body) == 0:
+            continue
+        if method.method_id in skip_methods:
+            continue
+        cfg = ControlFlowGraph(method)
+        reachable = _reachable_stmts(cfg)
+        _check_definite_assignment(method, cfg, reachable, out)
+        _check_unreachable(method, cfg, reachable, out)
+        _check_dead_stores(method, cfg, reachable, out)
+    return out
+
+
+__all__ = ["dataflow_program"]

@@ -299,6 +299,10 @@ class JobScheduler:
                 self.metrics.histogram("analyze_seconds").observe(
                     time.monotonic() - started
                 )
+                for finding in getattr(report, "lint_findings", ()) or ():
+                    self.metrics.counter(
+                        f"lint_findings_{finding.severity.value}"
+                    ).inc()
                 job.result_key = self.store.put(
                     job.apk_digest,
                     job.config_key,

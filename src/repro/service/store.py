@@ -145,6 +145,18 @@ class ResultStore:
             # run-specific profile: envelope metadata, like
             # analysis_seconds — never inside the "report" payload
             envelope["phase_stats"] = report.phase_stats.to_dict()
+        if getattr(report, "lint_findings", None):
+            # quick-glance severity totals; the findings themselves travel
+            # inside the report payload (its "lint" key)
+            from ..lint.diagnostics import count_by_severity
+
+            envelope["lint"] = {
+                severity: amount
+                for severity, amount in count_by_severity(
+                    report.lint_findings
+                ).items()
+                if amount
+            }
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(

@@ -26,7 +26,7 @@ class TestCacheKey:
     def test_stable_across_processes(self):
         # a literal, so a refactor that silently changes key derivation
         # (and would orphan every stored entry) fails loudly here
-        assert AnalysisConfig().cache_key() == "ade5584a43cb62b9"
+        assert AnalysisConfig().cache_key() == "46d980e323c1c169"
 
     def test_execution_knobs_do_not_shard_the_cache(self):
         base = AnalysisConfig()
