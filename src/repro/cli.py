@@ -12,7 +12,9 @@
     python -m repro explain radioreddit 1 uri   # taint provenance of a field
     python -m repro fuzz diode --mode manual    # run a fuzzing baseline
     python -m repro export diode out.sapk       # save a corpus app to disk
-    python -m repro eval table1|table2|figures|casestudies
+    python -m repro diff reddinator@v1 reddinator@v3   # protocol drift
+    python -m repro diff --latest diode         # last two stored versions
+    python -m repro eval table1|table2|figures|casestudies|drift
     python -m repro batch                       # whole corpus via the scheduler
     python -m repro batch ted kayak --workers 4 # selected targets
     python -m repro serve --port 8425           # HTTP analysis service
@@ -254,6 +256,8 @@ def cmd_eval(args) -> int:
         print(evalx.render_table5())
         print()
         print(evalx.render_table6())
+    elif what == "drift":
+        print(evalx.render_drift_table())
     if args.verbose:
         # phase-timing profile of every app the render above evaluated —
         # served from the evaluation cache (analysis_workers=1, same key
@@ -261,6 +265,53 @@ def cmd_eval(args) -> int:
         print()
         print(evalx.render_phase_table())
     return 0
+
+
+def cmd_diff(args) -> int:
+    """Protocol-evolution analysis between two app versions.
+
+    Exit code contract (for CI gates): ``1`` when the diff contains a
+    breaking change, ``0`` otherwise — including the self-diff and pure
+    additions.  Resolution failures exit 2 via :class:`SystemExit`.
+    """
+    from repro.diff import diff_targets, render_markdown
+    from repro.service.store import ResultStore, canonical_json
+
+    store = None
+    store_path = Path(args.store).expanduser()
+    if args.latest or (store_path / "objects").exists():
+        store = ResultStore(store_path)
+
+    if args.latest:
+        entries = [
+            e for e in store.list_entries() if e["app"] == args.latest
+        ]
+        if len(entries) < 2:
+            raise SystemExit(
+                f"store has {len(entries)} report(s) for {args.latest!r}; "
+                f"need at least two versions to diff "
+                f"(populate with 'repro batch')"
+            )
+        old_target, new_target = entries[-2]["key"], entries[-1]["key"]
+    else:
+        if not args.old or not args.new:
+            raise SystemExit("need two targets (or --latest APP)")
+        old_target, new_target = args.old, args.new
+
+    try:
+        diff = diff_targets(
+            old_target, new_target, store=store, workers=args.workers
+        )
+    except LookupError as exc:
+        raise SystemExit(str(exc))
+
+    if args.json:
+        print(canonical_json(diff.to_dict()))
+    elif args.markdown:
+        print(render_markdown(diff), end="")
+    else:
+        print(diff.summary())
+    return 1 if diff.breaking else 0
 
 
 def _default_store() -> str:
@@ -465,9 +516,34 @@ def main(argv: list[str] | None = None) -> int:
     p_export.add_argument("output")
     p_export.set_defaults(fn=cmd_export)
 
+    p_diff = sub.add_parser(
+        "diff", help="protocol-evolution diff between two app versions"
+    )
+    p_diff.add_argument("old", nargs="?", default=None,
+                        help="old version: corpus key, .sapk path, stored "
+                             "result key, or lineage label (app@vN)")
+    p_diff.add_argument("new", nargs="?", default=None,
+                        help="new version (same target forms)")
+    p_diff.add_argument("--latest", metavar="APP", default=None,
+                        help="diff the two most recently stored reports "
+                             "of APP instead of giving explicit targets")
+    p_diff.add_argument("--store", default=_default_store(), metavar="DIR",
+                        help="result store for key resolution and diff "
+                             "caching (default: $REPRO_STORE or "
+                             "~/.cache/repro/store)")
+    p_diff.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="analysis workers when a target needs a "
+                             "fresh analysis")
+    g_fmt = p_diff.add_mutually_exclusive_group()
+    g_fmt.add_argument("--json", action="store_true",
+                       help="canonical JSON (byte-stable across reruns)")
+    g_fmt.add_argument("--markdown", action="store_true",
+                       help="GitHub-flavoured markdown report")
+    p_diff.set_defaults(fn=cmd_diff)
+
     p_eval = sub.add_parser("eval", help="regenerate evaluation artefacts")
     p_eval.add_argument(
-        "what", choices=["table1", "table2", "figures", "casestudies"]
+        "what", choices=["table1", "table2", "figures", "casestudies", "drift"]
     )
     p_eval.add_argument("--workers", type=int, default=1, metavar="N",
                         help="evaluate corpus apps concurrently with N "

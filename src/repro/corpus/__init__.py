@@ -15,6 +15,14 @@ from ..apk.model import Apk
 from .base import AppSpec, EndpointTruth, GroundTruth
 from .closedsource import all_fleet_apps, kayak, ted
 from .generator import GenApp, GenEndpoint, build_generated_app
+from .lineage import (
+    BuiltVersion,
+    LineageVersion,
+    build_version,
+    lineage,
+    lineage_keys,
+    lineages,
+)
 from .opensource import ALL_SIMPLE_OPEN, diode, radioreddit, weather_notification
 
 _REGISTRY: dict[str, AppSpec] | None = None
@@ -61,13 +69,19 @@ def app_keys(kind: str | None = None) -> list[str]:
 
 __all__ = [
     "AppSpec",
+    "BuiltVersion",
     "EndpointTruth",
     "GenApp",
     "GenEndpoint",
     "GroundTruth",
+    "LineageVersion",
     "app_keys",
     "build_app",
     "build_generated_app",
+    "build_version",
     "get_spec",
+    "lineage",
+    "lineage_keys",
+    "lineages",
     "registry",
 ]

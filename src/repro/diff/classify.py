@@ -1,0 +1,285 @@
+"""Field-level change classification and the breaking-change taxonomy.
+
+The severity rules encode the middlebox/monitor consumer's view of a
+protocol description (paper §1, §6): a change is **breaking** when tooling
+built from the *old* report — firewall rules, replay scripts, dependency-
+aware testers — would misfire on the *new* app's traffic.
+
+Breaking: a request the old description cannot produce anymore (removed
+transaction, removed dependency source/edge, changed method/host/literal
+URI segment, removed query key, header or body key, changed body or
+response format).  Compatible: the old description still covers the new
+traffic (added transaction, added optional query key/header/body key,
+widened URI segment).  Info: observations with no protocol-surface impact
+(changed unknown-value renderings, consumer set churn).
+"""
+
+from __future__ import annotations
+
+from difflib import SequenceMatcher
+
+from .match import MatchResult
+from .model import Change, TxnDelta
+from .normal import TxnView, WILDCARD
+
+#: Every change kind the classifier can emit, with its fixed severity.
+#: Append-only: external tooling keys on these identifiers.
+KIND_SEVERITY = {
+    "method-changed": "breaking",
+    "scheme-changed": "compatible",
+    "host-changed": "breaking",
+    "uri-segment-added": "breaking",
+    "uri-segment-removed": "breaking",
+    "uri-segment-changed": "breaking",
+    "uri-segment-widened": "compatible",
+    "uri-segment-narrowed": "compatible",
+    "query-key-added": "compatible",
+    "query-key-removed": "breaking",
+    "header-added": "compatible",
+    "header-removed": "breaking",
+    "header-value-changed": "info",
+    "body-kind-changed": "breaking",
+    "body-key-added": "compatible",
+    "body-key-removed": "breaking",
+    "body-value-changed": "info",
+    "response-kind-changed": "breaking",
+    "response-key-added": "compatible",
+    "response-key-removed": "compatible",
+    "response-value-changed": "info",
+    "consumers-changed": "info",
+    "dynamic-uri-changed": "info",
+    "transaction-added": "compatible",
+    "transaction-removed": "breaking",
+    "dependency-added": "compatible",
+    "dependency-removed": "breaking",
+    "dependency-path-changed": "info",
+    "dependency-source-removed": "breaking",
+}
+
+BREAKING_KINDS = frozenset(
+    kind for kind, sev in KIND_SEVERITY.items() if sev == "breaking"
+)
+
+
+def _change(kind: str, field: str, old=None, new=None, detail: str = "") -> Change:
+    return Change(
+        kind=kind,
+        severity=KIND_SEVERITY[kind],
+        field=field,
+        old=old,
+        new=new,
+        detail=detail,
+    )
+
+
+def _show(token: str) -> str:
+    return token.replace(WILDCARD, "*")
+
+
+# ---------------------------------------------------------------- URI
+def _classify_uri(old: TxnView, new: TxnView, out: list[Change]) -> None:
+    ou, nu = old.uri, new.uri
+    if ou.scheme != nu.scheme and ou.scheme and nu.scheme:
+        out.append(_change("scheme-changed", "uri", ou.scheme, nu.scheme))
+    if ou.host != nu.host:
+        out.append(_change("host-changed", "uri", _show(ou.host),
+                           _show(nu.host)))
+    matcher = SequenceMatcher(
+        a=list(ou.segments), b=list(nu.segments), autojunk=False
+    )
+    for op, i1, i2, j1, j2 in matcher.get_opcodes():
+        if op == "equal":
+            continue
+        olds, news = ou.segments[i1:i2], nu.segments[j1:j2]
+        for o, n in zip(olds, news):
+            if o == n:
+                continue
+            if n == WILDCARD:
+                kind = "uri-segment-widened"
+            elif o == WILDCARD:
+                kind = "uri-segment-narrowed"
+            else:
+                kind = "uri-segment-changed"
+            out.append(_change(kind, "uri", _show(o), _show(n)))
+        for o in olds[len(news):]:
+            out.append(_change("uri-segment-removed", "uri", _show(o), None))
+        for n in news[len(olds):]:
+            out.append(_change("uri-segment-added", "uri", None, _show(n)))
+    for key in sorted(set(ou.query_keys) - set(nu.query_keys)):
+        out.append(_change("query-key-removed", "query", key, None))
+    for key in sorted(set(nu.query_keys) - set(ou.query_keys)):
+        out.append(_change("query-key-added", "query", None, key))
+
+
+# ------------------------------------------------------------- headers
+def _classify_headers(old: TxnView, new: TxnView, out: list[Change]) -> None:
+    for name in sorted(set(old.headers) - set(new.headers)):
+        out.append(_change("header-removed", f"header:{name}",
+                           old.headers[name], None))
+    for name in sorted(set(new.headers) - set(old.headers)):
+        out.append(_change("header-added", f"header:{name}", None,
+                           new.headers[name]))
+    for name in sorted(set(old.headers) & set(new.headers)):
+        if old.headers[name] != new.headers[name]:
+            out.append(_change("header-value-changed", f"header:{name}",
+                               old.headers[name], new.headers[name]))
+
+
+# ---------------------------------------------------------------- body
+def _classify_body(old: TxnView, new: TxnView, out: list[Change]) -> None:
+    if old.body_kind != new.body_kind:
+        out.append(_change("body-kind-changed", "body",
+                           old.body_kind, new.body_kind))
+        return
+    for key in sorted(set(old.body_keys) - set(new.body_keys)):
+        out.append(_change("body-key-removed", "body", key, None))
+    for key in sorted(set(new.body_keys) - set(old.body_keys)):
+        out.append(_change("body-key-added", "body", None, key))
+    if (
+        old.body != new.body
+        and set(old.body_keys) == set(new.body_keys)
+    ):
+        out.append(_change("body-value-changed", "body",
+                           old.body, new.body))
+
+
+# ------------------------------------------------------------ response
+def _classify_response(old: TxnView, new: TxnView, out: list[Change]) -> None:
+    if old.response_kind != new.response_kind:
+        out.append(_change("response-kind-changed", "response",
+                           old.response_kind, new.response_kind))
+        return
+    for key in sorted(set(old.response_keys) - set(new.response_keys)):
+        out.append(_change("response-key-removed", "response", key, None))
+    for key in sorted(set(new.response_keys) - set(old.response_keys)):
+        out.append(_change("response-key-added", "response", None, key))
+    if (
+        old.response_body != new.response_body
+        and set(old.response_keys) == set(new.response_keys)
+    ):
+        out.append(_change("response-value-changed", "response",
+                           old.response_body, new.response_body))
+
+
+def classify_pair(old: TxnView, new: TxnView, score: float) -> TxnDelta:
+    """All field-level changes between one matched transaction pair.
+    Dependency edges are classified at the graph level
+    (:func:`classify_graph`) because edge identity spans pairs."""
+    changes: list[Change] = []
+    if old.method != new.method:
+        changes.append(_change("method-changed", "method",
+                               old.method, new.method))
+    _classify_uri(old, new, changes)
+    _classify_headers(old, new, changes)
+    _classify_body(old, new, changes)
+    _classify_response(old, new, changes)
+    if old.consumers != new.consumers:
+        changes.append(_change(
+            "consumers-changed", "response",
+            ", ".join(old.consumers) or None,
+            ", ".join(new.consumers) or None,
+        ))
+    if old.dynamic != new.dynamic:
+        changes.append(_change("dynamic-uri-changed", "uri",
+                               str(old.dynamic), str(new.dynamic)))
+    return TxnDelta(
+        old_id=old.txn_id,
+        new_id=new.txn_id,
+        label=old.label,
+        similarity=score,
+        changes=changes,
+    )
+
+
+def classify_graph(match: MatchResult) -> list[Change]:
+    """Transaction- and dependency-level changes across the whole diff.
+
+    Dependency edges are compared in the *old* snapshot's id space: a new
+    edge maps back through the pairing; edges touching an unmatched
+    transaction cannot survive by definition.  A removed transaction that
+    other surviving transactions depended on additionally yields the
+    ``dependency-source-removed`` verdict — the reddit ``modhash`` case.
+    """
+    out: list[Change] = []
+    old_of_new = {n.txn_id: o.txn_id for o, n, _ in match.pairs}
+    removed_ids = {t.txn_id for t in match.unmatched_old}
+
+    # Edges between transactions that survive in both versions.  Edges
+    # touching a removed transaction are reported once, via
+    # transaction-removed / dependency-source-removed below — not as a
+    # second dependency-removed entry.
+    old_edges: dict[tuple[int, int, str], str] = {}
+    for o, _, _ in match.pairs:
+        for d in o.depends_on:
+            if d.src_txn not in removed_ids:
+                old_edges[(d.src_txn, d.dst_txn, d.dst_field)] = d.src_path
+
+    new_edges: dict[tuple[int, int, str], str] = {}
+    unmapped_new: list = []
+    for _, n, _ in match.pairs:
+        for d in n.depends_on:
+            src = old_of_new.get(d.src_txn)
+            dst = old_of_new.get(d.dst_txn)
+            if src is None or dst is None:
+                unmapped_new.append(d)
+            else:
+                new_edges[(src, dst, d.dst_field)] = d.src_path
+    for t in match.unmatched_new:
+        unmapped_new.extend(t.depends_on)
+
+    for key in sorted(set(old_edges) - set(new_edges)):
+        src, dst, dst_field = key
+        out.append(_change(
+            "dependency-removed", "dependency",
+            f"txn{src}[{old_edges[key]}] -> txn{dst}.{dst_field}", None,
+            detail="a request field no longer originates from this "
+                   "response; dependency-aware tooling misfires",
+        ))
+    for key in sorted(set(new_edges) - set(old_edges)):
+        src, dst, dst_field = key
+        out.append(_change(
+            "dependency-added", "dependency",
+            None, f"txn{src}[{new_edges[key]}] -> txn{dst}.{dst_field}",
+        ))
+    for key in sorted(set(old_edges) & set(new_edges)):
+        if old_edges[key] != new_edges[key]:
+            src, dst, dst_field = key
+            out.append(_change(
+                "dependency-path-changed", "dependency",
+                old_edges[key], new_edges[key],
+                detail=f"txn{src} -> txn{dst}.{dst_field}",
+            ))
+    for d in sorted(unmapped_new, key=str):
+        out.append(_change("dependency-added", "dependency", None, str(d)))
+
+    # transaction-level adds/removes + removed dependency sources
+    surviving_dependents = [
+        d
+        for o, _, _ in match.pairs
+        for d in o.depends_on
+        if d.src_txn in removed_ids
+    ]
+    for t in match.unmatched_old:
+        out.append(_change("transaction-removed", "transaction",
+                           t.label, None))
+        feeds = sorted(
+            str(d) for d in surviving_dependents if d.src_txn == t.txn_id
+        )
+        if feeds:
+            out.append(_change(
+                "dependency-source-removed", "dependency",
+                t.label, None,
+                detail="removed transaction fed: " + "; ".join(feeds),
+            ))
+    for t in match.unmatched_new:
+        out.append(_change("transaction-added", "transaction",
+                           None, t.label))
+    return out
+
+
+__all__ = [
+    "BREAKING_KINDS",
+    "KIND_SEVERITY",
+    "classify_graph",
+    "classify_pair",
+]

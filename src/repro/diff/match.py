@@ -1,0 +1,136 @@
+"""Stable transaction pairing across two protocol snapshots.
+
+Two rounds:
+
+1. **Exact** — transactions whose ``(method, uri regex, body, response
+   body)`` renderings are identical pair up first, in id order.  A
+   self-diff resolves entirely here.
+2. **Similarity** — the remainder is scored pairwise on structural
+   similarity (host, path segments, query keys, body shape, response
+   shape) and paired greedily, highest score first, with ties broken by
+   ``(old id, new id)``.  Greedy-on-sorted-pairs is deterministic and
+   order-independent, which the byte-identical-JSON contract needs.
+
+Pairs below :data:`MATCH_THRESHOLD` stay unmatched and surface as
+removed + added transactions instead of a matched pair with a pile of
+changes — a renamed endpoint that shares nothing with its predecessor
+*is* a removal plus an addition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from difflib import SequenceMatcher
+
+from .normal import TxnView, WILDCARD
+
+#: Minimum similarity for a cross-version pair to count as "the same
+#: transaction, changed" rather than a removal plus an addition.
+MATCH_THRESHOLD = 0.55
+
+#: Component weights; they sum to 1.0.
+_W_METHOD = 0.15
+_W_HOST = 0.15
+_W_PATH = 0.40
+_W_QUERY = 0.10
+_W_BODY = 0.15
+_W_RESPONSE = 0.05
+
+
+@dataclass(frozen=True)
+class MatchResult:
+    pairs: tuple[tuple[TxnView, TxnView, float], ...]
+    unmatched_old: tuple[TxnView, ...]
+    unmatched_new: tuple[TxnView, ...]
+
+
+def _jaccard(a: tuple[str, ...], b: tuple[str, ...]) -> float:
+    sa, sb = set(a), set(b)
+    if not sa and not sb:
+        return 1.0
+    return len(sa & sb) / len(sa | sb)
+
+
+def _segment_similarity(a: tuple[str, ...], b: tuple[str, ...]) -> float:
+    if not a and not b:
+        return 1.0
+    return SequenceMatcher(a=list(a), b=list(b), autojunk=False).ratio()
+
+
+def similarity(old: TxnView, new: TxnView) -> float:
+    """Structural similarity in [0, 1].  Purely a function of the two
+    views — no global state — so scores are reproducible."""
+    score = 0.0
+    if old.method == new.method:
+        score += _W_METHOD
+    if old.uri.host == new.uri.host:
+        score += _W_HOST
+    elif WILDCARD in (old.uri.host, new.uri.host):
+        score += _W_HOST / 2
+    score += _W_PATH * _segment_similarity(old.uri.segments, new.uri.segments)
+    score += _W_QUERY * _jaccard(old.uri.query_keys, new.uri.query_keys)
+    body_score = 0.0
+    if old.body_kind == new.body_kind:
+        body_score += 1 / 3
+    body_score += (2 / 3) * _jaccard(old.body_keys, new.body_keys)
+    score += _W_BODY * body_score
+    resp_score = 0.0
+    if old.response_kind == new.response_kind:
+        resp_score += 1 / 2
+    resp_score += (1 / 2) * _jaccard(old.response_keys, new.response_keys)
+    score += _W_RESPONSE * resp_score
+    return score
+
+
+def match_transactions(
+    old: list[TxnView], new: list[TxnView]
+) -> MatchResult:
+    pairs: list[tuple[TxnView, TxnView, float]] = []
+    used_old: set[int] = set()
+    used_new: set[int] = set()
+
+    # Round 1: exact signature identity, paired in id order.
+    by_identity: dict[tuple, list[TxnView]] = {}
+    for txn in new:
+        by_identity.setdefault(txn.identity, []).append(txn)
+    for txn in old:
+        bucket = by_identity.get(txn.identity)
+        if bucket:
+            partner = bucket.pop(0)
+            pairs.append((txn, partner, 1.0))
+            used_old.add(txn.txn_id)
+            used_new.add(partner.txn_id)
+
+    # Round 2: similarity scoring over the remainder.
+    remaining_old = [t for t in old if t.txn_id not in used_old]
+    remaining_new = [t for t in new if t.txn_id not in used_new]
+    scored = sorted(
+        (
+            (similarity(o, n), o, n)
+            for o in remaining_old
+            for n in remaining_new
+        ),
+        key=lambda item: (-item[0], item[1].txn_id, item[2].txn_id),
+    )
+    for score, o, n in scored:
+        if score < MATCH_THRESHOLD:
+            break
+        if o.txn_id in used_old or n.txn_id in used_new:
+            continue
+        pairs.append((o, n, round(score, 4)))
+        used_old.add(o.txn_id)
+        used_new.add(n.txn_id)
+
+    pairs.sort(key=lambda p: (p[0].txn_id, p[1].txn_id))
+    return MatchResult(
+        pairs=tuple(pairs),
+        unmatched_old=tuple(
+            t for t in old if t.txn_id not in used_old
+        ),
+        unmatched_new=tuple(
+            t for t in new if t.txn_id not in used_new
+        ),
+    )
+
+
+__all__ = ["MATCH_THRESHOLD", "MatchResult", "match_transactions", "similarity"]

@@ -15,6 +15,7 @@ from .casestudy import (
     table5,
     table6,
 )
+from .drift import DriftRow, drift_rows, render_drift_table
 from .figures import figure6, figure7, render_figures
 from .paperdata import (FIGURE6, FIGURE7, PAPER_TOTAL_PAIRS, TABLE1,
                         TABLE2, TIMING, row_for)

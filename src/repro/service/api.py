@@ -10,6 +10,10 @@ Endpoints::
     GET  /jobs             all jobs
     GET  /jobs/<id>        one job
     GET  /report/<key>     stored result envelope by result key
+    GET  /reports          metadata of every stored report (key, app,
+                           config key, schema, transaction count)
+    GET  /diff/<k1>/<k2>   protocol diff of two stored reports, computed
+                           once and cached in the store
     GET  /metrics          counters / gauges / histograms + store stats
                            (JSON by default; ``?format=prometheus`` or an
                            ``Accept: text/plain`` header switches to
@@ -156,6 +160,26 @@ class AnalysisService:
             self.metrics.gauge(f"store_{name}").set(int(value))
         return render_prometheus(self.metrics)
 
+    def handle_diff(self, old_key: str, new_key: str) -> tuple[int, dict]:
+        from ..diff.engine import cached_diff, diff_cache_key
+
+        result = cached_diff(self.store, old_key, new_key)
+        if result is None:
+            return 404, {
+                "error": "one or both report keys are not in the store"
+            }
+        diff, was_cached = result
+        self.metrics.counter(
+            "diffs_cached" if was_cached else "diffs_computed"
+        ).inc()
+        return 200, {
+            "old_key": old_key,
+            "new_key": new_key,
+            "cached": was_cached,
+            "cache_key": diff_cache_key(old_key, new_key),
+            "diff": diff,
+        }
+
     def handle_healthz(self) -> dict:
         jobs = self.scheduler.jobs()
         return {
@@ -221,12 +245,28 @@ def _make_handler(service: AnalysisService):
                     self._send(404, {"error": "no such job"})
                 else:
                     self._send(200, {"job": job.to_dict()})
+            elif path == "/reports":
+                self._send(200, {"reports": service.store.list_entries()})
             elif path.startswith("/report/"):
                 envelope = service.store.load(path.removeprefix("/report/"))
                 if envelope is None:
                     self._send(404, {"error": "no such report"})
                 else:
                     self._send(200, envelope)
+            elif path.startswith("/diff/"):
+                parts = path.removeprefix("/diff/").split("/")
+                if len(parts) != 2 or not all(parts):
+                    self._send(
+                        400, {"error": "expected /diff/<old_key>/<new_key>"}
+                    )
+                else:
+                    try:
+                        status, payload = service.handle_diff(*parts)
+                    except Exception as exc:  # defensive, like do_POST
+                        status, payload = 500, {
+                            "error": f"{type(exc).__name__}: {exc}"
+                        }
+                    self._send(status, payload)
             else:
                 self._send(404, {"error": f"unknown path {self.path!r}"})
 

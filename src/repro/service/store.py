@@ -157,6 +157,16 @@ class ResultStore:
                 ).items()
                 if amount
             }
+        return self.put_envelope(key, envelope)
+
+    def put_envelope(self, key: str, envelope: dict) -> str:
+        """Write an arbitrary envelope dict under ``key``, atomically.
+
+        This is the raw write primitive behind :meth:`put`; derived
+        artifacts (cached protocol diffs) use it directly.  Envelopes
+        without a ``report`` key are invisible to :meth:`get` and
+        :meth:`list_entries`.
+        """
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(
@@ -195,6 +205,35 @@ class ResultStore:
         return sorted(
             p.stem for p in self.objects.glob("*/*.json")
         )
+
+    def list_entries(self) -> list[dict]:
+        """Metadata for every stored *report* envelope, sorted by
+        ``(app, stored_at, key)``.
+
+        Powers ``GET /reports`` and the CLI's latest-two-versions lookup.
+        Derived artifacts (diff caches) and unreadable files are skipped;
+        the report payload itself is not returned — fetch it via the key.
+        """
+        out: list[dict] = []
+        for path in sorted(self.objects.glob("*/*.json")):
+            try:
+                envelope = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError):
+                continue
+            if not isinstance(envelope, dict) or "report" not in envelope:
+                continue
+            report = envelope.get("report") or {}
+            out.append({
+                "key": envelope.get("key", path.stem),
+                "app": envelope.get("app", ""),
+                "apk_digest": envelope.get("apk_digest", ""),
+                "config_key": envelope.get("config_key", ""),
+                "schema": envelope.get("schema"),
+                "transactions": len(report.get("transactions", ())),
+                "stored_at": path.stat().st_mtime,
+            })
+        out.sort(key=lambda e: (e["app"], e["stored_at"], e["key"]))
+        return out
 
     def stats(self) -> dict:
         with self._lock:

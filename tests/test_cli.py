@@ -106,6 +106,69 @@ class TestBatch:
             main(["batch", "not-an-app", "--store", str(tmp_path / "s")])
 
 
+class TestDiff:
+    def test_self_diff_exits_zero(self, capsys, tmp_path):
+        out = run_cli(capsys, "diff", "tzm", "tzm",
+                      "--store", str(tmp_path / "s"))
+        assert "verdict: identical" in out
+
+    def test_breaking_lineage_exits_one(self, capsys, tmp_path):
+        rc = main(["diff", "reddinator@v1", "reddinator@v3",
+                   "--store", str(tmp_path / "s")])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "verdict: breaking" in out
+        assert "txn3[$.json] -> txn4.body" in out
+
+    def test_json_output_is_canonical_and_stable(self, capsys, tmp_path):
+        argv = ["diff", "wallabag@v1", "wallabag@v2", "--json",
+                "--store", str(tmp_path / "s")]
+        assert main(argv) == 1
+        first = capsys.readouterr().out
+        data = json.loads(first)
+        assert data["verdict"] == "breaking"
+        assert main(argv) == 1
+        assert capsys.readouterr().out == first  # byte-identical rerun
+
+    def test_markdown_output(self, capsys, tmp_path):
+        rc = main(["diff", "reddinator@v1", "reddinator@v2", "--markdown",
+                   "--store", str(tmp_path / "s")])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert out.startswith("# Protocol diff:")
+        assert "Verdict: compatible" in out
+
+    def test_latest_two_store_versions(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        # store v1 and v3 of the lineage as if they were two releases
+        from repro.apk.loader import apk_digest
+        from repro.core.extractocol import Extractocol
+        from repro.corpus import build_version
+        from repro.service.store import ResultStore
+
+        rs = ResultStore(store)
+        for label in ("reddinator@v1", "reddinator@v3"):
+            built = build_version(label)
+            report = Extractocol(built.config).analyze(built.apk)
+            rs.put(apk_digest(built.apk), built.config.cache_key(), report)
+
+        rc = main(["diff", "--latest", "Reddinator", "--store", store])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "dependency-removed" in out
+
+    def test_latest_needs_two_versions(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["diff", "--latest", "ghost", "--store", str(tmp_path / "s")])
+
+    def test_missing_targets_exit(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["diff", "--store", str(tmp_path / "s")])
+        with pytest.raises(SystemExit):
+            main(["diff", "tzm", "no-such-app",
+                  "--store", str(tmp_path / "s")])
+
+
 class TestReportDict:
     def test_roundtrips_through_json(self):
         from repro import AnalysisConfig, Extractocol

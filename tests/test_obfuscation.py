@@ -42,6 +42,37 @@ def test_closed_apps_invariant_under_obfuscation(key):
     assert obf.unique_uri_signatures() == plain.unique_uri_signatures()
 
 
+@pytest.mark.parametrize("key", app_keys())
+def test_rename_map_inverted_round_trips_every_map(key):
+    """``RenameMap.inverted()`` must carry the class, method AND field
+    maps: rewrite → invert → rewrite is the identity on every corpus
+    program (the diff subsystem's rename-lineage tolerance rests on it)."""
+    from repro.apk.rewrite import rename_program
+    from repro.ir.printer import print_program
+
+    spec = get_spec(key)
+    plain = spec.build_apk()
+    result = obfuscate(spec.build_apk())
+    renames, inv = result.renames, result.renames.inverted()
+
+    # exact map-level inversion, no entries dropped or collapsed
+    for forward, backward in (
+        (renames.class_map, inv.class_map),
+        (renames.method_map, inv.method_map),
+        (renames.field_map, inv.field_map),
+    ):
+        assert backward == {v: k for k, v in forward.items()}
+        assert len(backward) == len(forward)  # injective: nothing lost
+    assert inv.inverted().class_map == renames.class_map
+    assert inv.inverted().method_map == renames.method_map
+    assert inv.inverted().field_map == renames.field_map
+
+    # program-level identity: un-renaming the obfuscated program restores
+    # the original, byte-for-byte in the canonical textual IR
+    restored = rename_program(result.apk.program, inv)
+    assert print_program(restored) == print_program(plain.program)
+
+
 def test_obfuscated_library_needs_deobfuscation_map():
     """§3.4: when an *embedded library* is obfuscated too, the semantic
     model misses it until the signature-similarity map restores the names."""

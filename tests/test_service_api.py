@@ -173,3 +173,45 @@ class TestOperationalEndpoints:
         status, _ = _request(service, "POST", "/analyze", b"not json",
                              headers={"Content-Type": "application/json"})
         assert status == 400
+
+
+class TestReportsAndDiff:
+    def _store_one(self, service, target):
+        _, data = post(service, "/analyze", {"target": target})
+        return wait_done(service, data["job"]["id"])["result_key"]
+
+    def test_reports_listing(self, service):
+        status, data = get(service, "/reports")
+        assert status == 200 and data["reports"] == []
+        key_tzm = self._store_one(service, "tzm")
+        key_diode = self._store_one(service, "diode")
+        status, data = get(service, "/reports")
+        assert status == 200
+        assert {e["key"] for e in data["reports"]} == {key_tzm, key_diode}
+        for entry in data["reports"]:
+            assert {"key", "app", "apk_digest", "config_key", "schema",
+                    "transactions", "stored_at"} <= entry.keys()
+            assert "report" not in entry
+
+    def test_diff_endpoint_computes_then_caches(self, service):
+        key = self._store_one(service, "tzm")
+        status, data = get(service, f"/diff/{key}/{key}")
+        assert status == 200
+        assert data["cached"] is False
+        assert data["diff"]["verdict"] == "identical"
+        assert data["diff"]["breaking"] is False
+
+        status, again = get(service, f"/diff/{key}/{key}")
+        assert status == 200 and again["cached"] is True
+        assert again["diff"] == data["diff"]
+        _, metrics = get(service, "/metrics")
+        assert metrics["counters"]["diffs_computed"] == 1
+        assert metrics["counters"]["diffs_cached"] == 1
+        # the diff cache entry never shows up as a report
+        _, listing = get(service, "/reports")
+        assert [e["key"] for e in listing["reports"]] == [key]
+
+    def test_diff_error_paths(self, service):
+        key = self._store_one(service, "tzm")
+        assert get(service, f"/diff/{key}/missing")[0] == 404
+        assert get(service, "/diff/onlyone")[0] == 400

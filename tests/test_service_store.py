@@ -136,6 +136,46 @@ class TestResultStore:
         ]
         assert residue == []
 
+    def test_list_entries_metadata(self, tmp_path, diode_report):
+        apk, config, report = diode_report
+        store = ResultStore(tmp_path / "store")
+        assert store.list_entries() == []
+        key = store.put(apk_digest(apk), config.cache_key(), report)
+        entries = store.list_entries()
+        assert len(entries) == 1
+        entry = entries[0]
+        assert entry["key"] == key
+        assert entry["app"] == report.app
+        assert entry["apk_digest"] == apk_digest(apk)
+        assert entry["config_key"] == config.cache_key()
+        assert entry["schema"] == SCHEMA_VERSION
+        assert entry["transactions"] == len(report.transactions)
+        assert entry["stored_at"] > 0
+
+    def test_list_entries_skips_non_report_envelopes(
+        self, tmp_path, diode_report
+    ):
+        apk, config, report = diode_report
+        store = ResultStore(tmp_path / "store")
+        store.put(apk_digest(apk), config.cache_key(), report)
+        store.put_envelope("diff-cafe", {"diff_schema": 1, "diff": {}})
+        (store.objects / "zz").mkdir()
+        (store.objects / "zz" / "zz.json").write_text("{ torn")
+        assert len(store.entries()) == 3
+        assert [e["key"] for e in store.list_entries()] == [
+            f"{apk_digest(apk)}-{config.cache_key()}"
+        ]
+
+    def test_put_envelope_atomic_and_counted(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        key = store.put_envelope("diff-beef", {"x": 1})
+        assert key == "diff-beef"
+        assert json.loads(store.path_for(key).read_text()) == {"x": 1}
+        assert store.stats()["writes"] == 1
+        assert not [
+            p for p in (tmp_path / "store").rglob("*") if p.suffix == ".tmp"
+        ]
+
     def test_metrics_mirrored(self, tmp_path, diode_report):
         apk, config, report = diode_report
         metrics = MetricsRegistry()
