@@ -45,44 +45,48 @@ from repro.core.config import AnalysisConfig  # noqa: E402
 from repro.core.extractocol import Extractocol  # noqa: E402
 from repro.core.report import report_to_dict  # noqa: E402
 from repro.corpus import get_spec  # noqa: E402
+from repro.perf.parallel import resolve_executor, usable_cpus  # noqa: E402
 
 DEFAULT_APPS = ["ted", "kayak", "pinterest", "wishlocal"]
 
 
-def _config(spec, workers: int) -> AnalysisConfig:
+def _config(spec, workers: int, executor: str = "auto") -> AnalysisConfig:
     return AnalysisConfig(
         async_heuristic=(spec.kind == "closed"),
         scope_prefixes=spec.scope_prefixes,
         workers=workers,
+        executor=executor,
     )
 
 
-def _analyze(spec, workers: int):
-    return Extractocol(_config(spec, workers)).analyze(spec.build_apk())
+def _analyze(spec, workers: int, executor: str = "auto"):
+    return Extractocol(_config(spec, workers, executor)).analyze(spec.build_apk())
 
 
-def _timed_run(spec, workers: int) -> float:
+def _timed_run(spec, workers: int, executor: str = "auto") -> float:
     apk = spec.build_apk()
     gc.collect()
     gc.disable()
     try:
         t0 = time.perf_counter()
-        Extractocol(_config(spec, workers)).analyze(apk)
+        Extractocol(_config(spec, workers, executor)).analyze(apk)
         return time.perf_counter() - t0
     finally:
         gc.enable()
 
 
-def bench_app(key: str, workers: int, repeats: int) -> dict:
+def bench_app(key: str, workers: int, repeats: int, executor: str) -> dict:
     spec = get_spec(key)
     serial_report = json.dumps(report_to_dict(_analyze(spec, 1)))
-    parallel_report = json.dumps(report_to_dict(_analyze(spec, workers)))
+    parallel_report = json.dumps(
+        report_to_dict(_analyze(spec, workers, executor))
+    )
     identical = serial_report == parallel_report
 
     serial_best = parallel_best = None
     for _ in range(repeats):  # interleaved: host-load drift hits both sides
         ts = _timed_run(spec, 1)
-        tp = _timed_run(spec, workers)
+        tp = _timed_run(spec, workers, executor)
         serial_best = ts if serial_best is None else min(serial_best, ts)
         parallel_best = tp if parallel_best is None else min(parallel_best, tp)
     return {
@@ -99,8 +103,18 @@ def main(argv: list[str] | None = None) -> int:
                         help=f"corpus apps to benchmark (default: {DEFAULT_APPS})")
     parser.add_argument("--workers", type=int, default=4)
     parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--executor",
+                        choices=["auto", "serial", "thread", "process"],
+                        default="auto",
+                        help="engine backing the parallel runs (auto = "
+                             "process where fork is available)")
     parser.add_argument("--quick", action="store_true",
                         help="smoke mode: 2 small apps, 2 repeats")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        metavar="X",
+                        help="exit non-zero unless aggregate speedup >= X "
+                             "(CI regression gate, e.g. 1.0 asserts the "
+                             "parallel engine is not slower than serial)")
     parser.add_argument("--out", default=None,
                         help="output path (default: BENCH_pipeline.json in repo root)")
     args = parser.parse_args(argv)
@@ -113,7 +127,7 @@ def main(argv: list[str] | None = None) -> int:
 
     per_app: dict[str, dict] = {}
     for key in apps:
-        per_app[key] = bench_app(key, args.workers, repeats)
+        per_app[key] = bench_app(key, args.workers, repeats, args.executor)
         row = per_app[key]
         print(f"{key:12s} serial={row['serial_s']:.3f}s "
               f"parallel={row['parallel_s']:.3f}s speedup={row['speedup']:.2f} "
@@ -127,14 +141,18 @@ def main(argv: list[str] | None = None) -> int:
             "python": platform.python_version(),
             "platform": platform.platform(),
             "cpu_count": os.cpu_count(),
+            "usable_cpus": usable_cpus(),
             "workers": args.workers,
             "repeats": repeats,
+            "executor": args.executor,
+            "resolved_executor": resolve_executor(args.executor),
             "timed_region": "Extractocol.analyze (APK built outside timing)",
             "engines": {
                 "serial": "workers=1 — reference engine, the seed code path",
-                "parallel": f"workers={args.workers} — ProgramIndex-memoized "
-                            "engine with executor fan-out (thread fan-out "
-                            "clamped to cpu_count)",
+                "parallel": f"workers={args.workers} "
+                            f"executor={resolve_executor(args.executor)} — "
+                            "ProgramIndex-memoized engine with executor "
+                            "fan-out (fan-out clamped to usable_cpus)",
             },
         },
         "apps": per_app,
@@ -147,6 +165,19 @@ def main(argv: list[str] | None = None) -> int:
     }
     out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"aggregate speedup={report['aggregate']['speedup']:.2f} -> {out}")
+    if not report["aggregate"]["all_identical"]:
+        print("FAIL: parallel reports differ from serial", file=sys.stderr)
+        return 1
+    if (
+        args.min_speedup is not None
+        and report["aggregate"]["speedup"] < args.min_speedup
+    ):
+        print(
+            f"FAIL: aggregate speedup {report['aggregate']['speedup']:.3f} "
+            f"< required {args.min_speedup:g}",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

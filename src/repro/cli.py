@@ -335,25 +335,23 @@ def cmd_batch(args) -> int:
         workers=args.workers,
         timeout=args.timeout,
         retries=args.retries,
+        executor=args.executor,
     )
-    jobs = []
     try:
-        for target in targets:
-            try:
-                jobs.append((target, scheduler.submit_target(target)))
-            except LookupError as exc:
-                raise SystemExit(str(exc))
-        scheduler.wait([j for _, j in jobs])
+        try:
+            records = scheduler.run_batch(targets)
+        except LookupError as exc:
+            raise SystemExit(str(exc))
     finally:
         scheduler.shutdown(drain=True)
 
     analyses = scheduler.metrics.counter("analyses_run").value
-    failed = [t for t, j in jobs if j.status.value != "done"]
-    hits = sum(j.cache_hit for _, j in jobs)
+    failed = [r["target"] for r in records if r["status"] != "done"]
+    hits = sum(1 for r in records if r["cache_hit"])
 
     if args.json:
         print(json.dumps({
-            "jobs": [dict(j.to_dict(), target=t) for t, j in jobs],
+            "jobs": records,
             "cache_hits": hits,
             "analyses_run": analyses,
             "failed": len(failed),
@@ -362,21 +360,24 @@ def cmd_batch(args) -> int:
         return 1 if failed else 0
 
     print(f"{'target':16s} {'status':8s} {'cache':6s} {'txns':>5s} {'ms':>8s}")
-    for target, job in jobs:
-        envelope = store.load(job.result_key) if job.result_key else None
+    for record in records:
+        key = record.get("result_key")
+        envelope = store.load(key) if key else None
         txns = (
             str(len(envelope["report"]["transactions"]))
             if envelope is not None
             else "-"
         )
-        ms = f"{job.seconds * 1000:.1f}" if job.seconds is not None else "-"
-        cache = "hit" if job.cache_hit else "miss"
-        print(f"{target:16s} {job.status.value:8s} {cache:6s} {txns:>5s} {ms:>8s}")
-        if job.error:
-            print(f"  error: {job.error}")
+        seconds = record.get("seconds")
+        ms = f"{seconds * 1000:.1f}" if seconds is not None else "-"
+        cache = "hit" if record["cache_hit"] else "miss"
+        print(f"{record['target']:16s} {record['status']:8s} {cache:6s} "
+              f"{txns:>5s} {ms:>8s}")
+        if record.get("error"):
+            print(f"  error: {record['error']}")
     print()
     print(
-        f"{len(jobs)} jobs: {len(jobs) - len(failed)} done "
+        f"{len(records)} jobs: {len(records) - len(failed)} done "
         f"({hits} cached), {len(failed)} failed; "
         f"analyses run: {analyses}; store: {store.stats()['entries']} entries"
     )
@@ -439,11 +440,14 @@ def main(argv: list[str] | None = None) -> int:
                                 "(1 = serial reference engine, 0 = one per "
                                 "CPU; >=2 enables the memoized parallel "
                                 "engine)")
-    p_analyze.add_argument("--executor", choices=["thread", "process"],
-                           default="thread",
-                           help="executor backing parallel slicing "
-                                "(process = fork pool, falls back to "
-                                "threads without fork support)")
+    p_analyze.add_argument("--executor",
+                           choices=["auto", "serial", "thread", "process"],
+                           default="auto",
+                           help="executor backing parallel slicing (auto = "
+                                "process where fork is available, else "
+                                "thread; process = persistent worker pool, "
+                                "falls back to threads when no pool can be "
+                                "built)")
     p_analyze.add_argument("--trace", metavar="FILE", default=None,
                            help="write a JSONL pipeline trace to FILE")
     p_analyze.add_argument("--trace-timings", action="store_true",
@@ -486,8 +490,9 @@ def main(argv: list[str] | None = None) -> int:
     p_trace.add_argument("--timings", action="store_true",
                          help="include wall-clock seconds in JSONL spans")
     p_trace.add_argument("--workers", type=int, default=1, metavar="N")
-    p_trace.add_argument("--executor", choices=["thread", "process"],
-                         default="thread")
+    p_trace.add_argument("--executor",
+                         choices=["auto", "serial", "thread", "process"],
+                         default="auto")
     p_trace.set_defaults(fn=cmd_trace)
 
     p_explain = sub.add_parser(
@@ -561,7 +566,14 @@ def main(argv: list[str] | None = None) -> int:
                          help="result store root (default: $REPRO_STORE or "
                               "~/.cache/repro/store)")
     p_batch.add_argument("--workers", type=int, default=0, metavar="N",
-                         help="scheduler worker threads (0 = one per CPU)")
+                         help="scheduler workers (0 = one per CPU)")
+    p_batch.add_argument("--executor",
+                         choices=["auto", "serial", "thread", "process"],
+                         default="auto",
+                         help="batch engine: process (the default where "
+                              "fork is available) shards targets across "
+                              "analyzer worker processes with work "
+                              "stealing; thread uses the in-process pool")
     p_batch.add_argument("--timeout", type=float, default=None, metavar="SEC",
                          help="per-job analysis deadline")
     p_batch.add_argument("--retries", type=int, default=1, metavar="N",

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 from dataclasses import dataclass, field, fields
 
 #: Fields that select *how* the analysis executes, not *what* it computes.
@@ -12,6 +13,19 @@ from dataclasses import dataclass, field, fields
 #: adds side tables to the slices), so the service result store must not
 #: shard its cache on them.
 _EXECUTION_FIELDS = frozenset({"workers", "executor", "record_provenance"})
+
+
+def _default_workers() -> int:
+    """Default worker count; ``REPRO_WORKERS`` overrides (the CI proc-smoke
+    job runs the whole pipeline suite under ``REPRO_WORKERS=2``)."""
+    return int(os.environ.get("REPRO_WORKERS", "1"))
+
+
+def _default_executor() -> str:
+    """Default executor knob; ``REPRO_EXECUTOR`` overrides.  ``"auto"``
+    resolves to the process engine where fork is available (see
+    :func:`repro.perf.parallel.default_executor`)."""
+    return os.environ.get("REPRO_EXECUTOR", "auto")
 
 
 @dataclass
@@ -42,9 +56,24 @@ class AnalysisConfig:
     identical between the two engines — the serial path is kept as the
     differential-testing baseline.
 
-    ``executor`` — ``"thread"`` (default; artifacts shared in-process) or
-    ``"process"`` (fork-based pool, slice results pickled back; falls back
-    to threads where fork is unavailable).
+    ``executor`` — which engine backs the ``workers >= 2`` fan-out:
+
+    ============ ============================================================
+    ``"auto"``   the default: ``process`` where fork is available, else
+                 ``thread``
+    ``"serial"`` memoized engine, but demarcation points sliced in a plain
+                 loop (isolates the memoization gain from the fan-out gain)
+    ``"thread"`` in-process pool; artifacts shared, fan-out clamped to the
+                 usable core count (GIL-bound)
+    ``"process"`` persistent :class:`~repro.perf.procpool.ProcPool` — fork
+                 workers inherit the ProgramIndex, spawn workers get it
+                 pickled once; slice results travel back per chunk.  Falls
+                 back to threads (with an ``executor_fallbacks`` metric and
+                 a one-time warning) only when no pool can be built
+    ============ ============================================================
+
+    Reports are byte-identical across all four — the executor is an
+    execution knob, excluded from :meth:`cache_key`.
     """
 
     async_heuristic: bool = True
@@ -56,8 +85,8 @@ class AnalysisConfig:
     #: model intra-app Intent messaging / direct java.net.Socket use.
     model_intents: bool = False
     model_sockets: bool = False
-    workers: int = 1
-    executor: str = "thread"
+    workers: int = field(default_factory=_default_workers)
+    executor: str = field(default_factory=_default_executor)
     #: record taint provenance parent links for ``repro explain``; an
     #: execution knob — the report is unchanged, only slice side tables grow
     record_provenance: bool = False
@@ -79,6 +108,13 @@ class AnalysisConfig:
         from ..perf.parallel import resolve_workers
 
         return resolve_workers(self.workers) > 1
+
+    @property
+    def resolved_executor(self) -> str:
+        """The concrete engine ``executor`` selects (``auto`` resolved)."""
+        from ..perf.parallel import resolve_executor
+
+        return resolve_executor(self.executor)
 
     def semantic_fields(self) -> dict:
         """The fields that can change analysis *output*, as JSON-safe

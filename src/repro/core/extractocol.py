@@ -130,7 +130,13 @@ class Extractocol:
                 workers=self.config.workers,
                 executor=self.config.executor,
             )
-            slicing = slicer.slice_all(span=sp)
+            # The process executor builds one persistent worker pool here
+            # (ProgramIndex shipped to each worker exactly once — inherited
+            # on fork, pickled once on spawn); release it with the phase.
+            try:
+                slicing = slicer.slice_all(span=sp)
+            finally:
+                slicer.close()
             self.last_slicing = slicing
             stats.seconds["slicing"] = time.perf_counter() - t0
             stats.count("demarcation_points", len(slicing.slices))

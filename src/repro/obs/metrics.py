@@ -126,7 +126,12 @@ class Histogram:
 
 
 class MetricsRegistry:
-    """Named metrics, created on first use, exported as one JSON dict."""
+    """Named metrics, created on first use, exported as one JSON dict.
+
+    Service components each own an instance; process-wide events with no
+    registry in reach (executor fallbacks in library code) land on the
+    module-level :func:`global_registry`.
+    """
 
     def __init__(self) -> None:
         self._counters: dict[str, Counter] = {}
@@ -163,6 +168,16 @@ class MetricsRegistry:
                 n: h.summary() for n, h in sorted(histograms.items())
             },
         }
+
+
+#: Process-wide registry for events emitted from library code that has no
+#: service registry in scope (e.g. ``executor_fallbacks`` from
+#: :mod:`repro.perf.parallel`).  The service layer keeps its own instances.
+_GLOBAL_REGISTRY = MetricsRegistry()
+
+
+def global_registry() -> MetricsRegistry:
+    return _GLOBAL_REGISTRY
 
 
 # ---------------------------------------------------------------------------
@@ -224,5 +239,6 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "global_registry",
     "render_prometheus",
 ]

@@ -97,6 +97,20 @@ class ProgramIndex:
         self._rpo: dict[str, list[int]] = {}
         self._fields: tuple[dict, dict] | None = None
 
+    # ------------------------------------------------------------- pickling
+    def __getstate__(self) -> dict:
+        """Locks don't pickle; everything else — including already-warm
+        memo tables — ships as-is, so spawn workers inherit whatever the
+        parent built before the pool was created (the index is shipped to
+        each worker exactly once)."""
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
+
     # ------------------------------------------------------------- memo core
     def _memo(
         self, cache: dict[str, T], method: Method, build: Callable[[Method], T]

@@ -1,16 +1,27 @@
 """Deterministic parallel fan-out helpers.
 
-``ordered_map`` is the one primitive every parallel stage uses: it applies
-``fn`` to each item concurrently and returns results **in input order**, so
-reports produced from the result list are identical to a serial run.  The
-thread executor is the default (artifacts are shared in-process through the
-:class:`~repro.perf.index.ProgramIndex` locks); a fork-based process
-executor is available for picklable workloads via :func:`forked_map`.
+:func:`run_map` is the one primitive every parallel stage routes through:
+it applies ``fn`` to each item with the selected executor and returns
+results **in input order**, so reports produced from the result list are
+identical to a serial run.  Executors:
+
+* ``"serial"`` — a plain loop (the reference engine's path);
+* ``"thread"`` — a thread pool, clamped to the usable core count (more
+  GIL-bound threads than cores only add convoy overhead);
+* ``"process"`` — a :class:`~repro.perf.procpool.ProcPool`: fork workers
+  inherit ``fn`` and any state it closes over for free, spawn workers
+  receive it pickled once.  When no process pool can be built the call
+  degrades to threads *audibly*: an ``executor_fallbacks`` counter on the
+  global metrics registry plus a one-time ``RuntimeWarning``;
+* ``"auto"`` — :func:`default_executor`: process where fork is available,
+  thread otherwise.
 
 Every map accepts an optional ``span`` (see :mod:`repro.obs.tracer`): when
 given, each work item gets a ``<label>-<i>`` child span carrying its wall
 time.  The spans are created *after* the pool drains, in input order, so
-traced runs stay deterministic regardless of scheduling.
+traced runs stay deterministic regardless of scheduling.  For process
+executors the per-item times are measured inside the worker and carried
+back with the results (see :class:`~repro.perf.procpool.SpanRecord`).
 """
 
 from __future__ import annotations
@@ -18,28 +29,92 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
+import warnings
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from functools import partial
 from typing import Callable, Iterable, Sequence, TypeVar
 
+from .procpool import PoolUnavailable, ProcPool
+
 T = TypeVar("T")
 R = TypeVar("R")
+
+#: Executor names accepted by configs and CLIs ("auto" resolves at run time).
+EXECUTORS = ("auto", "serial", "thread", "process")
+
+
+def usable_cpus() -> int:
+    """The number of cores *this process may run on* — the scheduler
+    affinity mask where the platform exposes one (containers and
+    cgroup-limited hosts often pin far fewer cores than the machine
+    has), falling back to ``os.cpu_count``."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
 
 
 def resolve_workers(workers: int | None) -> int:
     """Normalize a worker-count knob: ``None``/``0`` means one worker per
-    CPU, negative values are clamped to 1."""
+    *usable* CPU, negative values are clamped to 1."""
     if not workers:
-        return os.cpu_count() or 1
+        return usable_cpus()
     return max(1, workers)
 
 
 def fanout_width(workers: int | None) -> int:
     """Effective *thread* fan-out for CPU-bound pure-Python stages: more
     threads than cores never helps (the GIL serialises them and the convoy
-    overhead makes large inputs slower), so clamp to the core count.  The
-    raw worker count still selects the engine (see ``AnalysisConfig``)."""
-    return max(1, min(resolve_workers(workers), os.cpu_count() or 1))
+    overhead makes large inputs slower), so clamp to the usable core count.
+    The raw worker count still selects the engine (see ``AnalysisConfig``)
+    and sizes process pools, which have no GIL ceiling."""
+    return max(1, min(resolve_workers(workers), usable_cpus()))
+
+
+def fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def default_executor() -> str:
+    """The executor ``"auto"`` resolves to: ``process`` where fork is
+    available (workers inherit program state for free), ``thread``
+    elsewhere (spawn shipment costs are only worth paying when explicitly
+    requested)."""
+    return "process" if fork_available() else "thread"
+
+
+def resolve_executor(executor: str | None) -> str:
+    """Map an executor knob to a concrete engine name."""
+    if not executor or executor == "auto":
+        return default_executor()
+    if executor not in ("serial", "thread", "process"):
+        raise ValueError(
+            f"unknown executor {executor!r}; choose one of {EXECUTORS}"
+        )
+    return executor
+
+
+# ------------------------------------------------------- fallback accounting
+_fallback_warned = False
+
+
+def note_executor_fallback(reason: str) -> None:
+    """Record a process→thread executor degradation: bump the
+    ``executor_fallbacks`` counter on the global metrics registry and warn
+    once per process (silent degradation hid single-core-equivalent
+    behaviour for the whole life of the fork side path)."""
+    global _fallback_warned
+    from ..obs.metrics import global_registry
+
+    global_registry().counter("executor_fallbacks").inc()
+    if not _fallback_warned:
+        _fallback_warned = True
+        warnings.warn(
+            f"process executor unavailable ({reason}); falling back to "
+            f"threads — expect GIL-bound scaling",
+            RuntimeWarning,
+            stacklevel=3,
+        )
 
 
 def _timed_call(fn: Callable[[T], R], item: T) -> tuple[R, float]:
@@ -58,6 +133,12 @@ def _record_worker_spans(span, timed: list[tuple[R, float]], label: str) -> list
         child.seconds = secs
         results.append(result)
     return results
+
+
+def _serial_map(fn, seq, span, label):
+    if span is None or not span:
+        return [fn(item) for item in seq]
+    return _record_worker_spans(span, [_timed_call(fn, item) for item in seq], label)
 
 
 def thread_map(
@@ -83,15 +164,59 @@ def forked_map(
     span=None,
     label: str = "worker",
 ) -> list[R]:
-    """Process-pool map via ``fork`` so workers inherit the parent's program
-    state without pickling it; only ``items`` and results cross the pipe.
-    Raises ``ValueError`` where fork is unavailable (callers fall back)."""
+    """One-shot process-pool map via ``fork`` so workers inherit the
+    parent's program state without pickling it; only ``items`` and results
+    cross the pipe.  Raises ``ValueError`` where fork is unavailable.
+    Prefer :func:`run_map` (or a persistent
+    :class:`~repro.perf.procpool.ProcPool`) in new code."""
     ctx = multiprocessing.get_context("fork")
     with ProcessPoolExecutor(max_workers=min(workers, len(items)), mp_context=ctx) as pool:
         if span is None or not span:
             return list(pool.map(fn, items))
         timed = list(pool.map(partial(_timed_call, fn), items))
     return _record_worker_spans(span, timed, label)
+
+
+def _apply_payload(payload, item):
+    """ProcPool task for :func:`run_map`: the payload *is* the mapped fn."""
+    return payload(item)
+
+
+def run_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    *,
+    workers: int = 1,
+    executor: str = "auto",
+    span=None,
+    label: str = "worker",
+    start_method: str | None = None,
+) -> list[R]:
+    """Apply ``fn`` over ``items`` with ``workers`` concurrency under the
+    selected ``executor`` (see module docstring), preserving input order.
+
+    The process executor ships ``fn`` itself as the pool payload: fork
+    workers inherit it (closures welcome), spawn workers need it picklable
+    — when neither works the call falls back to threads and says so
+    (:func:`note_executor_fallback`).
+    """
+    seq = list(items)
+    workers = resolve_workers(workers)
+    engine = resolve_executor(executor)
+    if engine == "serial" or workers <= 1 or len(seq) <= 1:
+        return _serial_map(fn, seq, span, label)
+    if engine == "process":
+        try:
+            with ProcPool(
+                fn, workers=min(workers, len(seq)), start_method=start_method
+            ) as pool:
+                return pool.map(_apply_payload, seq, span=span, label=label)
+        except PoolUnavailable as exc:
+            note_executor_fallback(str(exc))
+    width = fanout_width(workers)
+    if width <= 1:
+        return _serial_map(fn, seq, span, label)
+    return thread_map(fn, seq, workers=width, span=span, label=label)
 
 
 def ordered_map(
@@ -103,36 +228,24 @@ def ordered_map(
     span=None,
     label: str = "worker",
 ) -> list[R]:
-    """Apply ``fn`` over ``items`` with ``workers`` concurrency, preserving
-    input order.  ``executor`` is ``"thread"`` (default) or ``"process"``
-    (fork-based; falls back to threads when fork is unsupported)."""
-    seq = list(items)
-    workers = resolve_workers(workers)
-    if workers <= 1 or len(seq) <= 1:
-        if span is None or not span:
-            return [fn(item) for item in seq]
-        return _record_worker_spans(
-            span, [_timed_call(fn, item) for item in seq], label
-        )
-    if executor == "process":
-        try:
-            return forked_map(fn, seq, workers=workers, span=span, label=label)
-        except ValueError:
-            pass  # no fork start method on this platform
-    width = fanout_width(workers)
-    if width <= 1:
-        if span is None or not span:
-            return [fn(item) for item in seq]
-        return _record_worker_spans(
-            span, [_timed_call(fn, item) for item in seq], label
-        )
-    return thread_map(fn, seq, workers=width, span=span, label=label)
+    """Backwards-compatible alias of :func:`run_map` whose executor
+    defaults to ``"thread"`` (the pre-process-engine behaviour)."""
+    return run_map(
+        fn, items, workers=workers, executor=executor, span=span, label=label
+    )
 
 
 __all__ = [
+    "EXECUTORS",
+    "default_executor",
     "fanout_width",
+    "fork_available",
     "forked_map",
+    "note_executor_fallback",
     "ordered_map",
+    "resolve_executor",
     "resolve_workers",
+    "run_map",
     "thread_map",
+    "usable_cpus",
 ]

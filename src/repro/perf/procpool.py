@@ -1,0 +1,226 @@
+"""Persistent process worker pools (the process-sharded analysis engine).
+
+Threads cannot parallelise the pipeline — slicing and taint propagation are
+pure-Python CPU work, so the GIL serialises them (BENCH_pipeline.json capped
+at ~1.5x from memoization alone).  :class:`ProcPool` makes *processes* the
+parallelism substrate while keeping the one-payload-shipment contract:
+
+* **fork** (preferred, default where available): the payload — typically a
+  :class:`~repro.slicing.slicer.NetworkSlicer` holding the shared
+  :class:`~repro.perf.index.ProgramIndex` — is published in a module global
+  under a creation lock, the pool's workers are forked *eagerly* inside the
+  constructor and inherit it for free, then the global is cleared.  Nothing
+  but work items and results ever crosses the pipe.
+* **spawn** (fallback for platforms without fork): the payload is pickled
+  exactly once per worker through the pool initializer; tasks again ship
+  only items and results.  This requires the payload to be picklable —
+  guaranteed by the pickle round-trip tests over ``ProgramIndex`` and
+  ``SliceResult``.
+
+Tasks are module-level functions of ``(payload, item)`` so they pickle by
+reference under both start methods.  :meth:`ProcPool.map` preserves input
+order and returns :class:`SpanRecord`-timed results: per-item wall times
+are measured *inside* the worker process and carried back with the result,
+so observability spans survive the process boundary (the parent replays
+them as deterministic ``<label>-<i>`` children after the pool drains).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import threading
+import time
+from dataclasses import dataclass, field
+from functools import partial
+from typing import Callable, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Start methods this module knows how to drive, in preference order.
+START_METHODS = ("fork", "spawn")
+
+
+class PoolUnavailable(Exception):
+    """No process pool can be built here (no usable start method, payload
+    not picklable under spawn, or process creation failed).  Callers fall
+    back to the thread executor and record an ``executor_fallbacks``
+    metric — see :func:`repro.perf.parallel.note_executor_fallback`."""
+
+
+def available_start_methods() -> tuple[str, ...]:
+    supported = multiprocessing.get_all_start_methods()
+    return tuple(m for m in START_METHODS if m in supported)
+
+
+def default_start_method() -> str | None:
+    """``fork`` where available, else ``spawn``; honours the
+    ``REPRO_START_METHOD`` environment override (useful for exercising the
+    spawn path on fork-capable hosts, e.g. the CI proc-smoke job)."""
+    forced = os.environ.get("REPRO_START_METHOD")
+    methods = available_start_methods()
+    if forced:
+        return forced if forced in methods else None
+    return methods[0] if methods else None
+
+
+@dataclass
+class SpanRecord:
+    """A picklable record of one unit of worker work: the observability
+    facts that must survive the process boundary.  Replayed into parent
+    spans post-drain, in input order, so traces stay deterministic."""
+
+    label: str
+    seconds: float
+    counters: dict[str, int] = field(default_factory=dict)
+
+    def replay(self, span) -> None:
+        child = span.child(self.label)
+        child.seconds = self.seconds
+        for name, amount in sorted(self.counters.items()):
+            child.count(name, amount)
+
+
+# --------------------------------------------------------------- worker side
+#: The payload shipped once per worker (inherited on fork, unpickled once on
+#: spawn).  Module-level so tasks can reach it without re-shipping.
+_PAYLOAD = None
+
+#: Serialises fork-pool creation: the payload rides a module global between
+#: publication and the (eager, in-constructor) fork of every worker.
+_CREATE_LOCK = threading.Lock()
+
+
+def _init_spawn_worker(payload_blob: bytes) -> None:
+    global _PAYLOAD
+    _PAYLOAD = pickle.loads(payload_blob)
+
+
+def _init_fork_worker() -> None:
+    # nothing to do: the forked child inherited _PAYLOAD from the parent
+    pass
+
+
+def _run_timed(task: Callable, item) -> tuple:
+    """Executed in the worker: apply ``task(payload, item)`` and carry the
+    wall time back with the result (the result-borne span record)."""
+    t0 = time.perf_counter()
+    result = task(_PAYLOAD, item)
+    return result, time.perf_counter() - t0
+
+
+class ProcPool:
+    """A persistent pool of worker processes sharing one payload.
+
+    Created eagerly: when the constructor returns, every worker exists and
+    holds the payload — fork workers inherited it, spawn workers unpickled
+    it once via the initializer.  Subsequent :meth:`map` calls ship only
+    the items, so a pool created once per ``Extractocol.analyze`` amortises
+    the program shipment across every fan-out of that analysis.
+    """
+
+    def __init__(
+        self,
+        payload,
+        *,
+        workers: int,
+        start_method: str | None = None,
+    ) -> None:
+        method = start_method or default_start_method()
+        if method is None:
+            raise PoolUnavailable(
+                f"no usable multiprocessing start method "
+                f"(have {multiprocessing.get_all_start_methods()!r})"
+            )
+        self.start_method = method
+        self.workers = max(1, workers)
+        self._pool = None
+        try:
+            ctx = multiprocessing.get_context(method)
+        except ValueError as exc:
+            raise PoolUnavailable(str(exc)) from exc
+        try:
+            if method == "fork":
+                global _PAYLOAD
+                with _CREATE_LOCK:
+                    _PAYLOAD = payload
+                    try:
+                        # Pool starts its workers inside the constructor, so
+                        # every child forks while the global is published.
+                        self._pool = ctx.Pool(
+                            self.workers, initializer=_init_fork_worker
+                        )
+                    finally:
+                        _PAYLOAD = None
+            else:
+                blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+                self._pool = ctx.Pool(
+                    self.workers,
+                    initializer=_init_spawn_worker,
+                    initargs=(blob,),
+                )
+        except PoolUnavailable:
+            raise
+        except (pickle.PicklingError, TypeError, AttributeError) as exc:
+            raise PoolUnavailable(
+                f"payload not picklable for {method!r} workers: {exc}"
+            ) from exc
+        except OSError as exc:
+            raise PoolUnavailable(
+                f"cannot start {method!r} worker processes: {exc}"
+            ) from exc
+
+    # ----------------------------------------------------------------- map
+    def map(
+        self,
+        task: Callable,
+        items: Sequence,
+        *,
+        span=None,
+        label: str = "worker",
+    ) -> list:
+        """Apply ``task(payload, item)`` to every item, preserving input
+        order.  ``task`` must be a module-level function (pickled by
+        reference).  With a live ``span``, each item's worker-measured wall
+        time is replayed as a ``<label>-<i>`` child span post-drain."""
+        seq = list(items)
+        if not seq:
+            return []
+        assert self._pool is not None, "pool is closed"
+        # chunksize=1: callers pre-chunk, one task per worker slot
+        timed = self._pool.map(partial(_run_timed, task), seq, 1)
+        if span is None or not span:
+            return [result for result, _ in timed]
+        results = []
+        for i, (result, seconds) in enumerate(timed, 1):
+            SpanRecord(label=f"{label}-{i}", seconds=seconds).replay(span)
+            results.append(result)
+        return results
+
+    # ------------------------------------------------------------ lifecycle
+    @property
+    def closed(self) -> bool:
+        return self._pool is None
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "ProcPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+__all__ = [
+    "PoolUnavailable",
+    "ProcPool",
+    "SpanRecord",
+    "available_start_methods",
+    "default_start_method",
+]

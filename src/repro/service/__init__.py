@@ -9,7 +9,13 @@ operable.  Three layers, separately usable:
 
 :mod:`repro.service.jobs`
     Bounded-queue thread-pool scheduler with cache integration, in-flight
-    deduplication, per-job timeouts, retry with backoff, graceful drain.
+    deduplication, per-job timeouts, non-blocking retry with backoff,
+    graceful drain — plus :meth:`~repro.service.jobs.JobScheduler
+    .run_batch`, the batch entry point that routes to the sharded engine.
+
+:mod:`repro.service.shard`
+    Process-sharded batch execution: N analyzer worker processes with
+    work stealing over one shared store, coordinated by lease files.
 
 :mod:`repro.service.api`
     Stdlib HTTP JSON API (``repro serve``) exposing submit/status/report/
@@ -18,7 +24,15 @@ operable.  Three layers, separately usable:
 ``repro batch`` (CLI) drives the scheduler directly, no HTTP involved.
 """
 
-from .jobs import Job, JobScheduler, JobStatus, JobTimeout, QueueFull, resolve_target
+from .jobs import (
+    Job,
+    JobScheduler,
+    JobStatus,
+    JobTimeout,
+    QueueFull,
+    call_with_timeout,
+    resolve_target,
+)
 from .metrics import MetricsRegistry
 from .store import ResultStore, result_key
 
@@ -31,15 +45,23 @@ __all__ = [
     "MetricsRegistry",
     "QueueFull",
     "ResultStore",
+    "ShardRecord",
+    "call_with_timeout",
     "resolve_target",
     "result_key",
+    "run_sharded_batch",
 ]
 
 
 def __getattr__(name: str):
-    # AnalysisService pulls in http.server; keep it lazy for batch users.
+    # AnalysisService pulls in http.server, the shard runner pulls in
+    # multiprocessing; keep both lazy for plain store/scheduler users.
     if name == "AnalysisService":
         from .api import AnalysisService
 
         return AnalysisService
+    if name in ("ShardRecord", "run_sharded_batch"):
+        from . import shard
+
+        return getattr(shard, name)
     raise AttributeError(f"module 'repro.service' has no attribute {name!r}")

@@ -59,16 +59,21 @@ class AnalysisService:
         max_queue: int = 128,
         timeout: float | None = None,
         retries: int = 1,
+        executor: str = "thread",
         analyzer=None,
     ) -> None:
         self.metrics = MetricsRegistry()
         self.store = ResultStore(store_root, metrics=self.metrics)
+        # the HTTP path stays thread-based by default: submits are
+        # interactive and dedup-heavy, where fork-per-batch buys little —
+        # pass executor="process" to shard daemon-side batches instead
         self.scheduler = JobScheduler(
             self.store,
             workers=workers,
             max_queue=max_queue,
             timeout=timeout,
             retries=retries,
+            executor=executor,
             metrics=self.metrics,
             analyzer=analyzer,
         )

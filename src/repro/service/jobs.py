@@ -11,7 +11,14 @@ The scheduler turns ``Extractocol.analyze`` into a managed workload:
 * **in-flight deduplication** — concurrent submits of the same key share
   one job (and therefore exactly one analysis),
 * **per-job timeout**, **retry with exponential backoff** on analyzer
-  exceptions, and **graceful drain** on shutdown.
+  exceptions, and **graceful drain** on shutdown.  The backoff never
+  occupies a worker: a failed job is re-enqueued by a timer, so the thread
+  goes straight back to the queue instead of head-of-line blocking
+  everything behind it,
+* **batch execution** via :meth:`JobScheduler.run_batch`, which routes to
+  the process-sharded engine (:mod:`repro.service.shard`) when the
+  ``executor`` knob resolves to ``"process"`` — N analyzer worker
+  processes with work stealing over one shared store.
 
 Everything is observable through a :class:`~repro.service.metrics
 .MetricsRegistry`.
@@ -31,7 +38,7 @@ from ..apk.loader import apk_digest as compute_apk_digest
 from ..apk.loader import load_apk
 from ..apk.model import Apk
 from ..core.config import AnalysisConfig
-from ..perf.parallel import resolve_workers
+from ..perf.parallel import note_executor_fallback, resolve_executor, resolve_workers
 from .metrics import MetricsRegistry
 from .store import ResultStore
 
@@ -149,6 +156,33 @@ def _default_analyzer(apk: Apk, config: AnalysisConfig):
     return Extractocol(config).analyze(apk)
 
 
+def call_with_timeout(fn, timeout: float | None):
+    """Run ``fn()`` under a wall-clock deadline; raises :class:`JobTimeout`
+    when it blows through.  ``None`` means no deadline (no helper thread).
+
+    Shared by the thread scheduler and the sharded worker processes — the
+    deadline semantics must match so a target fails identically under both
+    executors."""
+    if timeout is None:
+        return fn()
+    box: dict = {}
+
+    def run() -> None:
+        try:
+            box["result"] = fn()
+        except BaseException as exc:  # propagated to the caller below
+            box["error"] = exc
+
+    t = threading.Thread(target=run, daemon=True)
+    t.start()
+    t.join(timeout)
+    if t.is_alive():
+        raise JobTimeout(f"analysis exceeded {timeout:g}s deadline")
+    if "error" in box:
+        raise box["error"]
+    return box["result"]
+
+
 class JobScheduler:
     """Bounded-queue thread-pool scheduler around the result store.
 
@@ -165,6 +199,8 @@ class JobScheduler:
         timeout: float | None = None,
         retries: int = 1,
         backoff: float = 0.05,
+        executor: str = "thread",
+        start_method: str | None = None,
         metrics: MetricsRegistry | None = None,
         analyzer=None,
     ) -> None:
@@ -175,6 +211,8 @@ class JobScheduler:
         self.timeout = timeout
         self.retries = retries
         self.backoff = backoff
+        self.executor = executor
+        self.start_method = start_method
         self.analyzer = analyzer or _default_analyzer
         self.workers = resolve_workers(workers)
         self._queue: queue.Queue = queue.Queue(maxsize=max_queue)
@@ -183,6 +221,16 @@ class JobScheduler:
         self._lock = threading.Lock()
         self._counter = 0
         self._shutdown = False
+        #: retry timers armed by :meth:`_schedule_retry`, keyed by job id
+        self._retry_pending: dict[str, tuple[threading.Timer, Job]] = {}
+        self._threads: list[threading.Thread] = []
+
+    def _ensure_workers(self) -> None:
+        """Start the thread pool on first submit (caller holds the lock).
+        Lazy so a purely process-sharded :meth:`run_batch` never forks a
+        parent that is already carrying worker threads."""
+        if self._threads:
+            return
         self._threads = [
             threading.Thread(
                 target=self._worker, name=f"repro-worker-{i}", daemon=True
@@ -208,6 +256,7 @@ class JobScheduler:
         with self._lock:
             if self._shutdown:
                 raise RuntimeError("scheduler is shut down")
+            self._ensure_workers()
             inflight = self._inflight.get(key)
             if inflight is not None:
                 inflight.dedup_count += 1
@@ -246,6 +295,65 @@ class JobScheduler:
         apk, config, label = resolve_target(target, overrides)
         return self.submit(apk, config, label=label)
 
+    # ------------------------------------------------------------ batches
+    def run_batch(
+        self,
+        targets: list[str],
+        overrides: dict | None = None,
+        *,
+        span=None,
+    ) -> list[dict]:
+        """Run a batch of targets end to end; returns one record dict per
+        target, in input order.
+
+        The scheduler's ``executor`` knob picks the engine: ``"process"``
+        (or ``"auto"`` where fork is available) shards the batch across
+        analyzer worker processes with work stealing
+        (:func:`repro.service.shard.run_sharded_batch`); ``"thread"`` /
+        ``"serial"`` submit through the in-process pool.  Records from both
+        engines share the ``target`` / ``label`` / ``status`` /
+        ``cache_hit`` / ``attempts`` / ``seconds`` / ``result_key`` /
+        ``error`` keys, both fold counters into ``self.metrics``, and the
+        stored reports are byte-identical either way.
+        """
+        from ..corpus import app_keys
+
+        targets = list(targets)
+        known = set(app_keys())
+        for target in targets:
+            if target not in known and not Path(target).exists():
+                raise LookupError(
+                    f"{target!r} is neither a corpus app key nor an "
+                    f".sapk bundle"
+                )
+        engine = resolve_executor(self.executor)
+        if engine == "process":
+            from .shard import run_sharded_batch
+
+            try:
+                records = run_sharded_batch(
+                    self.store.root,
+                    targets,
+                    workers=self.workers,
+                    overrides=overrides,
+                    retries=self.retries,
+                    backoff=self.backoff,
+                    timeout=self.timeout,
+                    start_method=self.start_method,
+                    metrics=self.metrics,
+                    span=span,
+                )
+            except RuntimeError as exc:
+                note_executor_fallback(str(exc))
+            else:
+                return [r.to_dict() for r in records]
+        jobs = [self.submit_target(t, overrides) for t in targets]
+        self.wait(jobs)
+        return [
+            dict(job.to_dict(), target=target)
+            for target, job in zip(targets, jobs)
+        ]
+
     # ------------------------------------------------------------ query
     def job(self, job_id: str) -> Job | None:
         with self._lock:
@@ -277,7 +385,8 @@ class JobScheduler:
             self.metrics.gauge("queue_depth").dec()
             self.metrics.gauge("running").inc()
             job.status = JobStatus.RUNNING
-            job.started_at = time.monotonic()
+            if job.started_at is None:  # keep the first attempt's clock
+                job.started_at = time.monotonic()
             try:
                 self._run_job(job)
             finally:
@@ -285,67 +394,89 @@ class JobScheduler:
                 self._queue.task_done()
 
     def _run_job(self, job: Job) -> None:
+        """One analysis attempt.  A retryable failure does not sleep here:
+        the backoff runs on a daemon :class:`threading.Timer` that
+        re-enqueues the job, so this worker goes straight back to the queue
+        instead of head-of-line blocking every job behind the backoff (the
+        old inline ``time.sleep`` stalled a 1-worker pool for the whole
+        window)."""
         key = f"{job.apk_digest}-{job.config_key}"
         apk, config = job._apk, job._config
-        last_exc: BaseException | None = None
-        for attempt in range(1, self.retries + 2):
-            job.attempts = attempt
-            try:
-                started = time.monotonic()
-                self.metrics.counter("analyses_run").inc()
-                report = self._call_with_timeout(
-                    lambda: self.analyzer(apk, config)
-                )
-                self.metrics.histogram("analyze_seconds").observe(
-                    time.monotonic() - started
-                )
-                for finding in getattr(report, "lint_findings", ()) or ():
-                    self.metrics.counter(
-                        f"lint_findings_{finding.severity.value}"
-                    ).inc()
-                job.result_key = self.store.put(
-                    job.apk_digest,
-                    job.config_key,
-                    report,
-                    analysis_seconds=time.monotonic() - started,
-                )
-                with self._lock:
-                    self._finish(job, JobStatus.DONE, key=key)
+        job.attempts += 1
+        try:
+            started = time.monotonic()
+            self.metrics.counter("analyses_run").inc()
+            report = call_with_timeout(
+                lambda: self.analyzer(apk, config), self.timeout
+            )
+            self.metrics.histogram("analyze_seconds").observe(
+                time.monotonic() - started
+            )
+            for finding in getattr(report, "lint_findings", ()) or ():
+                self.metrics.counter(
+                    f"lint_findings_{finding.severity.value}"
+                ).inc()
+            job.result_key = self.store.put(
+                job.apk_digest,
+                job.config_key,
+                report,
+                analysis_seconds=time.monotonic() - started,
+            )
+            with self._lock:
+                self._finish(job, JobStatus.DONE, key=key)
+            return
+        except JobTimeout as exc:
+            # a deadline blow-through is not transient: do not retry
+            job.error = str(exc)
+            self.metrics.counter("jobs_timeout").inc()
+        except Exception as exc:
+            job.error = f"{type(exc).__name__}: {exc}"
+            job.traceback = traceback_mod.format_exc()
+            if job.attempts <= self.retries:
+                if self._schedule_retry(job):
+                    return
+                # shutting down: nothing is queued behind this worker any
+                # more, so take the backoff inline and retry in place —
+                # drain semantics still finish the job
+                self.metrics.counter("jobs_retried").inc()
+                time.sleep(self.backoff * (2 ** (job.attempts - 1)))
+                self._run_job(job)
                 return
-            except JobTimeout as exc:
-                # a deadline blow-through is not transient: do not retry
-                job.error = str(exc)
-                self.metrics.counter("jobs_timeout").inc()
-                break
-            except Exception as exc:
-                last_exc = exc
-                job.error = f"{type(exc).__name__}: {exc}"
-                job.traceback = traceback_mod.format_exc()
-                if attempt <= self.retries:
-                    self.metrics.counter("jobs_retried").inc()
-                    time.sleep(self.backoff * (2 ** (attempt - 1)))
         with self._lock:
             self._finish(job, JobStatus.FAILED, key=key)
 
-    def _call_with_timeout(self, fn):
-        if self.timeout is None:
-            return fn()
-        box: dict = {}
+    def _schedule_retry(self, job: Job) -> bool:
+        """Arm a timer that re-enqueues ``job`` after its backoff; False
+        when the scheduler is shutting down (caller handles it inline)."""
+        delay = self.backoff * (2 ** (job.attempts - 1))
+        with self._lock:
+            if self._shutdown:
+                return False
+            self.metrics.counter("jobs_retried").inc()
+            job.status = JobStatus.QUEUED
+            timer = threading.Timer(delay, self._requeue, args=(job,))
+            timer.daemon = True
+            self._retry_pending[job.job_id] = (timer, job)
+        timer.start()
+        return True
 
-        def run() -> None:
-            try:
-                box["result"] = fn()
-            except BaseException as exc:  # propagated to the worker below
-                box["error"] = exc
-
-        t = threading.Thread(target=run, daemon=True)
-        t.start()
-        t.join(self.timeout)
-        if t.is_alive():
-            raise JobTimeout(f"analysis exceeded {self.timeout:g}s deadline")
-        if "error" in box:
-            raise box["error"]
-        return box["result"]
+    def _requeue(self, job: Job) -> None:
+        """Timer callback: put a backed-off job at the back of the queue."""
+        with self._lock:
+            if self._retry_pending.pop(job.job_id, None) is None:
+                return  # shutdown already settled this job
+            if self._shutdown:
+                # lost a race with shutdown: settle here rather than risk
+                # landing behind the worker sentinels
+                job.error = job.error or "cancelled at shutdown"
+                self._finish(
+                    job,
+                    JobStatus.CANCELLED,
+                    key=f"{job.apk_digest}-{job.config_key}",
+                )
+                return
+            self.metrics.gauge("queue_depth").inc()
+        self._queue.put(job)
 
     def _finish(
         self,
@@ -381,6 +512,8 @@ class JobScheduler:
             if self._shutdown:
                 return
             self._shutdown = True
+            pending = list(self._retry_pending.values())
+            self._retry_pending.clear()
             if not drain:
                 cancelled: list[Job] = []
                 try:
@@ -397,6 +530,21 @@ class JobScheduler:
                             JobStatus.CANCELLED,
                             key=f"{job.apk_digest}-{job.config_key}",
                         )
+        for timer, job in pending:
+            timer.cancel()
+            if drain:
+                # skip the rest of the backoff: the workers stay alive
+                # until the sentinels below, so the retry still runs
+                self.metrics.gauge("queue_depth").inc()
+                self._queue.put(job)
+            else:
+                with self._lock:
+                    job.error = "cancelled at shutdown"
+                    self._finish(
+                        job,
+                        JobStatus.CANCELLED,
+                        key=f"{job.apk_digest}-{job.config_key}",
+                    )
         for _ in self._threads:
             self._queue.put(None)
         for t in self._threads:
@@ -415,5 +563,6 @@ __all__ = [
     "JobStatus",
     "JobTimeout",
     "QueueFull",
+    "call_with_timeout",
     "resolve_target",
 ]

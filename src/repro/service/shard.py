@@ -1,0 +1,398 @@
+"""Process-sharded batch execution: work-stealing analyzer processes over
+one shared result store.
+
+The thread scheduler in :mod:`repro.service.jobs` tops out at the GIL for
+the same reason the in-app thread executor does — analyses are pure-Python
+CPU work.  :func:`run_sharded_batch` therefore shards a batch across ``N``
+analyzer *processes*:
+
+* **Static shards, dynamic stealing.**  Worker ``i`` owns the round-robin
+  shard ``targets[i::N]`` as a deque: it pops its own work from the front,
+  and once drained walks the other shards *from the back* (the classic
+  work-stealing order — stealers and owners collide as late as possible).
+  No shared queue process: coordination happens through atomic claim files
+  in the store, so a worker that finishes early drains the stragglers'
+  tails instead of idling.
+* **Two-level claims.**  A batch-local *claim* (``batch-<id>-<index>``)
+  makes exactly one worker responsible for a target before any expensive
+  resolution happens, and guarantees exactly one result record per batch
+  entry.  After resolution, the store-wide *lease* on the result key
+  (:meth:`~repro.service.store.ResultStore.claim`) dedups in-flight
+  analyses across *independent* processes and daemons sharing the store:
+  a worker that loses the lease race waits for the winner's envelope to
+  land instead of re-analysing.
+* **Result-carried observability.**  Workers cannot share the parent's
+  tracer or metrics registry, so every record travels back over the result
+  queue with its wall time, attempt count and steal provenance; the parent
+  folds them into its :class:`~repro.obs.metrics.MetricsRegistry` and
+  replays one ``job:<label>`` span per record (see
+  :class:`~repro.perf.procpool.SpanRecord` for the in-app analogue).
+
+Reports written by sharded workers are byte-identical to thread-mode and
+serial output: the store's canonical JSON + the engine's differential
+tests guarantee it, and ``tests/test_service_shard.py`` asserts it.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+import traceback
+import uuid
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..perf.procpool import default_start_method
+
+#: How long a worker waits (total) for another process's in-flight analysis
+#: of the same key before giving up and analysing itself.
+LEASE_WAIT_SECONDS = 60.0
+_LEASE_POLL = 0.02
+
+
+@dataclass
+class ShardRecord:
+    """One batch entry's outcome, as reported by the worker that owned it."""
+
+    index: int
+    target: str
+    shard: int
+    #: which worker actually ran it (!= shard when the item was stolen)
+    worker: int
+    status: str = "done"  # done | failed
+    cache_hit: bool = False
+    stolen: bool = False
+    label: str = ""
+    result_key: str | None = None
+    attempts: int = 0
+    seconds: float = 0.0
+    error: str | None = None
+    traceback: str | None = None
+    #: worker-side counter deltas folded into the parent registry
+    counters: dict[str, int] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "target": self.target,
+            "shard": self.shard,
+            "worker": self.worker,
+            "status": self.status,
+            "cache_hit": self.cache_hit,
+            "stolen": self.stolen,
+            "label": self.label,
+            "result_key": self.result_key,
+            "attempts": self.attempts,
+            "seconds": self.seconds,
+            "error": self.error,
+        }
+
+
+def shard_of(targets: list, shard: int, workers: int) -> list[tuple[int, object]]:
+    """Round-robin shard ``shard`` of ``targets`` with original indices."""
+    return [(i, t) for i, t in enumerate(targets) if i % workers == shard]
+
+
+def _analyze_once(apk, config, timeout: float | None):
+    from .jobs import call_with_timeout
+
+    def run():
+        from ..core.extractocol import Extractocol
+
+        return Extractocol(config).analyze(apk)
+
+    return call_with_timeout(run, timeout)
+
+
+def _process_item(
+    store,
+    index: int,
+    target: str,
+    overrides: dict | None,
+    *,
+    worker_id: int,
+    shard: int,
+    retries: int,
+    backoff: float,
+    timeout: float | None,
+) -> ShardRecord:
+    """Resolve, dedup and (if needed) analyse one claimed batch entry."""
+    from .jobs import resolve_target
+    from .store import result_key
+
+    record = ShardRecord(
+        index=index,
+        target=target,
+        shard=shard,
+        worker=worker_id,
+        stolen=(shard != worker_id),
+    )
+    try:
+        apk, config, label = resolve_target(target, overrides)
+    except Exception as exc:
+        record.status = "failed"
+        record.error = f"{type(exc).__name__}: {exc}"
+        record.label = target
+        return record
+    record.label = label
+    if config.resolved_executor == "process":
+        # The shard worker IS the process-level parallelism: it runs as a
+        # daemon and cannot fork children, and nesting pools would
+        # oversubscribe the host anyway.  Executor is an execution detail
+        # excluded from cache_key(), so the result key is unchanged.
+        config.executor = "thread"
+
+    from ..apk.loader import apk_digest
+
+    digest = apk_digest(apk)
+    key = result_key(digest, config.cache_key())
+    record.result_key = key
+    started = time.monotonic()
+
+    if store.get(digest, config.cache_key()) is not None:
+        record.cache_hit = True
+        record.seconds = time.monotonic() - started
+        return record
+
+    if not store.claim(key, owner=f"shard-{worker_id}"):
+        # an independent process is analysing this key right now: wait for
+        # its envelope instead of duplicating the work
+        deadline = time.monotonic() + LEASE_WAIT_SECONDS
+        while time.monotonic() < deadline:
+            if store.get(digest, config.cache_key()) is not None:
+                record.cache_hit = True
+                record.counters["lease_waits"] = 1
+                record.seconds = time.monotonic() - started
+                return record
+            if store.claim(key, owner=f"shard-{worker_id}"):
+                break  # holder vanished without a result — take over
+            time.sleep(_LEASE_POLL)
+        else:
+            record.status = "failed"
+            record.error = (
+                f"timed out waiting for in-flight analysis of {key} "
+                f"(lease holder: {store.lease_holder(key)})"
+            )
+            record.seconds = time.monotonic() - started
+            return record
+
+    try:
+        last_error: str | None = None
+        for attempt in range(1, retries + 2):
+            record.attempts = attempt
+            try:
+                t0 = time.monotonic()
+                report = _analyze_once(apk, config, timeout)
+                record.counters["analyses_run"] = (
+                    record.counters.get("analyses_run", 0) + 1
+                )
+                store.put(
+                    digest,
+                    config.cache_key(),
+                    report,
+                    analysis_seconds=time.monotonic() - t0,
+                )
+                record.seconds = time.monotonic() - started
+                return record
+            except Exception as exc:
+                last_error = f"{type(exc).__name__}: {exc}"
+                record.error = last_error
+                record.traceback = traceback.format_exc()
+                from .jobs import JobTimeout
+
+                if isinstance(exc, JobTimeout):
+                    break  # a deadline blow-through is not transient
+                if attempt <= retries:
+                    record.counters["jobs_retried"] = (
+                        record.counters.get("jobs_retried", 0) + 1
+                    )
+                    time.sleep(backoff * (2 ** (attempt - 1)))
+        record.status = "failed"
+        record.seconds = time.monotonic() - started
+        return record
+    finally:
+        store.release(key)
+
+
+def _shard_worker(
+    worker_id: int,
+    workers: int,
+    targets: list[str],
+    store_root: str,
+    overrides: dict | None,
+    batch_id: str,
+    retries: int,
+    backoff: float,
+    timeout: float | None,
+    out_q,
+) -> None:
+    """Analyzer worker process: drain the owned shard front-to-back, then
+    steal other shards back-to-front.  Every item is gated on the
+    batch-local claim, so each batch entry is processed (and reported)
+    exactly once across all workers."""
+    from .store import ResultStore
+
+    store = ResultStore(store_root)
+    own: deque = deque(shard_of(targets, worker_id, workers))
+    steal_order: list[tuple[int, object]] = []
+    for victim in range(1, workers):
+        other = shard_of(targets, (worker_id + victim) % workers, workers)
+        steal_order.extend(reversed(other))
+    work = list(own) + steal_order
+    done = 0
+    try:
+        for index, target in work:
+            if not store.claim(f"batch-{batch_id}-{index}", owner=f"w{worker_id}"):
+                continue  # another worker owns this entry
+            record = _process_item(
+                store,
+                index,
+                target,
+                overrides,
+                worker_id=worker_id,
+                shard=index % workers,
+                retries=retries,
+                backoff=backoff,
+                timeout=timeout,
+            )
+            done += 1
+            out_q.put(("record", record.to_dict() | {
+                "traceback": record.traceback,
+                "counters": record.counters,
+            }))
+    except BaseException as exc:  # worker must always announce its exit
+        out_q.put(("crash", {"worker": worker_id, "error": repr(exc)}))
+        raise
+    finally:
+        out_q.put(("exit", {"worker": worker_id, "processed": done}))
+
+
+def run_sharded_batch(
+    store_root: str | os.PathLike,
+    targets: list[str],
+    *,
+    workers: int,
+    overrides: dict | None = None,
+    retries: int = 1,
+    backoff: float = 0.05,
+    timeout: float | None = None,
+    start_method: str | None = None,
+    metrics=None,
+    span=None,
+    cleanup_claims: bool = True,
+) -> list[ShardRecord]:
+    """Run ``targets`` through ``workers`` analyzer processes; returns one
+    :class:`ShardRecord` per target, in input order.
+
+    Worker counters fold into ``metrics`` and each record replays a
+    ``job:<label>`` child span on ``span`` (when given), so the parent's
+    observability view is complete despite the process boundary.
+    """
+    from .store import ResultStore
+
+    if not targets:
+        return []
+    workers = max(1, min(workers, len(targets)))
+    batch_id = uuid.uuid4().hex[:12]
+    method = start_method or default_start_method()
+    if method is None:
+        raise RuntimeError("no multiprocessing start method available")
+    ctx = multiprocessing.get_context(method)
+    out_q = ctx.SimpleQueue()
+    procs = [
+        ctx.Process(
+            target=_shard_worker,
+            args=(
+                i,
+                workers,
+                list(targets),
+                str(store_root),
+                overrides,
+                batch_id,
+                retries,
+                backoff,
+                timeout,
+                out_q,
+            ),
+            daemon=True,
+        )
+        for i in range(workers)
+    ]
+    for p in procs:
+        p.start()
+
+    records: dict[int, ShardRecord] = {}
+    crashes: list[dict] = []
+    exited = 0
+    while exited < len(procs):
+        kind, payload = out_q.get()
+        if kind == "exit":
+            exited += 1
+        elif kind == "crash":
+            crashes.append(payload)
+        else:
+            counters = payload.pop("counters", {}) or {}
+            tb = payload.pop("traceback", None)
+            record = ShardRecord(**payload)
+            record.traceback = tb
+            record.counters = counters
+            records[record.index] = record
+            if metrics is not None:
+                _fold_metrics(metrics, record)
+    for p in procs:
+        p.join()
+
+    store = ResultStore(store_root)
+    if cleanup_claims:
+        for index in range(len(targets)):
+            store.release(f"batch-{batch_id}-{index}")
+
+    out: list[ShardRecord] = []
+    for index, target in enumerate(targets):
+        record = records.get(index)
+        if record is None:  # owning worker crashed before reporting
+            crash = crashes[0]["error"] if crashes else "worker exited early"
+            record = ShardRecord(
+                index=index,
+                target=target,
+                shard=index % workers,
+                worker=-1,
+                status="failed",
+                label=target,
+                error=f"no result from shard worker ({crash})",
+            )
+            if metrics is not None:
+                _fold_metrics(metrics, record)
+        out.append(record)
+        if span is not None and span:
+            child = span.child(f"job:{record.label or record.target}")
+            child.seconds = record.seconds
+            child.set("status", record.status)
+            if record.stolen:
+                child.count("stolen", 1)
+    return out
+
+
+def _fold_metrics(metrics, record: ShardRecord) -> None:
+    for name, amount in record.counters.items():
+        metrics.counter(name).inc(amount)
+    metrics.counter("jobs_submitted").inc()
+    if record.status == "done":
+        metrics.counter("jobs_done").inc()
+        if record.cache_hit:
+            metrics.counter("cache_hits_batch").inc()
+        else:
+            metrics.histogram("job_seconds").observe(record.seconds)
+    else:
+        metrics.counter("jobs_failed").inc()
+    if record.stolen:
+        metrics.counter("work_steals").inc()
+
+
+__all__ = [
+    "LEASE_WAIT_SECONDS",
+    "ShardRecord",
+    "run_sharded_batch",
+    "shard_of",
+]

@@ -15,8 +15,18 @@ treated as misses and rewritten, never mis-parsed.
 Layout::
 
     <root>/objects/<key[:2]>/<key>.json
+    <root>/leases/<name>.lease
 
 The two-level fan-out keeps directories small for fleet-sized corpora.
+
+**Leases** are the cross-process companion to the atomic object writes:
+multiple analyzer processes (or daemons) sharing one store claim a lease
+file — ``O_CREAT | O_EXCL``, so exactly one claimant wins — before running
+an analysis, giving in-flight deduplication that survives process
+boundaries.  A lease records its holder's pid and claim time; leases whose
+holder died or whose age exceeds the TTL are *stale* and may be broken by
+the next claimant (same-host pid liveness — fleet deployments sharing a
+store across hosts should rely on the TTL).
 """
 
 from __future__ import annotations
@@ -25,6 +35,7 @@ import json
 import os
 import tempfile
 import threading
+import time
 from pathlib import Path
 
 from ..core.report import AnalysisReport, report_from_dict, report_to_dict
@@ -32,6 +43,10 @@ from .metrics import MetricsRegistry
 
 #: Bump when the envelope or report dict shape changes incompatibly.
 SCHEMA_VERSION = 1
+
+#: A lease older than this is stale regardless of holder liveness — guards
+#: against pid reuse and cross-host holders the liveness probe can't see.
+DEFAULT_LEASE_TTL = 600.0
 
 
 def result_key(apk_digest: str, config_key: str) -> str:
@@ -58,10 +73,13 @@ class ResultStore:
         root: str | Path,
         *,
         metrics: MetricsRegistry | None = None,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
     ) -> None:
         self.root = Path(root).expanduser()
         self.objects = self.root / "objects"
         self.objects.mkdir(parents=True, exist_ok=True)
+        self.leases = self.root / "leases"
+        self.lease_ttl = lease_ttl
         self.metrics = metrics
         self._lock = threading.Lock()
         self.hits = 0
@@ -71,6 +89,82 @@ class ResultStore:
     # ------------------------------------------------------------- paths
     def path_for(self, key: str) -> Path:
         return self.objects / key[:2] / f"{key}.json"
+
+    def lease_path(self, name: str) -> Path:
+        return self.leases / f"{name}.lease"
+
+    # ------------------------------------------------------------- leases
+    def claim(self, name: str, *, owner: str | None = None) -> bool:
+        """Atomically claim the lease ``name``; True when this caller won.
+
+        Exactly one concurrent claimant succeeds (``O_CREAT | O_EXCL``).
+        A lease left behind by a dead or timed-out holder is broken and
+        re-claimed transparently.  Claims are advisory: they coordinate
+        *work*, never object reads/writes (those stay atomic on their own).
+        """
+        path = self.lease_path(name)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(
+            {
+                "pid": os.getpid(),
+                "owner": owner or f"pid-{os.getpid()}",
+                "claimed_unix": time.time(),
+            }
+        )
+        for attempt in range(2):  # second pass only after breaking a stale lease
+            try:
+                fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                if attempt == 0 and self._lease_stale(path):
+                    try:
+                        os.unlink(path)
+                    except OSError:
+                        pass
+                    continue
+                return False
+            with os.fdopen(fd, "w") as fh:
+                fh.write(payload)
+            return True
+        return False
+
+    def release(self, name: str) -> None:
+        """Drop the lease ``name`` (idempotent)."""
+        try:
+            os.unlink(self.lease_path(name))
+        except OSError:
+            pass
+
+    def lease_holder(self, name: str) -> dict | None:
+        """The live lease's recorded holder, or ``None`` when unclaimed
+        (or unreadable — a claim racing its own write)."""
+        try:
+            return json.loads(self.lease_path(name).read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    def _lease_stale(self, path: Path) -> bool:
+        """A lease is stale when its holder process is gone (same host)
+        or the lease outlived the TTL."""
+        try:
+            info = json.loads(path.read_text())
+            claimed = float(info.get("claimed_unix", 0.0))
+            pid = int(info.get("pid", 0))
+        except (OSError, json.JSONDecodeError, TypeError, ValueError):
+            # unreadable/corrupt: stale only once it has had time to settle
+            try:
+                return time.time() - path.stat().st_mtime > self.lease_ttl
+            except OSError:
+                return False  # vanished — the holder released it; not stale
+        if time.time() - claimed > self.lease_ttl:
+            return True
+        if pid > 0:
+            try:
+                os.kill(pid, 0)
+            except ProcessLookupError:
+                return True
+            except (OSError, PermissionError):
+                pass  # exists but not ours (or unsupported) — trust the TTL
+        return False
 
     # ------------------------------------------------------------- reads
     def get(self, apk_digest: str, config_key: str) -> dict | None:
@@ -247,6 +341,7 @@ class ResultStore:
 
 
 __all__ = [
+    "DEFAULT_LEASE_TTL",
     "ResultStore",
     "SCHEMA_VERSION",
     "canonical_json",

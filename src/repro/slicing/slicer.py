@@ -19,7 +19,14 @@ from ..ir.statements import StmtRef
 from ..ir.values import Local, walk_values
 from ..obs.tracer import NULL_SPAN
 from ..perf.index import ProgramIndex
-from ..perf.parallel import fanout_width, forked_map, resolve_workers, thread_map
+from ..perf.parallel import (
+    fanout_width,
+    note_executor_fallback,
+    resolve_executor,
+    resolve_workers,
+    thread_map,
+)
+from ..perf.procpool import PoolUnavailable, ProcPool
 from ..taint.engine import TaintConfig, TaintEngine
 from ..taint.slices import SliceResult
 from .demarcation import DPInstance, DemarcationRegistry, scan_demarcation_points
@@ -83,7 +90,8 @@ class NetworkSlicer:
         linked_returns: dict[str, list[tuple[str, int]]] | None = None,
         index: ProgramIndex | None = None,
         workers: int = 1,
-        executor: str = "thread",
+        executor: str = "auto",
+        start_method: str | None = None,
     ) -> None:
         self.program = program
         self.callgraph = callgraph
@@ -92,6 +100,11 @@ class NetworkSlicer:
         self._stmt_tables: dict[str, list | None] = {}
         self.workers = workers
         self.executor = executor
+        self.start_method = start_method
+        #: persistent process pool — built at most once per slicer (i.e.
+        #: once per ``Extractocol.analyze``); the whole slicer, ProgramIndex
+        #: included, ships to the workers exactly once
+        self._pool: ProcPool | None = None
         self.engine = TaintEngine(
             program,
             callgraph,
@@ -147,21 +160,57 @@ class NetworkSlicer:
     def _slice_parallel(
         self, dps: list[DPInstance], workers: int, span=NULL_SPAN
     ) -> list[DPSlices]:
-        if self.executor == "process":
-            try:
-                return _forked_slices(self, dps, workers, span)
-            except (ValueError, OSError):
-                pass  # platform without fork — degrade to threads
         # one contiguous chunk per worker: per-DP tasks are too fine-grained
         # (executor queue churn dwarfs the work); concatenating the chunks
-        # preserves scan order.  Thread fan-out is clamped to the core count
-        # — extra GIL-bound threads only add convoy overhead.
+        # preserves scan order.
+        engine = resolve_executor(self.executor)
+        if engine == "process":
+            pool = self._process_pool(workers, len(dps))
+            if pool is not None:
+                chunks = _chunked(dps, min(workers, len(dps)))
+                nested = pool.map(_slice_chunk_task, chunks, span=span)
+                return [s for chunk in nested for s in chunk]
+            engine = "thread"  # fallback already noted by _process_pool
+        if engine == "serial":
+            return self._slice_chunk(dps)
+        # Thread fan-out is clamped to the usable core count — extra
+        # GIL-bound threads only add convoy overhead.
         width = fanout_width(workers)
         if width <= 1:
             return self._slice_chunk(dps)
         chunks = _chunked(dps, width)
         nested = thread_map(self._slice_chunk, chunks, workers=width, span=span)
         return [s for chunk in nested for s in chunk]
+
+    def _process_pool(self, workers: int, n_items: int) -> ProcPool | None:
+        """The slicer's persistent process pool, built on first parallel
+        fan-out (fork workers inherit the slicer; spawn workers unpickle it
+        once).  ``None`` — with the fallback metric bumped — when no pool
+        can be built here."""
+        if self._pool is None:
+            try:
+                self._pool = ProcPool(
+                    self,
+                    workers=min(workers, n_items),
+                    start_method=self.start_method,
+                )
+            except PoolUnavailable as exc:
+                note_executor_fallback(str(exc))
+                return None
+        return self._pool
+
+    def close(self) -> None:
+        """Release the process pool (no-op for thread/serial executors).
+        ``Extractocol.analyze`` calls this when the pipeline finishes."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __getstate__(self) -> dict:
+        """Ship everything but the live pool (children never own pools)."""
+        state = self.__dict__.copy()
+        state["_pool"] = None
+        return state
 
     def _slice_chunk(self, dps: list[DPInstance]) -> list[DPSlices]:
         return [self.slice_dp(dp) for dp in dps]
@@ -275,29 +324,10 @@ def _chunked(items: list, parts: int) -> list[list]:
     return out
 
 
-#: Slicer the fork-based process workers inherit (set just before forking;
-#: only chunk indices go out and picklable DPSlices results come back).
-_FORK_SLICER: NetworkSlicer | None = None
-_FORK_CHUNKS: list[list[DPInstance]] = []
-
-
-def _slice_chunk_at(i: int) -> list[DPSlices]:
-    assert _FORK_SLICER is not None
-    return [_FORK_SLICER.slice_dp(dp) for dp in _FORK_CHUNKS[i]]
-
-
-def _forked_slices(
-    slicer: NetworkSlicer, dps: list[DPInstance], workers: int, span=NULL_SPAN
-) -> list[DPSlices]:
-    global _FORK_SLICER, _FORK_CHUNKS
-    _FORK_SLICER, _FORK_CHUNKS = slicer, _chunked(dps, workers)
-    try:
-        nested = forked_map(
-            _slice_chunk_at, range(len(_FORK_CHUNKS)), workers=workers, span=span
-        )
-        return [s for chunk in nested for s in chunk]
-    finally:
-        _FORK_SLICER, _FORK_CHUNKS = None, []
+def _slice_chunk_task(slicer: NetworkSlicer, chunk: list[DPInstance]) -> list[DPSlices]:
+    """ProcPool task: the worker's inherited/unpickled slicer slices one
+    contiguous chunk; picklable DPSlices results travel back."""
+    return [slicer.slice_dp(dp) for dp in chunk]
 
 
 __all__ = ["DPSlices", "NetworkSlicer", "SlicingReport"]

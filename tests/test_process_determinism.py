@@ -1,0 +1,96 @@
+"""Corpus-wide differential test of the process-sharded analysis engine.
+
+The hard contract of this repo's parallelism story: whatever executor runs
+the slicing fan-out, the serialized report is byte-identical to the serial
+reference engine's.  This file pins that corpus-wide for the fork pool and
+on a subset for the (much slower to start) spawn pool — together with the
+thread coverage in ``test_perf.py``/``test_trace_determinism.py``, every
+executor × start-method combination is differentially tested against the
+same serial baseline.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import report_to_dict
+from repro.core.config import AnalysisConfig
+from repro.core.extractocol import Extractocol
+from repro.corpus import app_keys, get_spec
+from repro.perf.procpool import available_start_methods
+
+SPAWN_APPS = ["diode", "ted", "kayak"]
+
+
+def _report_json(key: str, workers: int, executor: str = "serial",
+                 start_method: str | None = None) -> str:
+    spec = get_spec(key)
+    config = AnalysisConfig(
+        async_heuristic=(spec.kind == "closed"),
+        scope_prefixes=spec.scope_prefixes,
+        workers=workers,
+        executor=executor,
+    )
+    engine = Extractocol(config)
+    if start_method is not None:
+        # reach through to the slicing phase's pool construction
+        import repro.slicing.slicer as slicer_mod
+
+        original = slicer_mod.NetworkSlicer.__init__
+
+        def patched(self, *a, **kw):
+            kw["start_method"] = start_method
+            original(self, *a, **kw)
+
+        slicer_mod.NetworkSlicer.__init__ = patched
+        try:
+            report = engine.analyze(spec.build_apk())
+        finally:
+            slicer_mod.NetworkSlicer.__init__ = original
+    else:
+        report = engine.analyze(spec.build_apk())
+    return json.dumps(report_to_dict(report), sort_keys=True)
+
+
+@pytest.fixture(scope="module")
+def serial_reports():
+    cache: dict[str, str] = {}
+
+    def get(key: str) -> str:
+        if key not in cache:
+            cache[key] = _report_json(key, 1)
+        return cache[key]
+
+    return get
+
+
+@pytest.mark.skipif(
+    "fork" not in available_start_methods(), reason="fork unavailable"
+)
+@pytest.mark.parametrize("key", app_keys())
+def test_fork_pool_matches_serial_corpus_wide(key, serial_reports):
+    """Every corpus app, analyzed through the fork-based ProcPool with
+    workers=2, must serialize byte-identically to the serial engine."""
+    assert _report_json(
+        key, 2, executor="process", start_method="fork"
+    ) == serial_reports(key)
+
+
+@pytest.mark.skipif(
+    "spawn" not in available_start_methods(), reason="spawn unavailable"
+)
+@pytest.mark.parametrize("key", SPAWN_APPS)
+def test_spawn_pool_matches_serial(key, serial_reports):
+    """The spawn path exercises the pickle-the-payload-once shipment; the
+    report must still be byte-identical."""
+    assert _report_json(
+        key, 2, executor="process", start_method="spawn"
+    ) == serial_reports(key)
+
+
+def test_serial_executor_matches_reference(serial_reports):
+    """executor="serial" with workers>1 isolates the memoized engine from
+    any fan-out; still the same bytes."""
+    assert _report_json("kayak", 4, executor="serial") == serial_reports("kayak")

@@ -1,0 +1,233 @@
+"""Tests for the persistent process worker pool (`repro.perf.procpool`)
+and the executor plumbing around it (`repro.perf.parallel`).
+
+The contracts under test: a pool ships its payload to every worker exactly
+once and then maps items in input order under both start methods; the
+payloads the engine actually ships (``ProgramIndex``, slice results, the
+slicer itself) survive a pickle round-trip unchanged; and a process
+executor that cannot be built degrades to threads *audibly* — counter plus
+one-time warning — never silently.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import threading
+import warnings
+
+import pytest
+
+from repro.cfg.callgraph import build_callgraph
+from repro.corpus import build_app
+from repro.obs.metrics import global_registry
+from repro.obs.tracer import Tracer
+from repro.perf import parallel
+from repro.perf.index import ProgramIndex
+from repro.perf.parallel import (
+    fanout_width,
+    resolve_executor,
+    resolve_workers,
+    run_map,
+    usable_cpus,
+)
+from repro.perf.procpool import (
+    PoolUnavailable,
+    ProcPool,
+    SpanRecord,
+    available_start_methods,
+    default_start_method,
+)
+from repro.slicing.slicer import NetworkSlicer
+from repro.taint.defuse import compute_defuse
+
+
+def _add_payload(payload, item):
+    """Module-level pool task (pickled by reference)."""
+    return payload + item
+
+
+def _square(x):
+    return x * x
+
+
+# ------------------------------------------------------------------ pool map
+@pytest.mark.parametrize("method", available_start_methods())
+def test_pool_maps_in_input_order(method):
+    with ProcPool(100, workers=2, start_method=method) as pool:
+        assert pool.start_method == method
+        assert pool.map(_add_payload, list(range(7))) == [
+            100 + i for i in range(7)
+        ]
+        # the pool is persistent: a second map reuses the same workers
+        assert pool.map(_add_payload, [5, 3]) == [105, 103]
+    assert pool.closed
+
+
+def test_pool_map_empty_and_close_idempotent():
+    pool = ProcPool(0, workers=1)
+    assert pool.map(_add_payload, []) == []
+    pool.close()
+    pool.close()
+    assert pool.closed
+
+
+def test_pool_emits_worker_spans_in_input_order():
+    tracer = Tracer()
+    root = tracer.span("root")
+    with ProcPool(1, workers=2) as pool:
+        pool.map(_add_payload, [1, 2, 3], span=root, label="chunk")
+    names = [c.name for c in root.children]
+    assert names == ["chunk-1", "chunk-2", "chunk-3"]
+    assert all(c.seconds >= 0 for c in root.children)
+
+
+def test_span_record_replay():
+    tracer = Tracer()
+    root = tracer.span("root")
+    SpanRecord(label="w-1", seconds=0.25, counters={"items": 3}).replay(root)
+    (child,) = root.children
+    assert child.name == "w-1"
+    assert child.seconds == 0.25
+    assert child.counters == {"items": 3}
+
+
+def test_unpicklable_payload_raises_pool_unavailable_under_spawn():
+    if "spawn" not in available_start_methods():
+        pytest.skip("spawn unavailable")
+    with pytest.raises(PoolUnavailable, match="not picklable"):
+        ProcPool(threading.Lock(), workers=1, start_method="spawn")
+
+
+def test_unknown_start_method_raises_pool_unavailable():
+    with pytest.raises(PoolUnavailable):
+        ProcPool(1, workers=1, start_method="carrier-pigeon")
+
+
+def test_start_method_env_override(monkeypatch):
+    if "spawn" not in available_start_methods():
+        pytest.skip("spawn unavailable")
+    monkeypatch.setenv("REPRO_START_METHOD", "spawn")
+    assert default_start_method() == "spawn"
+    monkeypatch.setenv("REPRO_START_METHOD", "not-a-method")
+    assert default_start_method() is None
+
+
+# --------------------------------------------------- payload pickle contract
+@pytest.fixture(scope="module")
+def diode_slicer():
+    apk = build_app("diode")
+    callgraph = build_callgraph(apk.program)
+    index = ProgramIndex(apk.program, callgraph)
+    return NetworkSlicer(apk.program, callgraph, index=index)
+
+
+def test_program_index_pickle_round_trip(diode_slicer):
+    """The index (with its unpicklable RLock swapped out in transit) must
+    answer identically after a round trip, warm memo tables included."""
+    index = diode_slicer.index
+    method = next(m for m in index.program.methods() if m.body is not None)
+    warm_masks = index.reach_masks(method)
+    warm_stores = index.field_stores
+
+    clone = pickle.loads(pickle.dumps(index))
+    assert clone.reach_masks(clone.program.method_by_id(method.method_id)) \
+        == warm_masks
+    assert clone.field_stores == warm_stores
+    # the replacement lock is live: lazy computation still works
+    other = next(
+        m for m in clone.program.methods()
+        if m.body is not None and m.method_id != method.method_id
+    )
+    du = clone.defuse_of(other)
+    full = compute_defuse(other)
+    assert du.def_sites == full.def_sites
+
+
+def test_slice_results_pickle_round_trip(diode_slicer):
+    """DPSlices — the values that cross the process boundary back to the
+    parent — must survive pickling byte-exactly."""
+    slices = [diode_slicer.slice_dp(dp) for dp in diode_slicer.scan()]
+    assert slices
+    for s in slices:
+        clone = pickle.loads(pickle.dumps(s))
+        assert clone.dp.site == s.dp.site
+        assert clone.request.stmts == s.request.stmts
+        assert clone.response.stmts == s.response.stmts
+        assert clone.request.stats == s.request.stats
+        assert clone.methods == s.methods
+
+
+def test_slicer_pickle_drops_live_pool(diode_slicer):
+    clone = pickle.loads(pickle.dumps(diode_slicer))
+    assert clone._pool is None
+    # and the clone still slices (the worker-side code path)
+    dps = clone.scan()
+    assert clone.slice_dp(dps[0]).all_stmts
+
+
+# ------------------------------------------------------------- worker sizing
+def test_usable_cpus_prefers_affinity_mask(monkeypatch):
+    if not hasattr(os, "sched_getaffinity"):
+        pytest.skip("platform has no sched_getaffinity")
+    monkeypatch.setattr(os, "sched_getaffinity", lambda pid: {0, 1, 2})
+    assert usable_cpus() == 3
+    assert resolve_workers(0) == 3
+    assert fanout_width(64) == 3
+
+
+def test_usable_cpus_falls_back_to_cpu_count(monkeypatch):
+    def boom(pid):
+        raise OSError("no affinity here")
+
+    if hasattr(os, "sched_getaffinity"):
+        monkeypatch.setattr(os, "sched_getaffinity", boom)
+    assert usable_cpus() == (os.cpu_count() or 1)
+
+
+# ----------------------------------------------------------- run_map engines
+def test_run_map_engines_agree():
+    items = list(range(17))
+    expected = [x * x for x in items]
+    assert run_map(_square, items, workers=2, executor="serial") == expected
+    assert run_map(_square, items, workers=2, executor="thread") == expected
+    assert run_map(_square, items, workers=2, executor="process") == expected
+
+
+def test_resolve_executor_rejects_unknown():
+    with pytest.raises(ValueError, match="unknown executor"):
+        resolve_executor("fiber")
+    assert resolve_executor("auto") in ("thread", "process")
+    assert resolve_executor(None) in ("thread", "process")
+
+
+def test_process_fallback_is_audible(monkeypatch):
+    """A process map that cannot build its pool must fall back to threads,
+    bump the global executor_fallbacks counter, and warn (once)."""
+
+    class NoPool:
+        def __init__(self, *a, **kw):
+            raise PoolUnavailable("injected: no pool for you")
+
+    monkeypatch.setattr(parallel, "ProcPool", NoPool)
+    monkeypatch.setattr(parallel, "_fallback_warned", False)
+    counter = global_registry().counter("executor_fallbacks")
+    before = counter.value
+
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        result = run_map(_square, [1, 2, 3], workers=2, executor="process")
+    assert result == [1, 4, 9]
+    assert counter.value == before + 1
+    assert any(
+        issubclass(w.category, RuntimeWarning)
+        and "falling back" in str(w.message)
+        for w in caught
+    )
+
+    # second degradation: counted again, but not warned again
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        run_map(_square, [1, 2, 3], workers=2, executor="process")
+    assert counter.value == before + 2
+    assert not caught

@@ -1,0 +1,295 @@
+"""Tests for the process-sharded batch engine (`repro.service.shard`), the
+store's lease protocol, and the scheduler's non-blocking retry.
+
+Contracts: a sharded batch writes byte-identical envelopes to a
+thread-mode batch; every batch entry is reported exactly once no matter
+which worker steals it; concurrent analyses of the same result key are
+deduplicated through lease files; and a retrying job never head-of-line
+blocks the jobs queued behind its backoff.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
+from repro.service import JobScheduler, JobStatus, ResultStore
+from repro.service.shard import ShardRecord, run_sharded_batch, shard_of
+from repro.service.store import canonical_json
+
+TARGETS = ["diode", "ted", "tzm"]
+
+
+# ------------------------------------------------------------------ sharding
+def test_shards_partition_the_targets():
+    targets = [f"t{i}" for i in range(11)]
+    seen: list[tuple[int, object]] = []
+    for w in range(4):
+        shard = shard_of(targets, w, 4)
+        assert all(i % 4 == w for i, _ in shard)
+        seen.extend(shard)
+    assert sorted(seen) == list(enumerate(targets))
+
+
+def test_sharded_batch_matches_thread_batch_byte_identically(tmp_path):
+    records = run_sharded_batch(tmp_path / "proc", TARGETS, workers=2)
+    assert [r.status for r in records] == ["done"] * len(TARGETS)
+    assert [r.target for r in records] == TARGETS  # input order
+    assert not any(r.cache_hit for r in records)
+
+    sched = JobScheduler(ResultStore(tmp_path / "thread"), workers=2,
+                         executor="thread")
+    try:
+        sched.run_batch(TARGETS)
+    finally:
+        sched.shutdown()
+
+    proc_store = ResultStore(tmp_path / "proc")
+    thread_store = ResultStore(tmp_path / "thread")
+    assert proc_store.entries() == thread_store.entries()
+    for key in proc_store.entries():
+        a, b = proc_store.load(key), thread_store.load(key)
+        assert canonical_json(a["report"]) == canonical_json(b["report"]), key
+
+
+def test_warm_sharded_batch_is_all_cache_hits(tmp_path):
+    run_sharded_batch(tmp_path / "s", TARGETS, workers=2)
+    metrics = MetricsRegistry()
+    records = run_sharded_batch(tmp_path / "s", TARGETS, workers=2,
+                                metrics=metrics)
+    assert all(r.cache_hit and r.status == "done" for r in records)
+    counters = metrics.to_dict()["counters"]
+    assert counters.get("analyses_run", 0) == 0
+    assert counters["cache_hits_batch"] == len(TARGETS)
+
+
+def test_duplicate_targets_share_one_analysis(tmp_path):
+    """Two batch entries for the same app resolve to the same result key;
+    the lease protocol must collapse them onto one analysis."""
+    metrics = MetricsRegistry()
+    records = run_sharded_batch(tmp_path / "s", ["diode", "diode"],
+                                workers=2, metrics=metrics)
+    assert [r.status for r in records] == ["done", "done"]
+    assert records[0].result_key == records[1].result_key
+    assert metrics.to_dict()["counters"]["analyses_run"] == 1
+    assert sum(r.cache_hit for r in records) == 1
+    assert len(ResultStore(tmp_path / "s").entries()) == 1
+
+
+def test_unresolvable_target_fails_its_record_only(tmp_path):
+    records = run_sharded_batch(
+        tmp_path / "s", ["diode", "no-such-app"], workers=2
+    )
+    by_target = {r.target: r for r in records}
+    assert by_target["diode"].status == "done"
+    assert by_target["no-such-app"].status == "failed"
+    assert "LookupError" in by_target["no-such-app"].error
+
+
+def test_sharded_batch_replays_job_spans(tmp_path):
+    tracer = Tracer()
+    root = tracer.span("batch")
+    run_sharded_batch(tmp_path / "s", TARGETS, workers=2, span=root)
+    names = [c.name for c in root.children]
+    assert names == [f"job:{t}" for t in TARGETS]
+    assert all(c.attrs["status"] == "done" for c in root.children)
+
+
+def test_sharded_batch_leaves_no_leases(tmp_path):
+    run_sharded_batch(tmp_path / "s", TARGETS, workers=2)
+    store = ResultStore(tmp_path / "s")
+    assert not list(store.leases.glob("*.lease"))
+
+
+def test_run_batch_routes_by_executor(tmp_path):
+    """JobScheduler.run_batch must produce equivalent record dicts from
+    both engines (the CLI renders either shape)."""
+    keys = {"target", "label", "status", "cache_hit", "attempts",
+            "seconds", "result_key", "error"}
+    for executor in ("process", "thread"):
+        sched = JobScheduler(ResultStore(tmp_path / executor), workers=2,
+                             executor=executor)
+        try:
+            records = sched.run_batch(["diode", "ted"])
+        finally:
+            sched.shutdown()
+        assert [r["target"] for r in records] == ["diode", "ted"]
+        assert all(keys <= set(r) for r in records), executor
+        assert all(r["status"] == "done" for r in records)
+        assert sched.metrics.counter("analyses_run").value == 2
+
+
+def test_run_batch_rejects_unknown_target_upfront(tmp_path):
+    sched = JobScheduler(ResultStore(tmp_path / "s"), executor="thread")
+    try:
+        with pytest.raises(LookupError):
+            sched.run_batch(["diode", "definitely-not-an-app"])
+    finally:
+        sched.shutdown()
+
+
+# -------------------------------------------------------------------- leases
+class TestLeases:
+    def test_claim_is_exclusive_then_released(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        assert store.claim("k1", owner="a")
+        assert not store.claim("k1", owner="b")
+        holder = store.lease_holder("k1")
+        assert holder["owner"] == "a"
+        store.release("k1")
+        assert store.lease_holder("k1") is None
+        assert store.claim("k1", owner="b")
+
+    def test_release_is_idempotent(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        store.release("never-claimed")
+        assert store.claim("never-claimed")
+
+    def test_dead_holder_lease_is_broken(self, tmp_path, monkeypatch):
+        store = ResultStore(tmp_path / "s")
+        assert store.claim("k", owner="dead-process")
+
+        import os as os_mod
+
+        def dead(pid, sig):
+            raise ProcessLookupError(pid)
+
+        monkeypatch.setattr(os_mod, "kill", dead)
+        assert store.claim("k", owner="successor")
+        assert store.lease_holder("k")["owner"] == "successor"
+
+    def test_expired_lease_is_broken_by_ttl(self, tmp_path):
+        store = ResultStore(tmp_path / "s", lease_ttl=0.05)
+        assert store.claim("k", owner="slow")
+        time.sleep(0.1)
+        assert store.claim("k", owner="successor")
+
+    def test_live_lease_is_not_stolen(self, tmp_path):
+        store = ResultStore(tmp_path / "s")  # default 600s TTL, our pid
+        assert store.claim("k")
+        assert not store.claim("k")
+
+    def test_corrupt_lease_respects_settle_window(self, tmp_path):
+        store = ResultStore(tmp_path / "s", lease_ttl=0.05)
+        store.leases.mkdir(parents=True, exist_ok=True)
+        store.lease_path("k").write_text("not json at all")
+        assert not store.claim("k")  # too fresh to judge
+        time.sleep(0.1)
+        assert store.claim("k")  # settled past the TTL: stale
+
+    def test_concurrent_claimants_exactly_one_winner(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        wins: list[int] = []
+        barrier = threading.Barrier(8)
+
+        def contend(i: int) -> None:
+            barrier.wait()
+            if store.claim("hot", owner=f"t{i}"):
+                wins.append(i)
+
+        threads = [threading.Thread(target=contend, args=(i,))
+                   for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(wins) == 1
+
+
+# --------------------------------------------------- non-blocking retry/backoff
+class FlakyOnce:
+    """Fails the first call for a chosen app, succeeds otherwise."""
+
+    def __init__(self, flaky_app: str):
+        self.flaky_app = flaky_app
+        self.failed = False
+
+    def __call__(self, apk, config):
+        if apk.name and self.flaky_app in apk.name.lower() and not self.failed:
+            self.failed = True
+            raise ValueError("injected transient failure")
+        from repro import Extractocol
+
+        return Extractocol(config).analyze(apk)
+
+
+def test_retry_backoff_does_not_block_the_queue(tmp_path):
+    """Regression for the head-of-line blocking retry: with ONE worker and
+    a long backoff, a job queued behind a failing job must complete while
+    the failure waits out its backoff, not after it."""
+    backoff = 1.5
+    sched = JobScheduler(
+        ResultStore(tmp_path / "s"),
+        workers=1,
+        retries=1,
+        backoff=backoff,
+        analyzer=FlakyOnce("diode"),
+    )
+    try:
+        t0 = time.monotonic()
+        flaky = sched.submit_target("diode")
+        behind = sched.submit_target("tzm")
+        assert behind.wait(timeout=backoff)  # finishes DURING the backoff
+        behind_done = time.monotonic() - t0
+        assert behind.status is JobStatus.DONE
+        assert behind_done < backoff, (
+            f"queued job waited {behind_done:.2f}s — head-of-line blocked "
+            f"by the {backoff}s retry backoff"
+        )
+        assert flaky.wait(timeout=30)
+        assert flaky.status is JobStatus.DONE
+        assert flaky.attempts == 2
+        assert sched.metrics.to_dict()["counters"]["jobs_retried"] == 1
+    finally:
+        sched.shutdown()
+
+
+def test_drain_shutdown_still_finishes_backed_off_retry(tmp_path):
+    """shutdown(drain=True) must not strand a job waiting out its backoff:
+    the pending retry is requeued immediately and completes."""
+    sched = JobScheduler(
+        ResultStore(tmp_path / "s"),
+        workers=1,
+        retries=1,
+        backoff=30.0,  # far longer than the test: drain must skip it
+        analyzer=FlakyOnce("diode"),
+    )
+    flaky = sched.submit_target("diode")
+    # wait until the first attempt failed and the retry timer is armed
+    deadline = time.monotonic() + 10
+    while not sched._retry_pending and time.monotonic() < deadline:
+        time.sleep(0.01)
+    assert sched._retry_pending
+    sched.shutdown(drain=True, timeout=30)
+    assert flaky.status is JobStatus.DONE
+    assert flaky.attempts == 2
+
+
+def test_no_drain_shutdown_cancels_backed_off_retry(tmp_path):
+    sched = JobScheduler(
+        ResultStore(tmp_path / "s"),
+        workers=1,
+        retries=1,
+        backoff=30.0,
+        analyzer=FlakyOnce("diode"),
+    )
+    flaky = sched.submit_target("diode")
+    deadline = time.monotonic() + 10
+    while not sched._retry_pending and time.monotonic() < deadline:
+        time.sleep(0.01)
+    assert sched._retry_pending
+    sched.shutdown(drain=False, timeout=30)
+    assert flaky.status is JobStatus.CANCELLED
+
+
+def test_shard_record_round_trips_through_queue_payload():
+    record = ShardRecord(index=3, target="ted", shard=1, worker=0,
+                        stolen=True, label="ted", attempts=2, seconds=0.5)
+    payload = json.loads(json.dumps(record.to_dict()))
+    clone = ShardRecord(**payload)
+    assert clone == record
