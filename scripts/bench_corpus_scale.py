@@ -1,0 +1,190 @@
+#!/usr/bin/env python
+"""Corpus-scaling benchmark: generation throughput and analysis latency
+as the corpus grows from the 34 hand-written apps to 100/500/1000
+synthesized apps, persisted as ``BENCH_corpus_scale.json``.
+
+For each corpus size the harness measures:
+
+* **gen_apps_per_sec** — compiling every app spec to a built APK model
+  (grid decode + IR emission), single process; the cost of materialising
+  the population from its ``synth:all*N@<seed>`` spec,
+* **apps/sec analyzed** — one cold sharded batch
+  (:func:`repro.service.shard.run_sharded_batch`) over the population,
+* **p50/p99 analysis latency** — per-target wall seconds measured inside
+  the worker that analysed it (spec resolution + analysis + store write).
+
+Size 34 is the hand-written corpus (the pre-synth baseline); larger sizes
+are ``synth:all*N@<seed>`` populations whose apps carry full ground truth
+and lineages.  Workers rebuild every target from its self-describing key,
+so the per-target latency includes generation — as it does in production
+``repro batch``.
+
+Honesty note: ``meta.usable_cpus`` records the cgroup-aware CPU budget of
+the generating host; on a single-core host the sharded batch measures
+scheduling overhead, not parallelism.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_corpus_scale.py
+    PYTHONPATH=src python scripts/bench_corpus_scale.py --quick --out /tmp/b.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs.metrics import MetricsRegistry  # noqa: E402
+from repro.perf.parallel import usable_cpus  # noqa: E402
+from repro.service.shard import run_sharded_batch  # noqa: E402
+
+
+def percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1,
+                      round(q * (len(sorted_values) - 1))))
+    return sorted_values[rank]
+
+
+def corpus_targets(size: int, seed: int) -> tuple[str, list[str]]:
+    """The target list for one corpus size: 34 = hand-written corpus,
+    anything else a ``synth:all*N@seed`` population."""
+    if size == 34:
+        from repro.corpus import app_keys
+
+        return "hand-written corpus", app_keys()
+    from repro.synth import parse_population
+
+    spec = f"synth:all*{size}@{seed}"
+    return spec, parse_population(spec).keys()
+
+
+def bench_generation(targets: list[str]) -> dict:
+    """Build every target's APK model once, cold, in this process."""
+    from repro.corpus import get_spec
+    from repro.synth.compile import synth_spec
+
+    synth_spec.cache_clear()
+    t0 = time.perf_counter()
+    classes = 0
+    for key in targets:
+        apk = get_spec(key).build_apk()
+        classes += len(apk.program.classes)
+    wall = time.perf_counter() - t0
+    return {
+        "gen_wall_s": round(wall, 4),
+        "gen_apps_per_sec": round(len(targets) / wall, 2),
+        "classes": classes,
+    }
+
+
+def bench_analysis(targets: list[str], workers: int, repeats: int) -> dict:
+    """Best-of-``repeats`` cold sharded batch over the population."""
+    best: dict | None = None
+    for _ in range(repeats):
+        root = Path(tempfile.mkdtemp(prefix="repro-bench-scale-"))
+        try:
+            metrics = MetricsRegistry()
+            t0 = time.perf_counter()
+            records = run_sharded_batch(
+                root, targets, workers=workers, metrics=metrics
+            )
+            wall = time.perf_counter() - t0
+            failed = [r.target for r in records if r.status != "done"]
+            if failed:
+                raise SystemExit(
+                    f"{len(failed)} target(s) failed, e.g. {failed[:3]}"
+                )
+            latencies = sorted(r.seconds for r in records)
+            row = {
+                "wall_s": round(wall, 4),
+                "apps_per_sec": round(len(targets) / wall, 2),
+                "p50_ms": round(percentile(latencies, 0.50) * 1000, 3),
+                "p99_ms": round(percentile(latencies, 0.99) * 1000, 3),
+            }
+            if best is None or row["wall_s"] < best["wall_s"]:
+                best = row
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+    assert best is not None
+    return best
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sizes", default="34,100,500,1000",
+                        help="comma-separated corpus sizes (34 = the "
+                             "hand-written corpus, others synthesized)")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="population seed for the synthesized sizes")
+    parser.add_argument("--workers", type=int, default=0, metavar="N",
+                        help="sharded-batch analyzer processes "
+                             "(0 = one per usable CPU)")
+    parser.add_argument("--repeats", type=int, default=2,
+                        help="cold batches per size; best kept")
+    parser.add_argument("--quick", action="store_true",
+                        help="smoke mode: sizes 34,100, 1 repeat")
+    parser.add_argument("--out", default=None,
+                        help="output path (default: BENCH_corpus_scale.json "
+                             "in repo root)")
+    args = parser.parse_args(argv)
+
+    sizes = [34, 100] if args.quick else [
+        int(s) for s in str(args.sizes).split(",")
+    ]
+    repeats = 1 if args.quick else args.repeats
+    workers = args.workers or usable_cpus()
+    out = Path(args.out) if args.out else (
+        Path(__file__).resolve().parent.parent / "BENCH_corpus_scale.json"
+    )
+
+    rows: dict[str, dict] = {}
+    for size in sizes:
+        label, targets = corpus_targets(size, args.seed)
+        if len(targets) != size:
+            raise SystemExit(f"{label} resolved to {len(targets)} targets, "
+                             f"expected {size}")
+        gen = bench_generation(targets)
+        ana = bench_analysis(targets, workers, repeats)
+        rows[str(size)] = {"corpus": label, **gen, **ana}
+        print(f"size={size:5d} ({label}): "
+              f"gen {gen['gen_apps_per_sec']:.0f} apps/s, "
+              f"analyze {ana['apps_per_sec']:.1f} apps/s "
+              f"p50={ana['p50_ms']:.1f}ms p99={ana['p99_ms']:.1f}ms")
+
+    report = {
+        "meta": {
+            "generated_unix": int(time.time()),
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+            "usable_cpus": usable_cpus(),
+            "workers": workers,
+            "seed": args.seed,
+            "repeats": repeats,
+            "engine": "repro.synth grid compiler + "
+                      "repro.service.shard.run_sharded_batch",
+            "timed_region": "generation: cold spec->APK build in one "
+                            "process; analysis: whole cold sharded batch "
+                            "(workers resolve + analyze + store)",
+        },
+        "by_size": rows,
+    }
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"-> {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,7 +2,9 @@
 
 ::
 
-    python -m repro corpus                      # list corpus apps
+    python -m repro corpus                      # list corpus apps + lineages
+    python -m repro corpus synth --families all --scale 500 --seed 7
+    python -m repro analyze syn-transports-s7-0041   # a synthesized app
     python -m repro analyze diode               # analyze a corpus app
     python -m repro analyze path/to/app.sapk    # analyze an .sapk bundle
     python -m repro analyze diode --trace t.jsonl   # + emit a pipeline trace
@@ -34,8 +36,11 @@ def _load(target: str):
     from repro.apk.loader import load_apk
     from repro.corpus import app_keys, get_spec
 
-    if target in app_keys():
-        spec = get_spec(target)
+    if target.startswith("syn-") or target in app_keys():
+        try:
+            spec = get_spec(target)
+        except KeyError as exc:
+            raise SystemExit(str(exc))
         return spec.build_apk(), AnalysisConfig(
             async_heuristic=(spec.kind == "closed"),
             scope_prefixes=spec.scope_prefixes,
@@ -44,17 +49,100 @@ def _load(target: str):
     if path.exists():
         return load_apk(path), AnalysisConfig()
     raise SystemExit(
-        f"'{target}' is neither a corpus app key nor an .sapk bundle; "
+        f"'{target}' is neither a corpus app key, a synthesized app key "
+        f"(syn-<family>-s<seed>-<index>), nor an .sapk bundle; "
         f"known keys: {', '.join(app_keys())}"
     )
 
 
 def cmd_corpus(args) -> int:
     from repro.corpus import app_keys, get_spec
+    from repro.corpus.lineage import lineage_keys, lineages
 
     for key in app_keys(args.kind):
         spec = get_spec(key)
         print(f"{key:16s} {spec.kind:6s} {spec.protocol:8s} {spec.name}")
+        # lineage versions are analyzable/diffable targets too — list the
+        # app@vN labels build_version() accepts right under their app
+        if key in lineage_keys():
+            for version in lineages()[key]:
+                print(f"  {version.label:14s} {'':6s} {'':8s} "
+                      f"{version.description}")
+    if getattr(args, "synth", None):
+        from repro.synth import parse_population, synth_genapp, synth_lineage
+
+        pop = parse_population(args.synth)
+        print()
+        print(f"synthesized population {pop.spec}:")
+        for syn_key in pop.keys():
+            gen = synth_genapp(syn_key)
+            labels = " ".join(v.label.split("@")[1]
+                              for v in synth_lineage(syn_key))
+            print(f"{syn_key:28s} {gen.kind:6s} {gen.protocol:8s} "
+                  f"{gen.name} [{labels}]")
+    return 0
+
+
+def cmd_corpus_synth(args) -> int:
+    """Compile a synthesized population: summary, manifest, or exported
+    ``.sapk`` bundles."""
+    from repro.synth import (
+        PopulationSpec,
+        parse_population,
+        population_manifest,
+        resolve_families,
+    )
+
+    if args.spec:
+        pop = parse_population(args.spec)
+    else:
+        families = tuple(f.name for f in resolve_families(args.families))
+        pop = PopulationSpec(families=families, scale=args.scale,
+                             seed=args.seed)
+    manifest = population_manifest(pop)
+
+    if args.export:
+        from repro.apk.loader import save_apk
+        from repro.corpus import get_spec
+
+        out_dir = Path(args.export)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        for app in manifest["apps"]:
+            save_apk(get_spec(app["key"]).build_apk(),
+                     out_dir / f"{app['key']}.sapk")
+        print(f"exported {manifest['totals']['apps']} bundles to {out_dir}",
+              file=sys.stderr)
+
+    if args.json:
+        print(json.dumps(manifest, indent=2, sort_keys=True))
+        return 0
+
+    header = (
+        f"{'family':12s} {'apps':>6s} {'grid':>6s} {'endpoints':>10s} "
+        f"{'truth':>6s} {'versions':>9s}"
+    )
+    print(f"population {pop.spec}")
+    print()
+    print(header)
+    print("-" * len(header))
+    by_family: dict[str, list[dict]] = {}
+    for app in manifest["apps"]:
+        by_family.setdefault(app["family"], []).append(app)
+    from repro.synth import get_family
+
+    for family, apps in by_family.items():
+        print(f"{family:12s} {len(apps):>6d} "
+              f"{get_family(family).grid_size:>6d} "
+              f"{sum(a['endpoints'] for a in apps):>10d} "
+              f"{sum(a['truth']['total'] for a in apps):>6d} "
+              f"{sum(len(a['versions']) for a in apps):>9d}")
+    totals = manifest["totals"]
+    print("-" * len(header))
+    print(f"{'total':12s} {totals['apps']:>6d} {'':>6s} "
+          f"{totals['endpoints']:>10d} {totals['truth_endpoints']:>6d} "
+          f"{totals['lineage_versions']:>9d}")
+    print()
+    print(f"population digest: {manifest['digest']}")
     return 0
 
 
@@ -97,6 +185,10 @@ def cmd_lint(args) -> int:
     from repro.lint import Baseline, Severity, findings_to_jsonl, lint_apk
 
     targets = list(args.targets)
+    if args.corpus:
+        from repro.synth import parse_population
+
+        targets.extend(parse_population(args.corpus).keys())
     if args.all or not targets:
         targets = app_keys()
 
@@ -258,6 +350,8 @@ def cmd_eval(args) -> int:
         print(evalx.render_table6())
     elif what == "drift":
         print(evalx.render_drift_table())
+    elif what == "synth":
+        print(evalx.render_synth_table(args.corpus))
     if args.verbose:
         # phase-timing profile of every app the render above evaluated —
         # served from the evaluation cache (analysis_workers=1, same key
@@ -323,7 +417,10 @@ def _default_store() -> str:
 def cmd_batch(args) -> int:
     from repro.service import JobScheduler, ResultStore
 
-    targets = args.targets
+    targets = list(args.targets)
+    if args.corpus:
+        # the scheduler expands population specs itself; hand it through
+        targets.append(args.corpus)
     if not targets:
         from repro.corpus import app_keys
 
@@ -421,9 +518,37 @@ def main(argv: list[str] | None = None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_corpus = sub.add_parser("corpus", help="list corpus apps")
+    p_corpus = sub.add_parser(
+        "corpus", help="list corpus apps / compile synthetic populations"
+    )
     p_corpus.add_argument("--kind", choices=["open", "closed"], default=None)
+    p_corpus.add_argument("--synth", metavar="SPEC", default=None,
+                          help="also list the apps of a synthesized "
+                               "population (synth:<families>*<scale>"
+                               "[@<seed>])")
     p_corpus.set_defaults(fn=cmd_corpus)
+    corpus_sub = p_corpus.add_subparsers(dest="corpus_cmd")
+    p_synth = corpus_sub.add_parser(
+        "synth",
+        help="compile a dimension-crossed synthetic population "
+             "(deterministic, seeded, with ground truth and lineages)",
+    )
+    p_synth.add_argument("spec", nargs="?", default=None,
+                         help="population spec synth:<families>*<scale>"
+                              "[@<seed>] (overrides the flags below)")
+    p_synth.add_argument("--families", default="all", metavar="F1,F2",
+                         help="comma-separated family names, or 'all'")
+    p_synth.add_argument("--scale", type=int, default=100, metavar="N",
+                         help="total apps across the selected families")
+    p_synth.add_argument("--seed", type=int, default=0, metavar="S",
+                         help="population seed (same seed = byte-identical "
+                              "apps; different seed = distinct population)")
+    p_synth.add_argument("--export", metavar="DIR", default=None,
+                         help="write every app as DIR/<key>.sapk")
+    p_synth.add_argument("--json", action="store_true",
+                         help="full manifest (per-app grid coordinates, "
+                              "truth totals, lineage labels, digest)")
+    p_synth.set_defaults(fn=cmd_corpus_synth)
 
     p_analyze = sub.add_parser("analyze", help="analyze an app")
     p_analyze.add_argument("target", help="corpus key or .sapk path")
@@ -476,6 +601,9 @@ def main(argv: list[str] | None = None) -> int:
     p_lint.add_argument("--write-baseline", metavar="FILE", default=None,
                         help="record all current findings as the baseline "
                              "and exit 0")
+    p_lint.add_argument("--corpus", metavar="SPEC", default=None,
+                        help="also lint a synthesized population "
+                             "(synth:<families>*<scale>[@<seed>])")
     p_lint.set_defaults(fn=cmd_lint)
 
     p_trace = sub.add_parser(
@@ -548,8 +676,14 @@ def main(argv: list[str] | None = None) -> int:
 
     p_eval = sub.add_parser("eval", help="regenerate evaluation artefacts")
     p_eval.add_argument(
-        "what", choices=["table1", "table2", "figures", "casestudies", "drift"]
+        "what",
+        choices=["table1", "table2", "figures", "casestudies", "drift",
+                 "synth"],
     )
+    p_eval.add_argument("--corpus", metavar="SPEC",
+                        default="synth:all*35@7",
+                        help="population for 'eval synth' "
+                             "(synth:<families>*<scale>[@<seed>])")
     p_eval.add_argument("--workers", type=int, default=1, metavar="N",
                         help="evaluate corpus apps concurrently with N "
                              "workers before rendering")
@@ -561,7 +695,11 @@ def main(argv: list[str] | None = None) -> int:
         "batch", help="run targets through the scheduler + result store"
     )
     p_batch.add_argument("targets", nargs="*",
-                         help="corpus keys or .sapk paths (default: whole corpus)")
+                         help="corpus keys, syn- keys, population specs "
+                              "(synth:<families>*<scale>[@<seed>]) or .sapk "
+                              "paths (default: whole corpus)")
+    p_batch.add_argument("--corpus", metavar="SPEC", default=None,
+                         help="add a synthesized population to the batch")
     p_batch.add_argument("--store", default=_default_store(), metavar="DIR",
                          help="result store root (default: $REPRO_STORE or "
                               "~/.cache/repro/store)")

@@ -47,6 +47,12 @@ def registry() -> dict[str, AppSpec]:
 
 
 def get_spec(key: str) -> AppSpec:
+    if key.startswith("syn-"):
+        # synthesized apps are compiled from their self-describing key, not
+        # registered — any process can materialise them without shared state
+        from ..synth import synth_spec
+
+        return synth_spec(key)
     try:
         return registry()[key]
     except KeyError:

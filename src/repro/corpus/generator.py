@@ -149,7 +149,16 @@ class _AppEmitter:
 
     # -- endpoint emission -----------------------------------------------------
     def emit(self) -> None:
+        seen: set[str] = set()
         for ep in self.spec.endpoints:
+            if ep.name in seen:
+                raise ValueError(
+                    f"{self.spec.key}: duplicate endpoint name {ep.name!r} — "
+                    f"each endpoint emits an ep_<name>/onAd_<name> method and "
+                    f"an entry point; a second one would silently shadow the "
+                    f"first"
+                )
+            seen.add(ep.name)
             if ep.via_intent:
                 self._emit_intent_endpoint(ep)
             else:
@@ -159,11 +168,29 @@ class _AppEmitter:
             self.spec.custom(self)
         self._emit_filler()
 
+    def _register_entrypoint(self, entry: EntryPoint) -> None:
+        """Collision guard: entry-point names and method ids must be unique
+        (duplicate names make reports/ground truth ambiguous; a duplicate
+        method id means two endpoints emitted into one method)."""
+        for existing in self.entrypoints:
+            if existing.name == entry.name:
+                raise ValueError(
+                    f"{self.spec.key}: duplicate entry-point name "
+                    f"{entry.name!r} (already bound to {existing.method_id})"
+                )
+            if existing.method_id == entry.method_id:
+                raise ValueError(
+                    f"{self.spec.key}: duplicate entry-point method "
+                    f"{entry.method_id!r} (already registered as "
+                    f"{existing.name!r})"
+                )
+        self.entrypoints.append(entry)
+
     def add_entrypoint(self, method_name: str, kind: TriggerKind, name: str,
                        *, cls: ClassBuilder | None = None, **flags) -> None:
         """Helper for custom hooks."""
         owner = cls or self.cb
-        self.entrypoints.append(
+        self._register_entrypoint(
             EntryPoint(
                 method_id=str(owner.cls.find_methods(method_name)[0].sig),
                 kind=kind,
@@ -218,7 +245,7 @@ class _AppEmitter:
         if resp is not None:
             self._emit_response_processing(m, ep, resp)
         m.ret_void()
-        self.entrypoints.append(
+        self._register_entrypoint(
             EntryPoint(
                 method_id=str(
                     self.cb.cls.find_methods(f"ep_{ep.name}")[0].sig
@@ -453,7 +480,7 @@ class _AppEmitter:
         on_ad.vcall(handler2, "post", [r1obj], returns="boolean")
         on_ad.ret_void()
 
-        self.entrypoints.append(
+        self._register_entrypoint(
             EntryPoint(
                 method_id=str(self.cb.cls.find_methods(f"onAd_{ep.name}")[0].sig),
                 kind=TriggerKind.INTENT,
@@ -482,7 +509,7 @@ class _AppEmitter:
             label = m.concat("item-", acc)
             m.vcall(label, "length", [], returns="int")
             m.ret(acc)
-        self.entrypoints.append(
+        self._register_entrypoint(
             EntryPoint(
                 method_id=str(self.cb.cls.find_methods("onCreateSetup")[0].sig),
                 kind=TriggerKind.LIFECYCLE,

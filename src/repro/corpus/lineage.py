@@ -245,6 +245,10 @@ def lineage_keys() -> list[str]:
 
 
 def lineage(family: str) -> list[LineageVersion]:
+    if family.startswith("syn-"):
+        from ..synth import synth_lineage
+
+        return synth_lineage(family)
     try:
         return lineages()[family]
     except KeyError:
@@ -254,7 +258,10 @@ def lineage(family: str) -> list[LineageVersion]:
 
 
 def build_version(label: str) -> BuiltVersion:
-    """Materialise a lineage version from its ``family@vN`` label."""
+    """Materialise a lineage version from its ``family@vN`` label.
+
+    Hand-written corpus lineages and synthesized (``syn-...``) lineages
+    share one label grammar, so ``repro diff`` resolves both."""
     family, _, version = label.partition("@")
     if not version.startswith("v") or not version[1:].isdigit():
         raise LookupError(

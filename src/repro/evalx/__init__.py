@@ -26,6 +26,13 @@ from .runner import (
     evaluate_corpus,
     render_phase_table,
 )
+from .syntheval import (
+    SynthAppScore,
+    SynthFamilyScore,
+    render_synth_table,
+    score_app,
+    score_population,
+)
 from .table1 import generate_table1, render_table1, row_for_app, total_pairs
 from .table2 import render_table2, table2
 from .traces import count_trace, summarize_trace

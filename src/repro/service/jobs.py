@@ -122,8 +122,9 @@ def resolve_target(
     with the same per-app defaults the ``analyze`` CLI verb applies, so
     stored reports are byte-identical to ``repro analyze`` output."""
     from ..corpus import app_keys, get_spec
+    from ..synth import is_synth_key
 
-    if target in app_keys():
+    if is_synth_key(target) or target in app_keys():
         spec = get_spec(target)
         apk = spec.build_apk()
         config = AnalysisConfig(
@@ -317,14 +318,19 @@ class JobScheduler:
         stored reports are byte-identical either way.
         """
         from ..corpus import app_keys
+        from ..synth import expand_targets, is_synth_key, parse_app_key
 
-        targets = list(targets)
+        # population specs (synth:<families>*<scale>[@<seed>]) expand into
+        # self-describing syn- keys any worker process can rebuild
+        targets = expand_targets(list(targets))
         known = set(app_keys())
         for target in targets:
-            if target not in known and not Path(target).exists():
+            if is_synth_key(target):
+                parse_app_key(target)  # raises KeyError on a malformed key
+            elif target not in known and not Path(target).exists():
                 raise LookupError(
-                    f"{target!r} is neither a corpus app key nor an "
-                    f".sapk bundle"
+                    f"{target!r} is neither a corpus app key, a synthesized "
+                    f"app key, a population spec, nor an .sapk bundle"
                 )
         engine = resolve_executor(self.executor)
         if engine == "process":

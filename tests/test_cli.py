@@ -181,3 +181,75 @@ class TestReportDict:
                  if "media_player" in t["consumers"]]
         assert media
         assert any(t["dynamic_uri"] for t in data["transactions"])
+
+
+class TestSynthCli:
+    def test_corpus_listing_includes_lineage_versions(self, capsys):
+        out = run_cli(capsys, "corpus")
+        # discoverable labels match what build_version() accepts
+        for label in ("reddinator@v1", "reddinator@v3", "wallabag@v2",
+                      "twister@v2", "tzm@v2"):
+            assert label in out
+
+    def test_corpus_synth_listing(self, capsys):
+        out = run_cli(capsys, "corpus", "--synth", "synth:mega*3@7")
+        assert "synth:mega*3@7" in out
+        assert "syn-mega-s7-0000" in out and "syn-mega-s7-0002" in out
+
+    def test_corpus_synth_summary_and_digest_stable(self, capsys):
+        argv = ("corpus", "synth", "--families", "transports,evolution",
+                "--scale", "8", "--seed", "7")
+        first = run_cli(capsys, *argv)
+        assert "population synth:transports,evolution*8@7" in first
+        assert "population digest:" in first
+        assert run_cli(capsys, *argv) == first  # deterministic rerun
+
+    def test_corpus_synth_json_manifest(self, capsys):
+        out = run_cli(capsys, "corpus", "synth", "synth:hazards*2@5",
+                      "--json")
+        manifest = json.loads(out)
+        assert manifest["totals"]["apps"] == 2
+        assert manifest["apps"][0]["key"] == "syn-hazards-s5-0000"
+        assert manifest["apps"][0]["truth"]["total"] >= 1
+
+    def test_corpus_synth_export(self, capsys, tmp_path):
+        run_cli(capsys, "corpus", "synth", "synth:mega*2@7",
+                "--export", str(tmp_path))
+        bundles = sorted(p.name for p in tmp_path.glob("*.sapk"))
+        assert bundles == ["syn-mega-s7-0000.sapk", "syn-mega-s7-0001.sapk"]
+
+    def test_analyze_synth_key(self, capsys):
+        out = run_cli(capsys, "analyze", "syn-transports-s7-0003")
+        assert "transactions: 1" in out
+
+    def test_analyze_malformed_synth_key_exits(self):
+        with pytest.raises(SystemExit):
+            main(["analyze", "syn-ghost-s7-0000"])
+
+    def test_batch_population_spec(self, capsys, tmp_path):
+        out = run_cli(capsys, "batch", "--corpus", "synth:mega*3@7",
+                      "--store", str(tmp_path / "store"), "--workers", "2")
+        assert "3 jobs: 3 done (0 cached), 0 failed" in out
+
+    def test_eval_synth_scores_against_truth(self, capsys):
+        out = run_cli(capsys, "eval", "synth",
+                      "--corpus", "synth:transports,evolution*6@7")
+        assert "Synthesized-corpus evaluation" in out
+        assert "6/6" in out.splitlines()[-1]  # total row: all exact
+
+    def test_lint_synth_population(self, capsys):
+        out = run_cli(capsys, "lint", "--corpus", "synth:payloads*2@7")
+        assert "0 error(s)" in out
+
+    def test_diff_synth_lineage(self, capsys, tmp_path):
+        from repro.synth import parse_population, synth_lineage
+
+        key = next(
+            k for k in parse_population("synth:evolution*5@7").keys()
+            if "rename_query_key" in synth_lineage(k)[-1].description
+        )
+        rc = main(["diff", f"{key}@v1", f"{key}@v2",
+                   "--store", str(tmp_path / "s")])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "query-key-removed" in out

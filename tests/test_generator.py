@@ -171,3 +171,64 @@ class TestDynamicBaselines:
         manual = ManualUiFuzzer().fuzz(spec.build_apk(), spec.build_network())
         auto = AutoUiFuzzer().fuzz(spec.build_apk(), spec.build_network())
         assert len(static.transactions) > len(manual.trace) > len(auto.trace)
+
+
+class TestCollisionGuard:
+    """Grid compilation makes name collisions likely; emission must raise
+    instead of silently shadowing (satellite of the synth subsystem)."""
+
+    def test_duplicate_endpoint_names_raise(self):
+        spec = GenApp(
+            key="dupapp", name="Dup", kind="open", package="com.dup",
+            host="api.dup.test",
+            endpoints=[
+                GenEndpoint(name="feed", path="/v1/feed"),
+                GenEndpoint(name="feed", path="/v2/feed",
+                            query=(("q", "input"),)),
+            ],
+        )
+        with pytest.raises(ValueError, match="duplicate endpoint name"):
+            build_generated_app(spec)
+
+    def test_duplicate_endpoint_name_via_intent_raises(self):
+        spec = GenApp(
+            key="dupapp", name="Dup", kind="open", package="com.dup",
+            host="api.dup.test",
+            endpoints=[
+                GenEndpoint(name="ad", path="/v1/ad"),
+                GenEndpoint(name="ad", path="/ads/serve", via_intent=True),
+            ],
+        )
+        with pytest.raises(ValueError, match="duplicate endpoint name"):
+            build_generated_app(spec)
+
+    def test_custom_hook_duplicate_entrypoint_name_raises(self):
+        def hook(emitter):
+            cb = emitter.cb
+            m = cb.method("extraHook")
+            m.ret_void()
+            # "feed" is already taken by the generated endpoint below
+            emitter.add_entrypoint("extraHook", TriggerKind.UI, "feed")
+
+        spec = GenApp(
+            key="dupapp", name="Dup", kind="open", package="com.dup",
+            host="api.dup.test",
+            endpoints=[GenEndpoint(name="feed", path="/v1/feed")],
+            custom=hook,
+        )
+        with pytest.raises(ValueError, match="duplicate entry-point name"):
+            build_generated_app(spec)
+
+    def test_custom_hook_duplicate_method_raises(self):
+        def hook(emitter):
+            # registers the already-registered ep_feed method a second time
+            emitter.add_entrypoint("ep_feed", TriggerKind.UI, "feed2")
+
+        spec = GenApp(
+            key="dupapp", name="Dup", kind="open", package="com.dup",
+            host="api.dup.test",
+            endpoints=[GenEndpoint(name="feed", path="/v1/feed")],
+            custom=hook,
+        )
+        with pytest.raises(ValueError, match="duplicate entry-point method"):
+            build_generated_app(spec)
