@@ -42,6 +42,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from repro.obs.fleet import host_fingerprint  # noqa: E402
 from repro.obs.metrics import MetricsRegistry  # noqa: E402
 from repro.perf.parallel import usable_cpus  # noqa: E402
 from repro.service.shard import run_sharded_batch  # noqa: E402
@@ -167,6 +168,7 @@ def main(argv: list[str] | None = None) -> int:
             "platform": platform.platform(),
             "cpu_count": os.cpu_count(),
             "usable_cpus": usable_cpus(),
+            "host": host_fingerprint(),
             "targets": list(targets),
             "repeats": repeats,
             "start_method": args.start_method or "default",

@@ -45,6 +45,7 @@ from repro.core.config import AnalysisConfig  # noqa: E402
 from repro.core.extractocol import Extractocol  # noqa: E402
 from repro.core.report import report_to_dict  # noqa: E402
 from repro.corpus import get_spec  # noqa: E402
+from repro.obs.fleet import host_fingerprint  # noqa: E402
 from repro.perf.parallel import resolve_executor, usable_cpus  # noqa: E402
 
 DEFAULT_APPS = ["ted", "kayak", "pinterest", "wishlocal"]
@@ -142,6 +143,7 @@ def main(argv: list[str] | None = None) -> int:
             "platform": platform.platform(),
             "cpu_count": os.cpu_count(),
             "usable_cpus": usable_cpus(),
+            "host": host_fingerprint(),
             "workers": args.workers,
             "repeats": repeats,
             "executor": args.executor,

@@ -19,6 +19,11 @@
     python -m repro eval table1|table2|figures|casestudies|drift
     python -m repro batch                       # whole corpus via the scheduler
     python -m repro batch ted kayak --workers 4 # selected targets
+    python -m repro batch --corpus synth:transports*100 --progress
+    python -m repro runs list                   # run-ledger history
+    python -m repro runs show <run-id>          # one run, with failures
+    python -m repro trace --from fleet.trace.jsonl --flame
+    python -m repro bench check                 # regression gate vs BENCH_*.json
     python -m repro serve --port 8425           # HTTP analysis service
 """
 
@@ -26,6 +31,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -157,12 +163,39 @@ def cmd_analyze(args) -> int:
     config.workers = args.workers
     config.executor = args.executor
     tracer = Tracer() if args.trace else NULL_TRACER
+    import time as _time
+
+    started_unix = _time.time()
+    t0 = _time.perf_counter()
     report = Extractocol(config, tracer=tracer).analyze(apk)
+    wall = _time.perf_counter() - t0
     if args.trace:
         from repro.obs.export import write_jsonl
 
         write_jsonl(tracer.root, args.trace, timings=args.trace_timings)
         print(f"trace written to {args.trace}", file=sys.stderr)
+    if args.ledger:
+        from repro.obs.ledger import RunLedger, RunRecord, new_run_id
+
+        stats = getattr(report, "phase_stats", None)
+        run_id = new_run_id()
+        record = RunRecord.from_batch(
+            run_id=run_id,
+            label=args.target,
+            records=[{
+                "target": args.target,
+                "status": "done",
+                "seconds": wall,
+                "phase_seconds": dict(stats.seconds) if stats else {},
+            }],
+            started_unix=started_unix,
+            wall_s=round(wall, 4),
+            executor=config.executor,
+            workers=config.workers,
+        )
+        record.kind = "analyze"
+        RunLedger(Path(args.ledger).expanduser()).append(record)
+        print(f"run {run_id} recorded in {args.ledger}", file=sys.stderr)
     if args.json:
         print(json.dumps(report_to_dict(report), indent=2))
         return 0
@@ -262,20 +295,38 @@ def cmd_lint(args) -> int:
 
 def cmd_trace(args) -> int:
     """Run one traced analysis and print/write the trace (JSONL by
-    default, collapsed flamegraph stacks with ``--flame``)."""
-    from repro import Extractocol
-    from repro.obs.export import collapsed_stacks, to_jsonl
-    from repro.obs.tracer import Tracer
+    default, collapsed flamegraph stacks with ``--flame``), or render an
+    existing trace file — e.g. a batch's merged ``fleet.trace.jsonl`` —
+    with ``--from``."""
+    from repro.obs.export import (
+        collapsed_stacks,
+        events_to_span,
+        to_jsonl,
+        validate_jsonl,
+    )
 
-    apk, config = _load(args.target)
-    config.workers = args.workers
-    config.executor = args.executor
-    tracer = Tracer()
-    Extractocol(config, tracer=tracer).analyze(apk)
-    if args.flame:
-        text = collapsed_stacks(tracer.root)
+    if args.from_file:
+        try:
+            events = validate_jsonl(Path(args.from_file).read_text())
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"{args.from_file}: {exc}")
+        root = events_to_span(events)
     else:
-        text = to_jsonl(tracer.root, timings=args.timings)
+        if not args.target:
+            raise SystemExit("trace needs a target (or --from FILE)")
+        from repro import Extractocol
+        from repro.obs.tracer import Tracer
+
+        apk, config = _load(args.target)
+        config.workers = args.workers
+        config.executor = args.executor
+        tracer = Tracer()
+        Extractocol(config, tracer=tracer).analyze(apk)
+        root = tracer.root
+    if args.flame:
+        text = collapsed_stacks(root)
+    else:
+        text = to_jsonl(root, timings=args.timings)
     if args.out:
         Path(args.out).write_text(text)
         print(f"wrote {args.out}", file=sys.stderr)
@@ -415,6 +466,11 @@ def _default_store() -> str:
 
 
 def cmd_batch(args) -> int:
+    import time
+
+    from repro.obs.fleet import BatchProgress, run_telemetry_dir
+    from repro.obs.ledger import RunLedger, RunRecord, new_run_id
+    from repro.perf.parallel import resolve_executor, resolve_workers
     from repro.service import JobScheduler, ResultStore
 
     targets = list(args.targets)
@@ -425,6 +481,9 @@ def cmd_batch(args) -> int:
         from repro.corpus import app_keys
 
         targets = app_keys()
+    label = " ".join(targets) if len(targets) <= 4 else (
+        f"{targets[0]} ... ({len(targets)} targets)"
+    )
 
     store = ResultStore(Path(args.store).expanduser())
     scheduler = JobScheduler(
@@ -434,25 +493,67 @@ def cmd_batch(args) -> int:
         retries=args.retries,
         executor=args.executor,
     )
+    run_id = new_run_id()
+    telemetry_dir = None
+    if not args.no_telemetry:
+        telemetry_dir = run_telemetry_dir(store.root, run_id, create=True)
+    progress = None
+    if args.progress:
+        progress = BatchProgress(len(targets), run_dir=telemetry_dir)
+    out_meta: dict = {}
+    started_unix = time.time()
+    t0 = time.perf_counter()
     try:
         try:
-            records = scheduler.run_batch(targets)
+            records = scheduler.run_batch(
+                targets,
+                run_id=run_id,
+                telemetry_dir=telemetry_dir,
+                progress=progress,
+                out_meta=out_meta,
+            )
         except LookupError as exc:
             raise SystemExit(str(exc))
     finally:
         scheduler.shutdown(drain=True)
+    wall = time.perf_counter() - t0
 
     analyses = scheduler.metrics.counter("analyses_run").value
     failed = [r["target"] for r in records if r["status"] != "done"]
     hits = sum(1 for r in records if r["cache_hit"])
 
+    if not args.no_ledger:
+        ledger = RunLedger(store.root)
+        ledger.append(
+            RunRecord.from_batch(
+                run_id=run_id,
+                label=label,
+                records=records,
+                started_unix=started_unix,
+                wall_s=round(wall, 4),
+                executor=resolve_executor(args.executor),
+                workers=resolve_workers(args.workers),
+                work_steals=scheduler.metrics.counter("work_steals").value,
+                warnings=out_meta.get("fallback_reasons") or [],
+                telemetry_dir=(
+                    str(telemetry_dir) if telemetry_dir is not None else None
+                ),
+                fleet_trace=out_meta.get("fleet_trace"),
+            )
+        )
+
     if args.json:
         print(json.dumps({
+            "run_id": run_id,
             "jobs": records,
             "cache_hits": hits,
             "analyses_run": analyses,
             "failed": len(failed),
             "store": store.stats(),
+            "telemetry_dir": (
+                str(telemetry_dir) if telemetry_dir is not None else None
+            ),
+            "fleet_trace": out_meta.get("fleet_trace"),
         }, indent=2, sort_keys=True))
         return 1 if failed else 0
 
@@ -478,7 +579,126 @@ def cmd_batch(args) -> int:
         f"({hits} cached), {len(failed)} failed; "
         f"analyses run: {analyses}; store: {store.stats()['entries']} entries"
     )
+    if not args.no_ledger:
+        print(f"run {run_id} recorded; inspect with: repro runs show {run_id}")
     return 1 if failed else 0
+
+
+def cmd_runs(args) -> int:
+    """Browse the run ledger (``repro runs list`` / ``repro runs show``)."""
+    from repro.obs.ledger import RunLedger, render_run, render_runs_table
+
+    ledger = RunLedger(Path(args.store).expanduser())
+    if args.action == "list":
+        records = ledger.tail(args.limit)
+        if args.json:
+            print(json.dumps(records, indent=2, sort_keys=True))
+        elif not records:
+            print(f"no runs recorded in {ledger.path}")
+        else:
+            print(render_runs_table(records))
+        return 0
+    record = ledger.get(args.run)
+    if record is None:
+        raise SystemExit(
+            f"no run {args.run!r} in {ledger.path} "
+            f"(try: repro runs list --store {args.store})"
+        )
+    if args.json:
+        print(json.dumps(record, indent=2, sort_keys=True))
+    else:
+        print(render_run(record))
+    return 0
+
+
+def cmd_bench_check(args) -> int:
+    """Gate on performance regressions against checked-in BENCH_*.json."""
+    from repro.obs.benchcheck import (
+        bench_kind,
+        candidate_from_run,
+        compare_benches,
+        fresh_candidate,
+        load_bench,
+        render_check,
+    )
+
+    baselines = list(args.baselines)
+    if not baselines:
+        baselines = [
+            str(p)
+            for p in (
+                Path("BENCH_batch_scale.json"),
+                Path("BENCH_corpus_scale.json"),
+                Path("BENCH_pipeline.json"),
+            )
+            if p.exists()
+        ]
+    if not baselines:
+        raise SystemExit(
+            "no baseline given and no BENCH_*.json found in the current "
+            "directory"
+        )
+
+    results = []
+    skipped = []
+    for path in baselines:
+        try:
+            baseline = load_bench(path)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(str(exc))
+        kind = bench_kind(baseline)
+        if args.candidate:
+            candidate = load_bench(args.candidate)
+        elif args.run:
+            from repro.obs.ledger import RunLedger
+
+            record = RunLedger(Path(args.store).expanduser()).get(args.run)
+            if record is None:
+                raise SystemExit(f"no run {args.run!r} in the ledger")
+            candidate = candidate_from_run(record)
+        else:
+            # fresh measurement; only the batch_scale shape defines one
+            if kind != "batch_scale":
+                skipped.append(f"{path}: no fresh-run source for {kind!r} "
+                               f"benches; pass --candidate or --run")
+                continue
+            workers = args.fresh_workers or min(
+                int(w) for w in baseline.get("by_workers", {"1": 0})
+            )
+            candidate = fresh_candidate(baseline, workers=workers)
+        results.append(
+            compare_benches(
+                baseline,
+                candidate,
+                bench_name=str(path),
+                threshold=args.threshold,
+            )
+        )
+
+    if args.json:
+        print(json.dumps(
+            {
+                "ok": all(r.ok for r in results),
+                "results": [r.to_dict() for r in results],
+                "skipped": skipped,
+            },
+            indent=2,
+            sort_keys=True,
+        ))
+    else:
+        for result in results:
+            print(render_check(result))
+        for note in skipped:
+            print(f"(skipped) {note}")
+    regressed = [r for r in results if not r.ok]
+    if regressed and args.warn_only:
+        print(
+            f"WARN-ONLY: {len(regressed)} bench(es) regressed beyond "
+            f"{args.threshold:.0%} but exit is forced to 0",
+            file=sys.stderr,
+        )
+        return 0
+    return 1 if regressed else 0
 
 
 def cmd_serve(args) -> int:
@@ -578,6 +798,9 @@ def main(argv: list[str] | None = None) -> int:
     p_analyze.add_argument("--trace-timings", action="store_true",
                            help="include wall-clock seconds per span "
                                 "(makes the trace run-specific)")
+    p_analyze.add_argument("--ledger", metavar="STORE_DIR", default=None,
+                           help="append this run to STORE_DIR's run ledger "
+                                "(repro runs list/show)")
     p_analyze.set_defaults(fn=cmd_analyze)
 
     p_lint = sub.add_parser(
@@ -609,7 +832,13 @@ def main(argv: list[str] | None = None) -> int:
     p_trace = sub.add_parser(
         "trace", help="run one traced analysis and emit the trace"
     )
-    p_trace.add_argument("target", help="corpus key or .sapk path")
+    p_trace.add_argument("target", nargs="?", default=None,
+                         help="corpus key or .sapk path (omit with --from)")
+    p_trace.add_argument("--from", dest="from_file", metavar="FILE",
+                         default=None,
+                         help="render an existing JSONL trace (e.g. a "
+                              "batch's merged fleet.trace.jsonl) instead "
+                              "of running an analysis")
     p_trace.add_argument("--flame", action="store_true",
                          help="collapsed flamegraph stacks (self-time in "
                               "microseconds) instead of JSONL")
@@ -718,7 +947,68 @@ def main(argv: list[str] | None = None) -> int:
                          help="retries per job on analyzer exceptions")
     p_batch.add_argument("--json", action="store_true",
                          help="machine-readable batch summary")
+    p_batch.add_argument("--progress", action="store_true",
+                         help="live progress on stderr: throughput, ETA, "
+                              "failures, and straggler flagging from the "
+                              "worker heartbeats")
+    p_batch.add_argument("--no-telemetry", action="store_true",
+                         help="skip worker trace streams, heartbeats and "
+                              "the merged fleet trace")
+    p_batch.add_argument("--no-ledger", action="store_true",
+                         help="skip the run-ledger entry")
     p_batch.set_defaults(fn=cmd_batch)
+
+    p_runs = sub.add_parser(
+        "runs", help="browse the run ledger (batch/serve/analyze history)"
+    )
+    runs_sub = p_runs.add_subparsers(dest="action", required=True)
+    p_runs_list = runs_sub.add_parser("list", help="recent runs")
+    p_runs_list.add_argument("--store", default=_default_store(),
+                             metavar="DIR")
+    p_runs_list.add_argument("-n", "--limit", type=int, default=20,
+                             metavar="N", help="show the last N runs")
+    p_runs_list.add_argument("--json", action="store_true")
+    p_runs_list.set_defaults(fn=cmd_runs)
+    p_runs_show = runs_sub.add_parser(
+        "show", help="one run in full (failures, phases, telemetry paths)"
+    )
+    p_runs_show.add_argument("run", help="run id (prefixes accepted)")
+    p_runs_show.add_argument("--store", default=_default_store(),
+                             metavar="DIR")
+    p_runs_show.add_argument("--json", action="store_true")
+    p_runs_show.set_defaults(fn=cmd_runs)
+
+    p_bench = sub.add_parser(
+        "bench", help="benchmark tooling (regression gating)"
+    )
+    bench_sub = p_bench.add_subparsers(dest="action", required=True)
+    p_check = bench_sub.add_parser(
+        "check",
+        help="compare a candidate measurement against checked-in "
+             "BENCH_*.json; exit 1 on regression",
+    )
+    p_check.add_argument("baselines", nargs="*",
+                         help="baseline BENCH_*.json files (default: the "
+                              "ones in the current directory)")
+    p_check.add_argument("--candidate", metavar="FILE", default=None,
+                         help="candidate bench JSON (same shape as the "
+                              "baseline)")
+    p_check.add_argument("--run", metavar="RUN_ID", default=None,
+                         help="use a run-ledger entry as the candidate")
+    p_check.add_argument("--store", default=_default_store(), metavar="DIR",
+                         help="store whose ledger --run reads")
+    p_check.add_argument("--fresh-workers", type=int, default=0, metavar="N",
+                         help="worker count for the fresh measurement "
+                              "(default: the baseline's smallest row)")
+    p_check.add_argument("--threshold", type=float, default=0.25,
+                         metavar="FRAC",
+                         help="allowed degradation before failing "
+                              "(default 0.25 = 25%%)")
+    p_check.add_argument("--warn-only", action="store_true",
+                         help="report regressions but exit 0 (CI smoke on "
+                              "shared runners)")
+    p_check.add_argument("--json", action="store_true")
+    p_check.set_defaults(fn=cmd_bench_check)
 
     p_serve = sub.add_parser("serve", help="run the HTTP analysis service")
     p_serve.add_argument("--host", default="127.0.0.1")
@@ -731,7 +1021,14 @@ def main(argv: list[str] | None = None) -> int:
     p_serve.set_defaults(fn=cmd_serve)
 
     args = parser.parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # stdout went away mid-print (e.g. `repro runs show ... | head`);
+        # exit quietly the way grep/cat do instead of dumping a traceback
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

@@ -2,12 +2,14 @@
 
 Zero-dependency tracing (nested spans with deterministic ids), per-phase
 stats embedded in analysis reports, a unified metrics registry with
-Prometheus text exposition, trace export (JSONL / collapsed stacks), and
-taint provenance ("why is this field in the signature?").
+Prometheus text exposition, trace export (JSONL / collapsed stacks),
+taint provenance ("why is this field in the signature?"), and the fleet
+telemetry layer (cross-process trace aggregation, run ledger, bench
+regression gating).
 
-The provenance helpers are imported lazily: they pull in the full
-pipeline (`repro.core.extractocol`), which itself imports this package
-for tracing.
+The provenance, ledger, and bench-check helpers are imported lazily:
+provenance pulls in the full pipeline (`repro.core.extractocol`), which
+itself imports this package for tracing.
 """
 
 from __future__ import annotations
@@ -15,10 +17,23 @@ from __future__ import annotations
 from .export import (
     TRACE_SCHEMA_VERSION,
     collapsed_stacks,
+    events_to_span,
     span_events,
     to_jsonl,
     validate_jsonl,
     write_jsonl,
+)
+from .fleet import (
+    BatchProgress,
+    WorkerTelemetry,
+    family_of,
+    fingerprint_mismatches,
+    host_fingerprint,
+    merge_worker_traces,
+    read_heartbeats,
+    run_telemetry_dir,
+    worker_liveness,
+    write_fleet_trace,
 )
 from .metrics import (
     Counter,
@@ -28,9 +43,10 @@ from .metrics import (
     render_prometheus,
 )
 from .phases import PHASES, PhaseStats, phase_table
-from .tracer import NULL_SPAN, NULL_TRACER, Span, Tracer
+from .tracer import NULL_SPAN, NULL_TRACER, Span, SpanTracer, Tracer
 
 __all__ = [
+    "BatchProgress",
     "Counter",
     "FieldProvenance",
     "Gauge",
@@ -41,23 +57,50 @@ __all__ = [
     "PHASES",
     "PhaseStats",
     "ProvenanceStep",
+    "RunLedger",
+    "RunRecord",
     "Span",
+    "SpanTracer",
     "TRACE_SCHEMA_VERSION",
     "Tracer",
+    "WorkerTelemetry",
     "collapsed_stacks",
+    "compare_benches",
+    "events_to_span",
     "explain",
+    "family_of",
+    "fingerprint_mismatches",
+    "host_fingerprint",
+    "merge_worker_traces",
+    "new_run_id",
     "phase_table",
+    "read_heartbeats",
     "render_prometheus",
+    "run_telemetry_dir",
     "span_events",
     "to_jsonl",
     "validate_jsonl",
+    "worker_liveness",
+    "write_fleet_trace",
     "write_jsonl",
 ]
 
+_LAZY = {
+    "FieldProvenance": "provenance",
+    "ProvenanceStep": "provenance",
+    "explain": "provenance",
+    "RunLedger": "ledger",
+    "RunRecord": "ledger",
+    "new_run_id": "ledger",
+    "compare_benches": "benchcheck",
+}
+
 
 def __getattr__(name: str):
-    if name in ("FieldProvenance", "ProvenanceStep", "explain"):
-        from . import provenance
+    module_name = _LAZY.get(name)
+    if module_name is not None:
+        import importlib
 
-        return getattr(provenance, name)
+        module = importlib.import_module(f".{module_name}", __name__)
+        return getattr(module, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,324 @@
+"""Benchmark regression gating — the engine behind ``repro bench check``.
+
+Compares a *candidate* performance measurement against a checked-in
+baseline ``BENCH_*.json`` and decides pass/fail with configurable
+thresholds, so CI consumes the bench trajectory instead of merely
+regenerating it.
+
+Three bench shapes are understood (detected structurally, no filename
+convention required):
+
+* ``batch_scale`` — ``{"by_workers": {"1": {apps_per_sec, p50_s, ...}}}``
+* ``corpus_scale`` — ``{"by_size": {"100": {apps_per_sec, p50_ms, ...}}}``
+* ``pipeline`` — ``{"apps": {...}, "aggregate": {"speedup": ...}}``
+
+Candidates come from three sources: another bench JSON file, a run-ledger
+entry (converted to a one-row ``batch_scale`` shape), or a fresh sharded
+batch run over the baseline's own target list.
+
+**Host fingerprints.**  Performance numbers are only comparable on
+comparable hosts.  Both sides' fingerprints (``meta.host``, falling back
+to the legacy top-level ``meta`` keys older BENCH files carry) are
+compared and every mismatch is reported loudly; mismatched comparisons
+still run — the caller decides whether to trust them — but the warnings
+make "1-core CI vs 16-core workstation" impossible to miss.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .fleet import fingerprint_mismatches, host_fingerprint
+
+#: Default regression threshold: a metric may degrade by up to 25%
+#: before the check fails (latency +25%, throughput −25%).
+DEFAULT_THRESHOLD = 0.25
+
+#: Metric direction: "higher" is better (throughput, speedup) or
+#: "lower" is better (latency).
+_BATCH_METRICS = (
+    ("apps_per_sec", "higher"),
+    ("p50_s", "lower"),
+    ("p99_s", "lower"),
+)
+_CORPUS_METRICS = (
+    ("gen_apps_per_sec", "higher"),
+    ("apps_per_sec", "higher"),
+    ("p50_ms", "lower"),
+    ("p99_ms", "lower"),
+)
+
+
+@dataclass
+class MetricCheck:
+    """One baseline/candidate metric pair and its verdict."""
+
+    metric: str
+    direction: str  # "higher" | "lower" is better
+    baseline: float
+    candidate: float
+    threshold: float
+    regressed: bool
+
+    @property
+    def ratio(self) -> float:
+        return self.candidate / self.baseline if self.baseline else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "metric": self.metric,
+            "direction": self.direction,
+            "baseline": self.baseline,
+            "candidate": self.candidate,
+            "ratio": round(self.ratio, 4),
+            "threshold": self.threshold,
+            "regressed": self.regressed,
+        }
+
+
+@dataclass
+class CheckResult:
+    """Outcome of one baseline-vs-candidate comparison."""
+
+    bench: str
+    kind: str
+    checks: list = field(default_factory=list)
+    fingerprint_warnings: list = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list:
+        return [c for c in self.checks if c.regressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def to_dict(self) -> dict:
+        return {
+            "bench": self.bench,
+            "kind": self.kind,
+            "ok": self.ok,
+            "checks": [c.to_dict() for c in self.checks],
+            "regressions": [c.metric for c in self.regressions],
+            "fingerprint_warnings": self.fingerprint_warnings,
+        }
+
+
+def bench_kind(data: dict) -> str | None:
+    """Classify a bench JSON structurally; None for unknown shapes."""
+    if "by_workers" in data:
+        return "batch_scale"
+    if "by_size" in data:
+        return "corpus_scale"
+    if "apps" in data and "aggregate" in data:
+        return "pipeline"
+    return None
+
+
+def bench_fingerprint(data: dict) -> dict:
+    """The host fingerprint of a bench report — ``meta.host`` when
+    present, else reconstructed from the legacy top-level meta keys."""
+    meta = data.get("meta") or {}
+    host = meta.get("host")
+    if isinstance(host, dict):
+        return host
+    return {
+        key: meta[key]
+        for key in ("python", "platform", "cpu_count", "usable_cpus")
+        if key in meta
+    }
+
+
+def extract_metrics(data: dict) -> dict[str, tuple[float, str]]:
+    """Flatten a bench report into ``{metric_path: (value, direction)}``.
+    Only numeric metrics with a known better-direction are extracted."""
+    kind = bench_kind(data)
+    out: dict[str, tuple[float, str]] = {}
+    if kind == "batch_scale":
+        for workers, row in (data.get("by_workers") or {}).items():
+            for metric, direction in _BATCH_METRICS:
+                if isinstance(row.get(metric), (int, float)):
+                    out[f"by_workers.{workers}.{metric}"] = (
+                        float(row[metric]),
+                        direction,
+                    )
+    elif kind == "corpus_scale":
+        for size, row in (data.get("by_size") or {}).items():
+            for metric, direction in _CORPUS_METRICS:
+                if isinstance(row.get(metric), (int, float)):
+                    out[f"by_size.{size}.{metric}"] = (
+                        float(row[metric]),
+                        direction,
+                    )
+    elif kind == "pipeline":
+        aggregate = data.get("aggregate") or {}
+        if isinstance(aggregate.get("speedup"), (int, float)):
+            out["aggregate.speedup"] = (float(aggregate["speedup"]), "higher")
+        for app, row in (data.get("apps") or {}).items():
+            if isinstance(row.get("parallel_s"), (int, float)):
+                out[f"apps.{app}.parallel_s"] = (
+                    float(row["parallel_s"]),
+                    "lower",
+                )
+    return out
+
+
+def compare_benches(
+    baseline: dict,
+    candidate: dict,
+    *,
+    bench_name: str = "bench",
+    threshold: float = DEFAULT_THRESHOLD,
+) -> CheckResult:
+    """Compare the metric intersection of two bench reports.
+
+    A "higher is better" metric regresses when the candidate falls below
+    ``baseline * (1 - threshold)``; a "lower is better" metric when it
+    exceeds ``baseline * (1 + threshold)``.
+    """
+    result = CheckResult(
+        bench=bench_name,
+        kind=bench_kind(baseline) or "unknown",
+        fingerprint_warnings=fingerprint_mismatches(
+            bench_fingerprint(baseline), bench_fingerprint(candidate)
+        ),
+    )
+    base_metrics = extract_metrics(baseline)
+    cand_metrics = extract_metrics(candidate)
+    for metric in sorted(set(base_metrics) & set(cand_metrics)):
+        base_value, direction = base_metrics[metric]
+        cand_value, _ = cand_metrics[metric]
+        if direction == "higher":
+            regressed = cand_value < base_value * (1.0 - threshold)
+        else:
+            regressed = cand_value > base_value * (1.0 + threshold)
+        result.checks.append(
+            MetricCheck(
+                metric=metric,
+                direction=direction,
+                baseline=base_value,
+                candidate=cand_value,
+                threshold=threshold,
+                regressed=regressed,
+            )
+        )
+    return result
+
+
+# ------------------------------------------------------- candidate sources
+def candidate_from_run(record: dict) -> dict:
+    """A run-ledger entry as a one-row ``batch_scale``-shaped candidate,
+    comparable against ``BENCH_batch_scale.json``'s matching worker row."""
+    workers = str(record.get("workers") or 1)
+    return {
+        "meta": {
+            "host": record.get("host") or {},
+            "source": f"run-ledger:{record.get('run_id')}",
+        },
+        "by_workers": {
+            workers: {
+                "wall_s": record.get("wall_s", 0.0),
+                "apps_per_sec": record.get("apps_per_sec", 0.0),
+                "p50_s": record.get("p50_s", 0.0),
+                "p99_s": record.get("p99_s", 0.0),
+                "work_steals": record.get("work_steals", 0),
+                "analyses_run": record.get("analyses_run", 0),
+            }
+        },
+    }
+
+
+def fresh_candidate(
+    baseline: dict, *, workers: int, store_root=None
+) -> dict:
+    """Measure a fresh cold sharded batch over the baseline's own target
+    list (one worker count) and return it in ``batch_scale`` shape."""
+    import tempfile
+    import time
+
+    from ..service.shard import run_sharded_batch
+    from .fleet import percentile
+
+    targets = list((baseline.get("meta") or {}).get("targets") or [])
+    if not targets:
+        raise ValueError(
+            "baseline meta.targets is empty; cannot run a fresh candidate"
+        )
+    with tempfile.TemporaryDirectory(prefix="repro-benchcheck-") as tmp:
+        root = store_root or tmp
+        t0 = time.perf_counter()
+        records = run_sharded_batch(root, targets, workers=workers)
+        wall = time.perf_counter() - t0
+    latencies = sorted(r.seconds for r in records if r.seconds)
+    return {
+        "meta": {"host": host_fingerprint(), "targets": targets,
+                 "source": "fresh"},
+        "by_workers": {
+            str(workers): {
+                "wall_s": round(wall, 4),
+                "apps_per_sec": round(len(records) / wall, 3),
+                "p50_s": round(percentile(latencies, 0.50), 4),
+                "p99_s": round(percentile(latencies, 0.99), 4),
+                "work_steals": sum(1 for r in records if r.stolen),
+                "analyses_run": sum(
+                    1
+                    for r in records
+                    if r.status == "done" and not r.cache_hit
+                ),
+            }
+        },
+    }
+
+
+def load_bench(path: str | Path) -> dict:
+    data = json.loads(Path(path).read_text())
+    if not isinstance(data, dict) or bench_kind(data) is None:
+        raise ValueError(f"{path}: not a recognized bench report")
+    return data
+
+
+# ------------------------------------------------------------- rendering
+def render_check(result: CheckResult) -> str:
+    lines = [f"== {result.bench} ({result.kind}) =="]
+    for warning in result.fingerprint_warnings:
+        lines.append(f"!! HOST FINGERPRINT MISMATCH: {warning}")
+    if result.fingerprint_warnings:
+        lines.append(
+            "!! numbers below compare across different hosts; "
+            "treat regressions/improvements with suspicion"
+        )
+    for check in result.checks:
+        arrow = "worse" if (
+            (check.direction == "higher" and check.ratio < 1.0)
+            or (check.direction == "lower" and check.ratio > 1.0)
+        ) else "better-or-equal"
+        status = "REGRESSED" if check.regressed else "ok"
+        lines.append(
+            f"  {status:<9} {check.metric:<34} "
+            f"base={check.baseline:g} cand={check.candidate:g} "
+            f"ratio={check.ratio:.3f} ({arrow})"
+        )
+    tally = (
+        f"{len(result.regressions)} regression(s)"
+        if result.regressions
+        else "no regressions"
+    )
+    lines.append(f"-- {tally} across {len(result.checks)} metric(s)")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "CheckResult",
+    "DEFAULT_THRESHOLD",
+    "MetricCheck",
+    "bench_fingerprint",
+    "bench_kind",
+    "candidate_from_run",
+    "compare_benches",
+    "extract_metrics",
+    "fresh_candidate",
+    "load_bench",
+    "render_check",
+]

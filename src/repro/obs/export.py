@@ -112,6 +112,42 @@ def validate_jsonl(text: str) -> list[dict]:
     return events
 
 
+def events_to_span(events: list[dict]) -> Span:
+    """Rebuild a :class:`Span` tree from exported span events (the inverse
+    of :func:`span_events`, modulo sibling-dedup state).
+
+    Lets downstream tooling (``repro trace --flame``, the fleet-trace
+    merger) consume a trace *file* with the same code paths that consume a
+    live span tree.  Events must arrive parent-before-child, as
+    :func:`validate_jsonl` guarantees.
+    """
+    if not events:
+        raise ValueError("no span events to rebuild")
+    by_id: dict[str, Span] = {}
+    root: Span | None = None
+    for event in events:
+        span = Span(event["name"])
+        span.attrs = dict(event.get("attrs", {}))
+        span.counters = dict(event.get("counters", {}))
+        span.seconds = float(event.get("seconds", 0.0))
+        parent_id = event.get("parent")
+        if parent_id is None:
+            if root is not None:
+                raise ValueError("trace has more than one root span")
+            root = span
+        else:
+            parent = by_id.get(parent_id)
+            if parent is None:
+                raise ValueError(
+                    f"span {event['id']!r} references unknown parent"
+                )
+            span.parent = parent
+            parent.children.append(span)
+        by_id[event["id"]] = span
+    assert root is not None  # first event has parent None per validation
+    return root
+
+
 def collapsed_stacks(root: Span) -> str:
     """The trace as collapsed stacks (``a;b;c <self-microseconds>``),
     consumable by flamegraph.pl / speedscope.  Spans with zero self time
@@ -132,6 +168,7 @@ def collapsed_stacks(root: Span) -> str:
 __all__ = [
     "TRACE_SCHEMA_VERSION",
     "collapsed_stacks",
+    "events_to_span",
     "span_events",
     "to_jsonl",
     "validate_jsonl",

@@ -125,31 +125,77 @@ class Histogram:
             return self._count
 
 
+#: A metric series key: ``(name, (("label", "value"), ...))``.  Unlabeled
+#: metrics use an empty label tuple, so plain ``counter("x")`` lookups are
+#: unchanged.
+SeriesKey = tuple
+
+
+def _series_key(name: str, labels: dict | None) -> SeriesKey:
+    if not labels:
+        return (name, ())
+    return (name, tuple(sorted((str(k), str(v)) for k, v in labels.items())))
+
+
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text format: backslash,
+    double quote and newline must be escaped inside the quotes."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _render_labels(labels: tuple, extra: str = "") -> str:
+    """``{a="x",b="y"}`` for a sorted label tuple (empty string when there
+    are no labels and no extra pair)."""
+    parts = [f'{k}="{_escape_label_value(v)}"' for k, v in labels]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _display_name(key: SeriesKey) -> str:
+    """The JSON-dict display form of a series: bare name when unlabeled,
+    ``name{a="x"}`` otherwise."""
+    name, labels = key
+    return name + _render_labels(labels)
+
+
 class MetricsRegistry:
     """Named metrics, created on first use, exported as one JSON dict.
 
     Service components each own an instance; process-wide events with no
     registry in reach (executor fallbacks in library code) land on the
     module-level :func:`global_registry`.
+
+    Every metric accepts optional ``labels`` — a flat str→str dict that
+    distinguishes series within one metric family (``histogram(
+    "phase_seconds", labels={"phase": "slicing"})``).  Unlabeled calls are
+    unchanged, and labeled families render as proper multi-series metrics
+    in the Prometheus exposition.
     """
 
     def __init__(self) -> None:
-        self._counters: dict[str, Counter] = {}
-        self._gauges: dict[str, Gauge] = {}
-        self._histograms: dict[str, Histogram] = {}
+        self._counters: dict[SeriesKey, Counter] = {}
+        self._gauges: dict[SeriesKey, Gauge] = {}
+        self._histograms: dict[SeriesKey, Histogram] = {}
         self._lock = threading.Lock()
 
-    def counter(self, name: str) -> Counter:
+    def counter(self, name: str, labels: dict | None = None) -> Counter:
         with self._lock:
-            return self._counters.setdefault(name, Counter())
+            return self._counters.setdefault(
+                _series_key(name, labels), Counter()
+            )
 
-    def gauge(self, name: str) -> Gauge:
+    def gauge(self, name: str, labels: dict | None = None) -> Gauge:
         with self._lock:
-            return self._gauges.setdefault(name, Gauge())
+            return self._gauges.setdefault(_series_key(name, labels), Gauge())
 
-    def histogram(self, name: str) -> Histogram:
+    def histogram(self, name: str, labels: dict | None = None) -> Histogram:
         with self._lock:
-            return self._histograms.setdefault(name, Histogram())
+            return self._histograms.setdefault(
+                _series_key(name, labels), Histogram()
+            )
 
     def _snapshot(self) -> tuple[dict, dict, dict]:
         with self._lock:
@@ -162,10 +208,15 @@ class MetricsRegistry:
     def to_dict(self) -> dict:
         counters, gauges, histograms = self._snapshot()
         return {
-            "counters": {n: c.value for n, c in sorted(counters.items())},
-            "gauges": {n: g.value for n, g in sorted(gauges.items())},
+            "counters": {
+                _display_name(k): c.value for k, c in sorted(counters.items())
+            },
+            "gauges": {
+                _display_name(k): g.value for k, g in sorted(gauges.items())
+            },
             "histograms": {
-                n: h.summary() for n, h in sorted(histograms.items())
+                _display_name(k): h.summary()
+                for k, h in sorted(histograms.items())
             },
         }
 
@@ -210,26 +261,38 @@ def render_prometheus(registry: MetricsRegistry, *, namespace: str = "repro") ->
     """
     counters, gauges, histograms = registry._snapshot()
     lines: list[str] = []
-    for name, counter in sorted(counters.items()):
+    typed: set[str] = set()
+
+    def declare(metric: str, kind: str) -> None:
+        # one # TYPE line per metric family, before its first series
+        if metric not in typed:
+            typed.add(metric)
+            lines.append(f"# TYPE {metric} {kind}")
+
+    for (name, labels), counter in sorted(counters.items()):
         metric = _metric_name(name, namespace) + "_total"
-        lines.append(f"# TYPE {metric} counter")
-        lines.append(f"{metric} {counter.value}")
-    for name, gauge in sorted(gauges.items()):
+        declare(metric, "counter")
+        lines.append(f"{metric}{_render_labels(labels)} {counter.value}")
+    for (name, labels), gauge in sorted(gauges.items()):
         metric = _metric_name(name, namespace)
-        lines.append(f"# TYPE {metric} gauge")
-        lines.append(f"{metric} {gauge.value}")
-    for name, histogram in sorted(histograms.items()):
+        declare(metric, "gauge")
+        lines.append(f"{metric}{_render_labels(labels)} {gauge.value}")
+    for (name, labels), histogram in sorted(histograms.items()):
         metric = _metric_name(name, namespace)
         bounds, counts, count, total = histogram.snapshot()
-        lines.append(f"# TYPE {metric} histogram")
+        declare(metric, "histogram")
         cumulative = 0
         for bound, bucket_count in zip(bounds, counts):
             cumulative += bucket_count
-            lines.append(f'{metric}_bucket{{le="{bound:g}"}} {cumulative}')
+            le = _render_labels(labels, f'le="{bound:g}"')
+            lines.append(f"{metric}_bucket{le} {cumulative}")
         cumulative += counts[-1]
-        lines.append(f'{metric}_bucket{{le="+Inf"}} {cumulative}')
-        lines.append(f"{metric}_sum {_format_value(total)}")
-        lines.append(f"{metric}_count {count}")
+        le = _render_labels(labels, 'le="+Inf"')
+        lines.append(f"{metric}_bucket{le} {cumulative}")
+        lines.append(
+            f"{metric}_sum{_render_labels(labels)} {_format_value(total)}"
+        )
+        lines.append(f"{metric}_count{_render_labels(labels)} {count}")
     return "\n".join(lines) + "\n"
 
 

@@ -209,6 +209,25 @@ class Tracer:
         return self.root.child(name, **attrs)
 
 
+class SpanTracer:
+    """A tracer view rooted at an *existing* span.
+
+    Code written against the ``Tracer`` interface (``tracer.span(name)``)
+    can be pointed at any subtree: the shard workers hand
+    ``Extractocol`` a ``SpanTracer(job_span)`` so the whole analysis trace
+    hangs under that batch entry's ``job:<app>`` span instead of a
+    detached root.
+    """
+
+    enabled = True
+
+    def __init__(self, root: Span) -> None:
+        self.root = root
+
+    def span(self, name: str, **attrs) -> Span:
+        return self.root.child(name, **attrs)
+
+
 class _NullTracer:
     """Disabled tracer: ``span()`` hands out :data:`NULL_SPAN`."""
 
@@ -225,4 +244,4 @@ class _NullTracer:
 NULL_TRACER = _NullTracer()
 
 
-__all__ = ["NULL_SPAN", "NULL_TRACER", "Span", "Tracer"]
+__all__ = ["NULL_SPAN", "NULL_TRACER", "Span", "SpanTracer", "Tracer"]

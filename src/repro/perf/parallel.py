@@ -96,18 +96,42 @@ def resolve_executor(executor: str | None) -> str:
 
 # ------------------------------------------------------- fallback accounting
 _fallback_warned = False
+_fallback_audible = True
+_fallback_reasons: list[str] = []
+
+
+def silence_fallback_warnings() -> None:
+    """Suppress the audible one-time ``RuntimeWarning`` in *this* process
+    (counting and reason capture continue).  Shard worker processes call
+    this so an N-worker fleet doesn't re-emit the same warning N times on
+    stderr; the coordinator collects the reasons via
+    :func:`take_fallback_reasons` and surfaces them once, through the run
+    ledger."""
+    global _fallback_audible
+    _fallback_audible = False
+
+
+def take_fallback_reasons() -> list[str]:
+    """Drain the fallback reasons recorded in this process since the last
+    call (deduplicated, first-seen order)."""
+    global _fallback_reasons
+    reasons, _fallback_reasons = _fallback_reasons, []
+    return list(dict.fromkeys(reasons))
 
 
 def note_executor_fallback(reason: str) -> None:
     """Record a process→thread executor degradation: bump the
-    ``executor_fallbacks`` counter on the global metrics registry and warn
-    once per process (silent degradation hid single-core-equivalent
-    behaviour for the whole life of the fork side path)."""
+    ``executor_fallbacks`` counter on the global metrics registry, remember
+    the reason, and warn once per process (silent degradation hid
+    single-core-equivalent behaviour for the whole life of the fork side
+    path).  Processes that report the degradation through another channel
+    mute the warning with :func:`silence_fallback_warnings`."""
     global _fallback_warned
     from ..obs.metrics import global_registry
 
     global_registry().counter("executor_fallbacks").inc()
-    if not _fallback_warned:
+    _fallback_reasons.append(reason)
+    if _fallback_audible and not _fallback_warned:
         _fallback_warned = True
         warnings.warn(
             f"process executor unavailable ({reason}); falling back to "
@@ -246,6 +270,8 @@ __all__ = [
     "resolve_executor",
     "resolve_workers",
     "run_map",
+    "silence_fallback_warnings",
+    "take_fallback_reasons",
     "thread_map",
     "usable_cpus",
 ]

@@ -22,6 +22,11 @@ operable.  Three layers, separately usable:
     metrics/health endpoints.
 
 ``repro batch`` (CLI) drives the scheduler directly, no HTTP involved.
+
+Fleet telemetry (worker trace streams, heartbeats, the run ledger) lives
+in :mod:`repro.obs.fleet` / :mod:`repro.obs.ledger`; the shard engine and
+the daemon write it, ``repro runs`` / ``repro batch --progress`` /
+``GET /status`` read it.
 """
 
 from .jobs import (

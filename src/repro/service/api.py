@@ -17,7 +17,11 @@ Endpoints::
     GET  /metrics          counters / gauges / histograms + store stats
                            (JSON by default; ``?format=prometheus`` or an
                            ``Accept: text/plain`` header switches to
-                           Prometheus text exposition)
+                           Prometheus text exposition, including per-phase
+                           and per-family latency histograms and
+                           ``worker_up`` liveness gauges)
+    GET  /status           fleet status: uptime, job tallies, worker
+                           liveness, store stats, recent run-ledger entries
     GET  /healthz          liveness + queue snapshot
 
 ``POST /analyze`` answers ``202`` with the job (``200`` when the result
@@ -31,6 +35,7 @@ from __future__ import annotations
 import json
 import tempfile
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 
@@ -80,6 +85,11 @@ class AnalysisService:
         handler = _make_handler(self)
         self.server = ThreadingHTTPServer((host, port), handler)
         self._thread: threading.Thread | None = None
+        from ..obs.ledger import RunLedger, new_run_id
+
+        self.run_id = new_run_id()
+        self.ledger = RunLedger(store_root)
+        self._started_unix = time.time()
 
     # ---------------------------------------------------------- lifecycle
     @property
@@ -108,6 +118,31 @@ class AnalysisService:
         if self._thread is not None:
             self._thread.join(5)
         self.scheduler.shutdown(drain=drain)
+        self._append_serve_record()
+
+    def _append_serve_record(self) -> None:
+        """One ledger entry summarising the daemon's whole serving run."""
+        from ..obs.ledger import RunRecord
+
+        jobs = self.scheduler.jobs()
+        try:
+            self.ledger.append(
+                RunRecord(
+                    run_id=self.run_id,
+                    kind="serve",
+                    label=self.url,
+                    started_unix=self._started_unix,
+                    wall_s=round(time.time() - self._started_unix, 3),
+                    executor=self.scheduler.executor,
+                    workers=self.scheduler.workers,
+                    targets=len(jobs),
+                    done=sum(j.status.value == "done" for j in jobs),
+                    failed=sum(j.status.value == "failed" for j in jobs),
+                    cache_hits=sum(j.cache_hit for j in jobs),
+                )
+            )
+        except OSError:
+            pass  # a read-only store must not break shutdown
 
     # ---------------------------------------------------------- handlers
     def handle_analyze(self, body: bytes, content_type: str, headers) -> tuple[int, dict]:
@@ -160,10 +195,43 @@ class AnalysisService:
 
     def handle_metrics_prometheus(self) -> str:
         """The registry in Prometheus text exposition format, with the
-        store stats mirrored in as gauges."""
+        store stats mirrored in as gauges and one ``worker_up`` liveness
+        gauge per scheduler worker."""
         for name, value in self.store.stats().items():
             self.metrics.gauge(f"store_{name}").set(int(value))
+        for worker in self.scheduler.worker_status():
+            self.metrics.gauge(
+                "worker_up", labels={"worker": worker["worker"]}
+            ).set(int(worker["alive"]))
         return render_prometheus(self.metrics)
+
+    def handle_status(self) -> dict:
+        """Fleet status: what is this daemon doing right now, and what has
+        this store seen recently."""
+        jobs = self.scheduler.jobs()
+        by_status: dict[str, int] = {}
+        for job in jobs:
+            by_status[job.status.value] = by_status.get(job.status.value, 0) + 1
+        return {
+            "status": "ok",
+            "run_id": self.run_id,
+            "uptime_s": round(time.time() - self._started_unix, 3),
+            "executor": self.scheduler.executor,
+            "jobs": {"total": len(jobs), **by_status},
+            "workers": self.scheduler.worker_status(),
+            "store": self.store.stats(),
+            "recent_runs": [
+                {
+                    "run_id": record.get("run_id"),
+                    "kind": record.get("kind"),
+                    "label": record.get("label"),
+                    "targets": record.get("targets"),
+                    "failed": record.get("failed"),
+                    "wall_s": record.get("wall_s"),
+                }
+                for record in self.ledger.tail(5)
+            ],
+        }
 
     def handle_diff(self, old_key: str, new_key: str) -> tuple[int, dict]:
         from ..diff.engine import cached_diff, diff_cache_key
@@ -227,6 +295,8 @@ def _make_handler(service: AnalysisService):
             query = parse_qs(url.query)
             if path == "/healthz":
                 self._send(200, service.handle_healthz())
+            elif path == "/status":
+                self._send(200, service.handle_status())
             elif path == "/metrics":
                 wants_text = query.get("format", [""])[0] == "prometheus" or (
                     "text/plain" in self.headers.get("Accept", "")

@@ -303,6 +303,10 @@ class JobScheduler:
         overrides: dict | None = None,
         *,
         span=None,
+        run_id: str | None = None,
+        telemetry_dir=None,
+        progress=None,
+        out_meta: dict | None = None,
     ) -> list[dict]:
         """Run a batch of targets end to end; returns one record dict per
         target, in input order.
@@ -348,17 +352,28 @@ class JobScheduler:
                     start_method=self.start_method,
                     metrics=self.metrics,
                     span=span,
+                    run_id=run_id,
+                    telemetry_dir=telemetry_dir,
+                    progress=progress,
+                    out_meta=out_meta,
                 )
             except RuntimeError as exc:
                 note_executor_fallback(str(exc))
             else:
                 return [r.to_dict() for r in records]
+        if out_meta is not None:
+            # the thread engine runs in-process: no worker telemetry dir
+            out_meta.setdefault("run_id", run_id)
+            out_meta.setdefault("fallback_reasons", [])
         jobs = [self.submit_target(t, overrides) for t in targets]
-        self.wait(jobs)
-        return [
-            dict(job.to_dict(), target=target)
-            for target, job in zip(targets, jobs)
-        ]
+        out: list[dict] = []
+        for done, (target, job) in enumerate(zip(targets, jobs), 1):
+            job.wait()
+            record = dict(job.to_dict(), target=target)
+            out.append(record)
+            if progress is not None:
+                progress(record, done, len(targets))
+        return out
 
     # ------------------------------------------------------------ query
     def job(self, job_id: str) -> Job | None:
@@ -368,6 +383,17 @@ class JobScheduler:
     def jobs(self) -> list[Job]:
         with self._lock:
             return sorted(self._jobs.values(), key=lambda j: j.job_id)
+
+    def worker_status(self) -> list[dict]:
+        """Liveness of the in-process worker pool (``GET /status`` and the
+        ``worker_up`` Prometheus gauges).  Empty until the lazily-started
+        pool has spun up."""
+        with self._lock:
+            threads = list(self._threads)
+        return [
+            {"worker": thread.name, "alive": thread.is_alive()}
+            for thread in threads
+        ]
 
     def wait(self, jobs=None, timeout: float | None = None) -> bool:
         """Block until the given jobs (default: all known) finish.
@@ -415,9 +441,19 @@ class JobScheduler:
             report = call_with_timeout(
                 lambda: self.analyzer(apk, config), self.timeout
             )
-            self.metrics.histogram("analyze_seconds").observe(
-                time.monotonic() - started
-            )
+            elapsed = time.monotonic() - started
+            self.metrics.histogram("analyze_seconds").observe(elapsed)
+            from ..obs.fleet import family_of
+
+            self.metrics.histogram(
+                "app_seconds", labels={"family": family_of(job.label)}
+            ).observe(elapsed)
+            stats = getattr(report, "phase_stats", None)
+            if stats is not None:
+                for phase, phase_s in stats.seconds.items():
+                    self.metrics.histogram(
+                        "phase_seconds", labels={"phase": phase}
+                    ).observe(phase_s)
             for finding in getattr(report, "lint_findings", ()) or ():
                 self.metrics.counter(
                     f"lint_findings_{finding.severity.value}"

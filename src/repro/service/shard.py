@@ -67,10 +67,26 @@ class ShardRecord:
     result_key: str | None = None
     attempts: int = 0
     seconds: float = 0.0
+    #: combined "<Type>: <message>" string (kept for compatibility);
+    #: ``error_type``/``error_message`` carry the structured split so
+    #: ``repro runs show`` can explain *why* an app failed
     error: str | None = None
+    error_type: str | None = None
+    error_message: str | None = None
     traceback: str | None = None
+    #: per-phase wall seconds from the worker-side PhaseStats
+    phase_seconds: dict[str, float] = field(default_factory=dict)
     #: worker-side counter deltas folded into the parent registry
     counters: dict[str, int] = field(default_factory=dict)
+
+    def fail(self, exc: BaseException, *, trace: bool = False) -> None:
+        """Record a structured failure from an exception."""
+        self.status = "failed"
+        self.error_type = type(exc).__name__
+        self.error_message = str(exc)
+        self.error = f"{self.error_type}: {self.error_message}"
+        if trace:
+            self.traceback = traceback.format_exc()
 
     def to_dict(self) -> dict:
         return {
@@ -86,6 +102,10 @@ class ShardRecord:
             "attempts": self.attempts,
             "seconds": self.seconds,
             "error": self.error,
+            "error_type": self.error_type,
+            "error_message": self.error_message,
+            "traceback": self.traceback,
+            "phase_seconds": self.phase_seconds,
         }
 
 
@@ -94,12 +114,14 @@ def shard_of(targets: list, shard: int, workers: int) -> list[tuple[int, object]
     return [(i, t) for i, t in enumerate(targets) if i % workers == shard]
 
 
-def _analyze_once(apk, config, timeout: float | None):
+def _analyze_once(apk, config, timeout: float | None, tracer=None):
     from .jobs import call_with_timeout
 
     def run():
         from ..core.extractocol import Extractocol
 
+        if tracer is not None:
+            return Extractocol(config, tracer=tracer).analyze(apk)
         return Extractocol(config).analyze(apk)
 
     return call_with_timeout(run, timeout)
@@ -116,11 +138,16 @@ def _process_item(
     retries: int,
     backoff: float,
     timeout: float | None,
+    span=None,
 ) -> ShardRecord:
-    """Resolve, dedup and (if needed) analyse one claimed batch entry."""
+    """Resolve, dedup and (if needed) analyse one claimed batch entry.
+    When ``span`` is given the analysis trace nests under it (see
+    :class:`~repro.obs.tracer.SpanTracer`)."""
+    from ..obs.tracer import SpanTracer
     from .jobs import resolve_target
     from .store import result_key
 
+    tracer = SpanTracer(span) if span is not None and span else None
     record = ShardRecord(
         index=index,
         target=target,
@@ -131,8 +158,7 @@ def _process_item(
     try:
         apk, config, label = resolve_target(target, overrides)
     except Exception as exc:
-        record.status = "failed"
-        record.error = f"{type(exc).__name__}: {exc}"
+        record.fail(exc, trace=True)
         record.label = target
         return record
     record.label = label
@@ -170,23 +196,30 @@ def _process_item(
             time.sleep(_LEASE_POLL)
         else:
             record.status = "failed"
-            record.error = (
+            record.error_type = "LeaseWaitTimeout"
+            record.error_message = (
                 f"timed out waiting for in-flight analysis of {key} "
                 f"(lease holder: {store.lease_holder(key)})"
             )
+            record.error = record.error_message
             record.seconds = time.monotonic() - started
             return record
 
     try:
-        last_error: str | None = None
         for attempt in range(1, retries + 2):
             record.attempts = attempt
             try:
                 t0 = time.monotonic()
-                report = _analyze_once(apk, config, timeout)
+                report = _analyze_once(apk, config, timeout, tracer)
                 record.counters["analyses_run"] = (
                     record.counters.get("analyses_run", 0) + 1
                 )
+                stats = getattr(report, "phase_stats", None)
+                if stats is not None:
+                    record.phase_seconds = {
+                        phase: round(seconds, 6)
+                        for phase, seconds in stats.seconds.items()
+                    }
                 store.put(
                     digest,
                     config.cache_key(),
@@ -196,8 +229,11 @@ def _process_item(
                 record.seconds = time.monotonic() - started
                 return record
             except Exception as exc:
-                last_error = f"{type(exc).__name__}: {exc}"
-                record.error = last_error
+                # structured detail only; status stays "done" until the
+                # retry budget is exhausted (a later attempt may succeed)
+                record.error_type = type(exc).__name__
+                record.error_message = str(exc)
+                record.error = f"{record.error_type}: {record.error_message}"
                 record.traceback = traceback.format_exc()
                 from .jobs import JobTimeout
 
@@ -226,12 +262,35 @@ def _shard_worker(
     backoff: float,
     timeout: float | None,
     out_q,
+    telemetry_dir: str | None = None,
 ) -> None:
     """Analyzer worker process: drain the owned shard front-to-back, then
     steal other shards back-to-front.  Every item is gated on the
     batch-local claim, so each batch entry is processed (and reported)
-    exactly once across all workers."""
+    exactly once across all workers.
+
+    With ``telemetry_dir`` set, the worker emits fleet telemetry: a
+    heartbeat beacon around every item and a full span stream
+    (``worker-<n>.trace.jsonl``) where each processed entry is a
+    ``job:<target>`` span — tagged with run/worker/shard correlation
+    ids — under which the whole analysis trace nests.
+    """
+    from ..perf.parallel import silence_fallback_warnings, take_fallback_reasons
     from .store import ResultStore
+
+    # one audible warning per *fleet*, not per worker: reasons travel back
+    # in the exit payload and the coordinator surfaces them once
+    silence_fallback_warnings()
+    telemetry = None
+    root_span = None
+    if telemetry_dir is not None:
+        from ..obs.fleet import WorkerTelemetry
+        from ..obs.tracer import Span
+
+        telemetry = WorkerTelemetry(telemetry_dir, worker_id, batch_id)
+        root_span = Span(f"worker-{worker_id}")
+        root_span.set("run_id", batch_id)
+        root_span.set("worker", worker_id)
 
     store = ResultStore(store_root)
     own: deque = deque(shard_of(targets, worker_id, workers))
@@ -245,6 +304,18 @@ def _shard_worker(
         for index, target in work:
             if not store.claim(f"batch-{batch_id}-{index}", owner=f"w{worker_id}"):
                 continue  # another worker owns this entry
+            job_span = None
+            if root_span is not None:
+                job_span = root_span.child(f"job:{target}")
+                job_span.set("index", index)
+                job_span.set("app_key", str(target))
+                job_span.set("run_id", batch_id)
+                job_span.set("worker", worker_id)
+                job_span.set("shard", index % workers)
+            if telemetry is not None:
+                telemetry.heartbeat(
+                    status="running", in_flight=str(target), processed=done
+                )
             record = _process_item(
                 store,
                 index,
@@ -255,17 +326,42 @@ def _shard_worker(
                 retries=retries,
                 backoff=backoff,
                 timeout=timeout,
+                span=job_span,
             )
+            if job_span is not None:
+                job_span.seconds = record.seconds
+                job_span.set("status", record.status)
+                job_span.set("stolen", record.stolen)
+                job_span.set("cache_hit", record.cache_hit)
+                for name, amount in record.counters.items():
+                    job_span.count(name, amount)
             done += 1
+            if telemetry is not None:
+                telemetry.heartbeat(status="idle", processed=done)
             out_q.put(("record", record.to_dict() | {
-                "traceback": record.traceback,
                 "counters": record.counters,
             }))
     except BaseException as exc:  # worker must always announce its exit
         out_q.put(("crash", {"worker": worker_id, "error": repr(exc)}))
         raise
     finally:
-        out_q.put(("exit", {"worker": worker_id, "processed": done}))
+        if telemetry is not None:
+            if root_span is not None:
+                try:
+                    telemetry.write_trace(root_span)
+                except OSError:
+                    pass  # telemetry must never take the batch down
+            telemetry.heartbeat(status="exited", processed=done)
+        out_q.put(
+            (
+                "exit",
+                {
+                    "worker": worker_id,
+                    "processed": done,
+                    "fallback_reasons": take_fallback_reasons(),
+                },
+            )
+        )
 
 
 def run_sharded_batch(
@@ -281,6 +377,10 @@ def run_sharded_batch(
     metrics=None,
     span=None,
     cleanup_claims: bool = True,
+    run_id: str | None = None,
+    telemetry_dir: str | os.PathLike | None = None,
+    progress=None,
+    out_meta: dict | None = None,
 ) -> list[ShardRecord]:
     """Run ``targets`` through ``workers`` analyzer processes; returns one
     :class:`ShardRecord` per target, in input order.
@@ -288,13 +388,28 @@ def run_sharded_batch(
     Worker counters fold into ``metrics`` and each record replays a
     ``job:<label>`` child span on ``span`` (when given), so the parent's
     observability view is complete despite the process boundary.
+
+    Fleet telemetry: pass ``run_id`` (also used as the batch claim id) and
+    ``telemetry_dir`` to make each worker write heartbeats plus a span
+    stream there; after the batch the coordinator merges the streams into
+    a deterministic ``fleet.trace.jsonl``.  ``progress`` is called as
+    ``progress(record, done, total)`` per completed entry (live, in
+    completion order).  ``out_meta``, when given, is filled with the run's
+    side facts (run_id, telemetry/fleet-trace paths, deduplicated
+    executor-fallback reasons).
     """
     from .store import ResultStore
 
     if not targets:
+        if out_meta is not None:
+            out_meta.setdefault("run_id", run_id)
+            out_meta.setdefault("fallback_reasons", [])
         return []
     workers = max(1, min(workers, len(targets)))
-    batch_id = uuid.uuid4().hex[:12]
+    batch_id = run_id or uuid.uuid4().hex[:12]
+    if telemetry_dir is not None:
+        telemetry_dir = str(telemetry_dir)
+        os.makedirs(telemetry_dir, exist_ok=True)
     method = start_method or default_start_method()
     if method is None:
         raise RuntimeError("no multiprocessing start method available")
@@ -314,6 +429,7 @@ def run_sharded_batch(
                 backoff,
                 timeout,
                 out_q,
+                telemetry_dir,
             ),
             daemon=True,
         )
@@ -324,29 +440,52 @@ def run_sharded_batch(
 
     records: dict[int, ShardRecord] = {}
     crashes: list[dict] = []
+    fallback_reasons: list[str] = []
     exited = 0
     while exited < len(procs):
         kind, payload = out_q.get()
         if kind == "exit":
             exited += 1
+            fallback_reasons.extend(payload.get("fallback_reasons") or [])
         elif kind == "crash":
             crashes.append(payload)
         else:
             counters = payload.pop("counters", {}) or {}
-            tb = payload.pop("traceback", None)
             record = ShardRecord(**payload)
-            record.traceback = tb
             record.counters = counters
             records[record.index] = record
             if metrics is not None:
                 _fold_metrics(metrics, record)
+            if progress is not None:
+                progress(record, len(records), len(targets))
     for p in procs:
         p.join()
+
+    fallback_reasons = list(dict.fromkeys(fallback_reasons))
+    if fallback_reasons:
+        # one audible line for the whole fleet (the workers were muted)
+        from ..perf.parallel import note_executor_fallback
+
+        note_executor_fallback(fallback_reasons[0])
 
     store = ResultStore(store_root)
     if cleanup_claims:
         for index in range(len(targets)):
             store.release(f"batch-{batch_id}-{index}")
+
+    fleet_trace = None
+    if telemetry_dir is not None:
+        from ..obs.fleet import write_fleet_trace
+
+        try:
+            fleet_trace = str(write_fleet_trace(telemetry_dir))
+        except (OSError, ValueError):
+            fleet_trace = None  # a crashed worker may leave a torn stream
+    if out_meta is not None:
+        out_meta["run_id"] = batch_id
+        out_meta["telemetry_dir"] = telemetry_dir
+        out_meta["fleet_trace"] = fleet_trace
+        out_meta["fallback_reasons"] = fallback_reasons
 
     out: list[ShardRecord] = []
     for index, target in enumerate(targets):
@@ -375,6 +514,8 @@ def run_sharded_batch(
 
 
 def _fold_metrics(metrics, record: ShardRecord) -> None:
+    from ..obs.fleet import family_of
+
     for name, amount in record.counters.items():
         metrics.counter(name).inc(amount)
     metrics.counter("jobs_submitted").inc()
@@ -384,8 +525,16 @@ def _fold_metrics(metrics, record: ShardRecord) -> None:
             metrics.counter("cache_hits_batch").inc()
         else:
             metrics.histogram("job_seconds").observe(record.seconds)
+            metrics.histogram(
+                "app_seconds",
+                labels={"family": family_of(record.label or record.target)},
+            ).observe(record.seconds)
     else:
         metrics.counter("jobs_failed").inc()
+    for phase, phase_s in (record.phase_seconds or {}).items():
+        metrics.histogram(
+            "phase_seconds", labels={"phase": phase}
+        ).observe(phase_s)
     if record.stolen:
         metrics.counter("work_steals").inc()
 

@@ -1,0 +1,317 @@
+"""Fleet telemetry tests: heartbeats, cross-process trace aggregation
+(determinism, span-set equality with the per-worker streams), host
+fingerprints, live progress, and the shard engine's telemetry wiring."""
+
+from __future__ import annotations
+
+import io
+import json
+import time
+
+import pytest
+
+from repro.obs.export import validate_jsonl
+from repro.obs.fleet import (
+    BatchProgress,
+    WorkerTelemetry,
+    family_of,
+    fingerprint_mismatches,
+    host_fingerprint,
+    merge_worker_traces,
+    percentile,
+    read_heartbeats,
+    run_telemetry_dir,
+    worker_liveness,
+)
+from repro.obs.tracer import Span
+from repro.service.shard import run_sharded_batch
+
+TARGETS = ["diode", "ted", "tzm", "kayak"]
+
+
+# ------------------------------------------------------------ fingerprints
+class TestHostFingerprint:
+    def test_fields(self):
+        fp = host_fingerprint()
+        assert set(fp) == {
+            "python", "platform", "machine", "cpu_count", "usable_cpus"
+        }
+        assert fp["usable_cpus"] >= 1
+
+    def test_mismatches_lists_differing_keys(self):
+        a = host_fingerprint()
+        b = dict(a, usable_cpus=a["usable_cpus"] + 8, python="2.7.0")
+        notes = fingerprint_mismatches(a, b)
+        assert len(notes) == 2
+        assert any("usable_cpus" in n for n in notes)
+        assert any("python" in n for n in notes)
+
+    def test_missing_keys_are_not_mismatches(self):
+        # legacy bench reports may lack newer fingerprint fields
+        assert fingerprint_mismatches({"python": "3.11"}, {}) == []
+
+    def test_family_of(self):
+        assert family_of("syn-transports-s7-0041") == "transports"
+        assert family_of("syn-pag-s0-0000") == "pag"
+        assert family_of("pinterest") == "corpus"
+        assert family_of("") == "corpus"
+
+    def test_percentile_nearest_rank(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 1.0) == 4.0
+        assert percentile(values, 0.5) == 3.0  # round(0.5*3)=2
+        assert percentile([], 0.5) == 0.0
+
+
+# -------------------------------------------------------------- heartbeats
+class TestHeartbeats:
+    def test_write_read_roundtrip(self, tmp_path):
+        telemetry = WorkerTelemetry(tmp_path, 3, "run-x")
+        telemetry.heartbeat(status="running", in_flight="ted", processed=2)
+        beats = read_heartbeats(tmp_path)
+        assert len(beats) == 1
+        beat = beats[0]
+        assert beat["worker"] == 3
+        assert beat["run_id"] == "run-x"
+        assert beat["status"] == "running"
+        assert beat["in_flight"] == "ted"
+        assert beat["processed"] == 2
+        assert beat["pid"] > 0
+
+    def test_corrupt_beacon_skipped(self, tmp_path):
+        (tmp_path / "heartbeat-0.json").write_text("{torn")
+        WorkerTelemetry(tmp_path, 1, "r").heartbeat(status="idle")
+        beats = read_heartbeats(tmp_path)
+        assert [b["worker"] for b in beats] == [1]
+
+    def test_liveness_fresh_and_exited(self, tmp_path):
+        WorkerTelemetry(tmp_path, 0, "r").heartbeat(status="running")
+        WorkerTelemetry(tmp_path, 1, "r").heartbeat(status="exited")
+        live = worker_liveness(read_heartbeats(tmp_path))
+        assert [b["alive"] for b in live] == [True, False]
+
+    def test_liveness_stale_dead_pid(self, tmp_path):
+        (tmp_path / "heartbeat-0.json").write_text(json.dumps({
+            "worker": 0, "status": "running", "pid": 2 ** 22 + 12345,
+            "updated_unix": time.time() - 3600,
+        }))
+        live = worker_liveness(read_heartbeats(tmp_path), stale_after=1.0)
+        assert live[0]["alive"] is False
+        assert live[0]["age_s"] > 1000
+
+
+# ------------------------------------------------------------ trace merge
+def _worker_stream(tmp_path, worker_id, jobs):
+    """Write a worker trace with the given (index, name) job spans."""
+    root = Span(f"worker-{worker_id}")
+    for index, name in jobs:
+        job = root.child(f"job:{name}")
+        job.set("index", index)
+        job.set("app_key", name)
+        job.set("worker", worker_id)
+        job.set("stolen", worker_id != index % 2)
+        inner = job.child("analyze")
+        inner.count("slices", index + 1)
+    WorkerTelemetry(tmp_path, worker_id, "r").write_trace(root)
+
+
+class TestMergeWorkerTraces:
+    def test_merge_is_schedule_independent(self, tmp_path):
+        # the same 4 jobs split two different ways across workers
+        a = tmp_path / "a"
+        b = tmp_path / "b"
+        a.mkdir(), b.mkdir()
+        _worker_stream(a, 0, [(0, "x"), (2, "y")])
+        _worker_stream(a, 1, [(1, "z"), (3, "w")])
+        _worker_stream(b, 0, [(0, "x"), (1, "z"), (2, "y"), (3, "w")])
+        assert merge_worker_traces(a) == merge_worker_traces(b)
+
+    def test_merged_span_set_is_union_of_workers(self, tmp_path):
+        _worker_stream(tmp_path, 0, [(0, "x")])
+        _worker_stream(tmp_path, 1, [(1, "y")])
+        events = validate_jsonl(merge_worker_traces(tmp_path))
+        assert events[0]["name"] == "fleet"
+        assert events[0]["counters"] == {"jobs": 2}
+        names = sorted(e["name"] for e in events[1:])
+        assert names == ["analyze", "analyze", "job:x", "job:y"]
+        # worker-level counters survive the merge
+        analyze = [e for e in events if e["name"] == "analyze"]
+        assert sorted(e["counters"]["slices"] for e in analyze) == [1, 2]
+
+    def test_run_specific_attrs_stripped(self, tmp_path):
+        _worker_stream(tmp_path, 0, [(0, "x")])
+        events = validate_jsonl(merge_worker_traces(tmp_path))
+        job = next(e for e in events if e["name"] == "job:x")
+        assert "worker" not in job["attrs"]
+        assert "stolen" not in job["attrs"]
+        assert job["attrs"]["app_key"] == "x"
+        assert job["attrs"]["index"] == 0
+
+    def test_duplicate_job_names_deduped_deterministically(self, tmp_path):
+        _worker_stream(tmp_path, 0, [(0, "x")])
+        _worker_stream(tmp_path, 1, [(1, "x")])
+        events = validate_jsonl(merge_worker_traces(tmp_path))
+        names = sorted(
+            e["name"] for e in events if e["parent"] == events[0]["id"]
+        )
+        assert names == ["job:x", "job:x#2"]
+        # every span id is the hash of its rewritten path: all unique
+        assert len({e["id"] for e in events}) == len(events)
+
+    def test_ids_recomputed_from_paths(self, tmp_path):
+        import hashlib
+
+        _worker_stream(tmp_path, 0, [(0, "x")])
+        events = validate_jsonl(merge_worker_traces(tmp_path))
+        for event in events:
+            expected = hashlib.sha256(
+                event["path"].encode()
+            ).hexdigest()[:16]
+            assert event["id"] == expected
+
+
+# ------------------------------------------------------------- progress
+class TestBatchProgress:
+    def test_counts_and_renders(self):
+        stream = io.StringIO()
+        progress = BatchProgress(3, stream=stream, interval=0.0)
+        progress({"status": "done", "cache_hit": True, "seconds": 0.1}, 1, 3)
+        progress({"status": "failed", "cache_hit": False, "seconds": 0.2}, 2, 3)
+        progress({"status": "done", "cache_hit": False, "seconds": 0.3}, 3, 3)
+        out = stream.getvalue()
+        assert "[3/3]" in out
+        assert "1 cached" in out
+        assert "1 FAILED" in out
+        assert "done" in out
+
+    def test_straggler_flagging(self, tmp_path):
+        progress = BatchProgress(10, stream=io.StringIO(), run_dir=tmp_path)
+        progress.latencies = [0.01, 0.01, 0.02]
+        (tmp_path / "heartbeat-2.json").write_text(json.dumps({
+            "worker": 2, "status": "running", "in_flight": "slow-app",
+            "pid": 1, "updated_unix": time.time() - 120.0,
+        }))
+        (tmp_path / "heartbeat-3.json").write_text(json.dumps({
+            "worker": 3, "status": "idle", "in_flight": None,
+            "pid": 1, "updated_unix": time.time(),
+        }))
+        stragglers = progress.stragglers()
+        assert [s["worker"] for s in stragglers] == [2]
+        assert stragglers[0]["in_flight"] == "slow-app"
+        assert stragglers[0]["in_flight_s"] > 100
+        assert "stragglers: w2:slow-app" in progress.render()
+
+
+# --------------------------------------------------- shard engine wiring
+class TestShardedBatchTelemetry:
+    def test_batch_writes_streams_heartbeats_and_fleet_trace(self, tmp_path):
+        run_dir = run_telemetry_dir(tmp_path / "store", "run1", create=True)
+        meta: dict = {}
+        seen: list[tuple] = []
+        records = run_sharded_batch(
+            tmp_path / "store",
+            TARGETS,
+            workers=2,
+            run_id="run1",
+            telemetry_dir=run_dir,
+            out_meta=meta,
+            progress=lambda r, done, total: seen.append((done, total)),
+        )
+        assert [r.status for r in records] == ["done"] * len(TARGETS)
+        assert meta["run_id"] == "run1"
+        assert meta["fleet_trace"] is not None
+        # progress fired once per entry with a running done-count
+        assert [d for d, _ in seen] == list(range(1, len(TARGETS) + 1))
+        assert all(t == len(TARGETS) for _, t in seen)
+        # every worker left a final heartbeat and a validating stream
+        beats = read_heartbeats(run_dir)
+        assert [b["status"] for b in beats] == ["exited", "exited"]
+        assert sum(b["processed"] for b in beats) == len(TARGETS)
+        streams = sorted(run_dir.glob("worker-*.trace.jsonl"))
+        assert len(streams) == 2
+        worker_jobs = []
+        for stream in streams:
+            events = validate_jsonl(stream.read_text())
+            worker_jobs.extend(
+                e["name"] for e in events
+                if e["name"].startswith("job:")
+            )
+        # the fleet trace's job set equals the union of per-worker jobs
+        fleet = validate_jsonl((run_dir / "fleet.trace.jsonl").read_text())
+        fleet_jobs = [e["name"] for e in fleet if e["name"].startswith("job:")]
+        assert sorted(fleet_jobs) == sorted(worker_jobs)
+        assert fleet_jobs == [f"job:{t}" for t in TARGETS]  # index order
+        # analysis phases nest under each job span
+        assert any(e["name"] == "phase:slicing" for e in fleet)
+
+    def test_fleet_trace_deterministic_across_reruns_and_widths(
+        self, tmp_path
+    ):
+        traces = []
+        for i, workers in enumerate((2, 3, 2)):
+            store = tmp_path / f"s{i}"
+            run_dir = run_telemetry_dir(store, "r", create=True)
+            run_sharded_batch(
+                store, TARGETS, workers=workers,
+                run_id="r", telemetry_dir=run_dir,
+            )
+            traces.append((run_dir / "fleet.trace.jsonl").read_text())
+        assert traces[0] == traces[1] == traces[2]
+
+    def test_no_telemetry_dir_means_no_files(self, tmp_path):
+        records = run_sharded_batch(tmp_path / "store", ["diode"], workers=1)
+        assert records[0].status == "done"
+        assert not (tmp_path / "store" / "telemetry").exists()
+
+
+# -------------------------------------------------- fallback deduplication
+class TestFallbackDedup:
+    def test_silenced_fallbacks_collect_reasons(self):
+        from repro.perf import parallel
+
+        audible, warned = parallel._fallback_audible, parallel._fallback_warned
+        try:
+            parallel.take_fallback_reasons()  # drain
+            parallel.silence_fallback_warnings()
+            parallel._fallback_warned = False
+            import warnings as warnings_mod
+
+            with warnings_mod.catch_warnings():
+                warnings_mod.simplefilter("error")  # any warning would raise
+                parallel.note_executor_fallback("no fork here")
+                parallel.note_executor_fallback("no fork here")
+                parallel.note_executor_fallback("another reason")
+            assert parallel.take_fallback_reasons() == [
+                "no fork here", "another reason"
+            ]
+            assert parallel.take_fallback_reasons() == []
+        finally:
+            parallel._fallback_audible = audible
+            parallel._fallback_warned = warned
+
+    def test_sharded_batch_surfaces_worker_fallbacks_once(
+        self, tmp_path, monkeypatch
+    ):
+        # force every worker's in-app process pool to fail: each worker
+        # records a reason, but only the coordinator warns (exactly once)
+        monkeypatch.setenv("REPRO_START_METHOD", "spawn")
+        meta: dict = {}
+        records = run_sharded_batch(
+            tmp_path / "store",
+            ["diode", "ted"],
+            workers=2,
+            overrides={"workers": 2, "executor": "process"},
+            start_method="fork",
+            out_meta=meta,
+        )
+        assert [r.status for r in records] == ["done", "done"]
+        # the workers forced executor=thread before analysis, so no
+        # fallback fired — the field is present and empty
+        assert meta["fallback_reasons"] == []
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(pytest.main([__file__, "-q"]))

@@ -108,6 +108,98 @@ class TestPrometheusRendering:
         assert text.index("repro_a_total") < text.index("repro_b_total")
 
 
+class TestLabeledHistogramExposition:
+    """The labeled-histogram text format, scraped by real Prometheus:
+    cumulative monotone buckets, a terminal +Inf bucket equal to _count,
+    _sum/_count consistency, and label-value escaping."""
+
+    @staticmethod
+    def _labeled_registry() -> MetricsRegistry:
+        reg = MetricsRegistry()
+        for phase, values in (
+            ("slicing", (0.002, 0.04, 0.8)),
+            ("setup", (0.0005, 500.0)),
+        ):
+            h = reg.histogram("phase_seconds", labels={"phase": phase})
+            for v in values:
+                h.observe(v)
+        return reg
+
+    def _series(self, text: str, label: str) -> list[str]:
+        return [l for l in text.splitlines() if f'phase="{label}"' in l]
+
+    def test_each_label_series_is_cumulative_and_monotone(self):
+        text = render_prometheus(self._labeled_registry())
+        for phase in ("slicing", "setup"):
+            buckets = [
+                int(l.split()[-1])
+                for l in self._series(text, phase)
+                if "_bucket{" in l
+            ]
+            assert buckets, f"no bucket series for phase={phase}"
+            assert buckets == sorted(buckets)
+
+    def test_inf_bucket_terminates_and_equals_count(self):
+        text = render_prometheus(self._labeled_registry())
+        for phase, expected in (("slicing", 3), ("setup", 2)):
+            series = self._series(text, phase)
+            buckets = [l for l in series if "_bucket{" in l]
+            # +Inf is the last bucket and swallows out-of-range samples
+            assert 'le="+Inf"' in buckets[-1]
+            assert int(buckets[-1].split()[-1]) == expected
+            count = next(l for l in series if "phase_seconds_count{" in l)
+            assert int(count.split()[-1]) == expected
+
+    def test_sum_matches_observations_per_series(self):
+        text = render_prometheus(self._labeled_registry())
+        sums = {
+            phase: float(
+                next(
+                    l
+                    for l in self._series(text, phase)
+                    if "phase_seconds_sum{" in l
+                ).split()[-1]
+            )
+            for phase in ("slicing", "setup")
+        }
+        assert sums["slicing"] == pytest.approx(0.842)
+        assert sums["setup"] == pytest.approx(500.0005)
+
+    def test_one_type_line_per_family(self):
+        text = render_prometheus(self._labeled_registry())
+        type_lines = [
+            l for l in text.splitlines()
+            if l.startswith("# TYPE repro_phase_seconds")
+        ]
+        assert type_lines == ["# TYPE repro_phase_seconds histogram"]
+
+    def test_label_value_escaping(self):
+        reg = MetricsRegistry()
+        reg.counter(
+            "odd", labels={"path": 'C:\\tmp\\"x"\nend'}
+        ).inc()
+        text = render_prometheus(reg)
+        assert (
+            'repro_odd_total{path="C:\\\\tmp\\\\\\"x\\"\\nend"} 1'
+            in text.splitlines()
+        )
+
+    def test_labeled_and_unlabeled_series_coexist(self):
+        reg = MetricsRegistry()
+        reg.counter("jobs").inc(5)
+        reg.counter("jobs", labels={"status": "failed"}).inc(2)
+        text = render_prometheus(reg)
+        assert "repro_jobs_total 5" in text.splitlines()
+        assert 'repro_jobs_total{status="failed"} 2' in text.splitlines()
+
+    def test_labels_render_sorted_regardless_of_insertion_order(self):
+        reg_a, reg_b = MetricsRegistry(), MetricsRegistry()
+        reg_a.gauge("up", labels={"b": "2", "a": "1"}).set(1)
+        reg_b.gauge("up", labels={"a": "1", "b": "2"}).set(1)
+        assert render_prometheus(reg_a) == render_prometheus(reg_b)
+        assert 'repro_up{a="1",b="2"} 1' in render_prometheus(reg_a)
+
+
 class TestServiceShim:
     def test_service_metrics_reexports_obs_metrics(self):
         from repro.obs import metrics as obs_metrics

@@ -175,6 +175,79 @@ class TestOperationalEndpoints:
         assert status == 400
 
 
+class TestFleetTelemetryEndpoints:
+    def _get_text(self, svc, path):
+        with urllib.request.urlopen(svc.url + path, timeout=30) as resp:
+            return resp.status, resp.read().decode()
+
+    def test_status_shape(self, service):
+        _, data = post(service, "/analyze", {"target": "diode"})
+        wait_done(service, data["job"]["id"])
+        status, body = get(service, "/status")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["run_id"] == service.run_id
+        assert body["uptime_s"] >= 0
+        assert body["jobs"]["total"] == 1
+        assert body["jobs"]["done"] == 1
+        workers = body["workers"]
+        assert len(workers) == 4
+        assert all(w["alive"] for w in workers)
+        assert "recent_runs" in body
+
+    def test_status_lists_recent_ledger_runs(self, service):
+        from repro.obs.ledger import RunLedger, RunRecord
+
+        record = RunRecord.from_batch(
+            run_id="recent0run01", label="synth:transports*2",
+            records=[{"target": "a", "status": "done", "cache_hit": False,
+                      "seconds": 0.1}],
+            started_unix=0.0, wall_s=0.1,
+        )
+        RunLedger(service.store.root).append(record)
+        _, body = get(service, "/status")
+        runs = {r["run_id"] for r in body["recent_runs"]}
+        assert "recent0run01" in runs
+
+    def test_prometheus_exposes_worker_liveness_and_phases(self, service):
+        _, data = post(service, "/analyze", {"target": "diode"})
+        wait_done(service, data["job"]["id"])
+        status, text = self._get_text(service, "/metrics?format=prometheus")
+        assert status == 200
+        lines = text.splitlines()
+        up = [l for l in lines if l.startswith("repro_worker_up{")]
+        assert len(up) == 4
+        assert all(l.endswith(" 1") for l in up)
+        # per-phase histograms folded by the scheduler worker
+        phases = [
+            l for l in lines
+            if l.startswith("repro_phase_seconds_count{")
+        ]
+        assert any('phase="slicing"' in l for l in phases)
+        # and the per-family app latency histogram
+        assert any(
+            l.startswith("repro_app_seconds_count{") and 'family="corpus"' in l
+            for l in lines
+        )
+
+    def test_stop_writes_serve_ledger_record(self, tmp_path):
+        from repro.obs.ledger import RunLedger
+
+        svc = AnalysisService(tmp_path / "store", port=0, workers=2).start()
+        try:
+            _, data = post(svc, "/analyze", {"target": "tzm"})
+            wait_done(svc, data["job"]["id"])
+        finally:
+            svc.stop()
+        records = RunLedger(tmp_path / "store").records()
+        serve = [r for r in records if r["kind"] == "serve"]
+        assert len(serve) == 1
+        assert serve[0]["run_id"] == svc.run_id
+        assert serve[0]["targets"] == 1
+        assert serve[0]["done"] == 1
+        assert serve[0]["failed"] == 0
+
+
 class TestReportsAndDiff:
     def _store_one(self, service, target):
         _, data = post(service, "/analyze", {"target": target})

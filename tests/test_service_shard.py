@@ -91,6 +91,36 @@ def test_unresolvable_target_fails_its_record_only(tmp_path):
     assert "LookupError" in by_target["no-such-app"].error
 
 
+def test_failed_record_carries_structured_error_detail(tmp_path):
+    """Beyond the legacy one-line ``error`` string, failures expose the
+    exception class, its message, and the worker-side traceback — what a
+    fleet operator needs to triage without re-running the target."""
+    records = run_sharded_batch(tmp_path / "s", ["no-such-app"], workers=1)
+    record = records[0]
+    assert record.error_type == "LookupError"
+    assert record.error_message  # human text, no class prefix
+    assert not record.error_message.startswith("LookupError")
+    assert record.error == f"LookupError: {record.error_message}"
+    assert "Traceback (most recent call last)" in (record.traceback or "")
+    assert "LookupError" in record.traceback
+    payload = record.to_dict()
+    assert payload["error_type"] == "LookupError"
+    assert payload["error_message"] == record.error_message
+    assert payload["traceback"] == record.traceback
+
+
+def test_done_record_carries_phase_seconds(tmp_path):
+    """Successful analyses report per-phase wall seconds so the fleet can
+    aggregate phase histograms without reopening stored reports."""
+    records = run_sharded_batch(tmp_path / "s", ["diode"], workers=1)
+    record = records[0]
+    assert record.status == "done"
+    assert "slicing" in record.phase_seconds
+    assert all(v >= 0 for v in record.phase_seconds.values())
+    assert record.error_type is None and record.error_message is None
+    assert record.to_dict()["phase_seconds"] == record.phase_seconds
+
+
 def test_sharded_batch_replays_job_spans(tmp_path):
     tracer = Tracer()
     root = tracer.span("batch")
