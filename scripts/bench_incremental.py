@@ -1,0 +1,127 @@
+#!/usr/bin/env python
+"""Incremental-analysis benchmark: cold full runs vs manifest-warm
+``--mode incremental`` runs across every corpus lineage version plus the
+synthesized evolution population, persisted as ``BENCH_incremental.json``.
+
+For each lineage version ``app@vN`` the harness measures (via
+:func:`repro.obs.benchcheck.measure_incremental_row`):
+
+* **cold_s** — a cold full analysis of vN,
+* **warm_s** — vN re-analyzed in incremental mode against the manifest a
+  full run of v(N-1) left in a fresh store (RenameMap composed in for the
+  obfuscated tzm lineage),
+* **reused / reanalyzed / dirty_methods** — the warm run's PhaseStats
+  ``incremental`` counters,
+* **identical** — the byte-identity contract: warm report == cold report.
+
+The ``synth:evolution*45`` row aggregates the same measurement over every
+known-drift lineage of the synthesized evolution family.
+
+``meta.acceptance`` records the PR's quantitative target: corpus-level
+reuse fraction >= 0.5 with every row byte-identical.  (Per-row floors are
+impossible by construction — wallabag has exactly one endpoint and its v2
+rewrites it, so its lone slice is legitimately dirty.)
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_incremental.py
+    PYTHONPATH=src python scripts/bench_incremental.py --quick --out /tmp/b.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs.benchcheck import (  # noqa: E402
+    measure_incremental_row,
+    measure_incremental_synth,
+)
+from repro.obs.fleet import host_fingerprint  # noqa: E402
+
+#: every non-base version of every hand-written corpus lineage
+CORPUS_LABELS = (
+    "reddinator@v2",
+    "reddinator@v3",
+    "wallabag@v2",
+    "twister@v2",
+    "tzm@v2",
+)
+SYNTH_SPEC = "synth:evolution*45@7"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="corpus lineages only, skip the synth sweep")
+    parser.add_argument("--synth", default=SYNTH_SPEC,
+                        help=f"synth population spec (default {SYNTH_SPEC})")
+    parser.add_argument("--out", default=None)
+    args = parser.parse_args()
+
+    out = Path(args.out) if args.out else (
+        Path(__file__).resolve().parent.parent / "BENCH_incremental.json"
+    )
+
+    rows: dict[str, dict] = {}
+    for label in CORPUS_LABELS:
+        rows[label] = row = measure_incremental_row(label)
+        print(f"{label:15s}: cold {row['cold_s']*1e3:7.1f}ms "
+              f"warm {row['warm_s']*1e3:7.1f}ms "
+              f"speedup {row['speedup']:5.2f}x "
+              f"reused {row['reused']}/{row['reused'] + row['reanalyzed']} "
+              f"dirty_methods={row['dirty_methods']} "
+              f"identical={row['identical']}")
+    if not args.quick:
+        rows[args.synth] = row = measure_incremental_synth(args.synth)
+        print(f"{args.synth}: {row['pairs']} pairs, "
+              f"speedup {row['speedup']:5.2f}x "
+              f"reuse_fraction {row['reuse_fraction']:.2f} "
+              f"identical={row['identical']}")
+
+    # The acceptance floor is over the hand-written corpus lineages; the
+    # synth evolution row is coverage (its single-endpoint apps dirty
+    # their one slice by construction, capping reuse structurally).
+    corpus_rows = [rows[label] for label in CORPUS_LABELS]
+    reused = sum(r["reused"] for r in corpus_rows)
+    total = reused + sum(r["reanalyzed"] for r in corpus_rows)
+    aggregate = round(reused / total, 4) if total else 0.0
+    identical = all(r["identical"] for r in rows.values())
+    print(f"corpus reuse_fraction={aggregate:.2f} identical={identical}")
+
+    report = {
+        "meta": {
+            "generated_unix": int(time.time()),
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+            "host": host_fingerprint(),
+            "engine": "repro.obs.benchcheck.measure_incremental_row "
+                      "(cold full run vs manifest-warm --mode incremental)",
+            "timed_region": "whole analyze() call; warm store seeded by a "
+                            "full run of the predecessor version",
+            "acceptance": {
+                "min_corpus_reuse_fraction": 0.5,
+                "corpus_reuse_fraction": aggregate,
+                "byte_identical": identical,
+            },
+        },
+        "by_lineage": rows,
+    }
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"-> {out}")
+    if not identical or aggregate < 0.5:
+        print("ACCEPTANCE FAILED", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

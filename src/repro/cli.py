@@ -38,10 +38,27 @@ from pathlib import Path
 
 def _load(target: str):
     """Resolve a corpus key or .sapk path into (Apk, AnalysisConfig)."""
+    apk, config, _renames = _load_versioned(target)
+    return apk, config
+
+
+def _load_versioned(target: str):
+    """Like :func:`_load` but also accepts generated lineage labels
+    (``app@vN``) and returns ``(Apk, AnalysisConfig, renames_from_base)``
+    — the rename map incremental mode threads through for obfuscated
+    re-releases (``None`` for every other target form)."""
     from repro import AnalysisConfig
     from repro.apk.loader import load_apk
     from repro.corpus import app_keys, get_spec
 
+    if "@" in target and not Path(target).exists():
+        from repro.corpus.lineage import build_version
+
+        try:
+            built = build_version(target)
+        except (KeyError, ValueError) as exc:
+            raise SystemExit(str(exc))
+        return built.apk, built.config, built.renames_from_base
     if target.startswith("syn-") or target in app_keys():
         try:
             spec = get_spec(target)
@@ -50,14 +67,14 @@ def _load(target: str):
         return spec.build_apk(), AnalysisConfig(
             async_heuristic=(spec.kind == "closed"),
             scope_prefixes=spec.scope_prefixes,
-        )
+        ), None
     path = Path(target)
     if path.exists():
-        return load_apk(path), AnalysisConfig()
+        return load_apk(path), AnalysisConfig(), None
     raise SystemExit(
         f"'{target}' is neither a corpus app key, a synthesized app key "
-        f"(syn-<family>-s<seed>-<index>), nor an .sapk bundle; "
-        f"known keys: {', '.join(app_keys())}"
+        f"(syn-<family>-s<seed>-<index>), a lineage label (app@vN), nor "
+        f"an .sapk bundle; known keys: {', '.join(app_keys())}"
     )
 
 
@@ -157,18 +174,34 @@ def cmd_analyze(args) -> int:
     from repro.core.report import report_to_dict
     from repro.obs.tracer import NULL_TRACER, Tracer
 
-    apk, config = _load(args.target)
+    apk, config, renames = _load_versioned(args.target)
     if args.async_heuristic is not None:
         config.async_heuristic = args.async_heuristic
     config.workers = args.workers
     config.executor = args.executor
+    config.mode = args.mode
+    store = None
+    if args.store:
+        from repro.service.store import ResultStore
+
+        store = ResultStore(Path(args.store).expanduser())
     tracer = Tracer() if args.trace else NULL_TRACER
     import time as _time
 
     started_unix = _time.time()
     t0 = _time.perf_counter()
-    report = Extractocol(config, tracer=tracer).analyze(apk)
+    engine = Extractocol(config, tracer=tracer, store=store)
+    report = engine.analyze(apk, renames=renames)
     wall = _time.perf_counter() - t0
+    stats = getattr(report, "phase_stats", None)
+    if stats is not None and stats.incremental is not None:
+        i = stats.incremental
+        print(
+            f"incremental: reused={i['reused']} "
+            f"reanalyzed={i['reanalyzed']} "
+            f"dirty_methods={i['dirty_methods']}",
+            file=sys.stderr,
+        )
     if args.trace:
         from repro.obs.export import write_jsonl
 
@@ -400,9 +433,11 @@ def cmd_eval(args) -> int:
         print()
         print(evalx.render_table6())
     elif what == "drift":
-        print(evalx.render_drift_table())
+        # hand-written lineages always; a synthesized population's known-
+        # drift lineages ride along when --corpus / $REPRO_CORPUS is set
+        print(evalx.render_drift_table(args.corpus))
     elif what == "synth":
-        print(evalx.render_synth_table(args.corpus))
+        print(evalx.render_synth_table(args.corpus or "synth:all*35@7"))
     if args.verbose:
         # phase-timing profile of every app the render above evaluated —
         # served from the evaluation cache (analysis_workers=1, same key
@@ -629,6 +664,7 @@ def cmd_bench_check(args) -> int:
             for p in (
                 Path("BENCH_batch_scale.json"),
                 Path("BENCH_corpus_scale.json"),
+                Path("BENCH_incremental.json"),
                 Path("BENCH_pipeline.json"),
             )
             if p.exists()
@@ -657,15 +693,20 @@ def cmd_bench_check(args) -> int:
                 raise SystemExit(f"no run {args.run!r} in the ledger")
             candidate = candidate_from_run(record)
         else:
-            # fresh measurement; only the batch_scale shape defines one
-            if kind != "batch_scale":
+            # fresh measurement; batch_scale and incremental define one
+            if kind == "incremental":
+                from repro.obs.benchcheck import fresh_incremental_candidate
+
+                candidate = fresh_incremental_candidate(baseline)
+            elif kind != "batch_scale":
                 skipped.append(f"{path}: no fresh-run source for {kind!r} "
                                f"benches; pass --candidate or --run")
                 continue
-            workers = args.fresh_workers or min(
-                int(w) for w in baseline.get("by_workers", {"1": 0})
-            )
-            candidate = fresh_candidate(baseline, workers=workers)
+            else:
+                workers = args.fresh_workers or min(
+                    int(w) for w in baseline.get("by_workers", {"1": 0})
+                )
+                candidate = fresh_candidate(baseline, workers=workers)
         results.append(
             compare_benches(
                 baseline,
@@ -771,8 +812,25 @@ def main(argv: list[str] | None = None) -> int:
     p_synth.set_defaults(fn=cmd_corpus_synth)
 
     p_analyze = sub.add_parser("analyze", help="analyze an app")
-    p_analyze.add_argument("target", help="corpus key or .sapk path")
+    p_analyze.add_argument("target",
+                           help="corpus key, lineage label (app@vN), or "
+                                ".sapk path")
     p_analyze.add_argument("--json", action="store_true")
+    p_analyze.add_argument("--mode",
+                           choices=["full", "targeted", "incremental"],
+                           default="full",
+                           help="analysis mode: full = whole-program "
+                                "reference pipeline; targeted = demand-"
+                                "driven slicing seeded by a bytecode "
+                                "search; incremental = replay cached DP "
+                                "slices of unchanged methods from the "
+                                "store's manifest (all three produce "
+                                "byte-identical reports)")
+    p_analyze.add_argument("--store", metavar="DIR", default=None,
+                           help="result store holding/receiving the "
+                                "incremental manifest (cold runs write "
+                                "one; --mode incremental reads the "
+                                "previous version's back)")
     g_async = p_analyze.add_mutually_exclusive_group()
     g_async.add_argument("--async-heuristic", dest="async_heuristic",
                          action="store_true", default=None,
@@ -824,9 +882,11 @@ def main(argv: list[str] | None = None) -> int:
     p_lint.add_argument("--write-baseline", metavar="FILE", default=None,
                         help="record all current findings as the baseline "
                              "and exit 0")
-    p_lint.add_argument("--corpus", metavar="SPEC", default=None,
+    p_lint.add_argument("--corpus", metavar="SPEC",
+                        default=os.environ.get("REPRO_CORPUS"),
                         help="also lint a synthesized population "
-                             "(synth:<families>*<scale>[@<seed>])")
+                             "(synth:<families>*<scale>[@<seed>]); "
+                             "defaults to $REPRO_CORPUS when set")
     p_lint.set_defaults(fn=cmd_lint)
 
     p_trace = sub.add_parser(
@@ -910,9 +970,12 @@ def main(argv: list[str] | None = None) -> int:
                  "synth"],
     )
     p_eval.add_argument("--corpus", metavar="SPEC",
-                        default="synth:all*35@7",
-                        help="population for 'eval synth' "
-                             "(synth:<families>*<scale>[@<seed>])")
+                        default=os.environ.get("REPRO_CORPUS"),
+                        help="synthesized population "
+                             "(synth:<families>*<scale>[@<seed>]) for "
+                             "'eval synth' (default synth:all*35@7) and "
+                             "'eval drift'; defaults to $REPRO_CORPUS "
+                             "when set")
     p_eval.add_argument("--workers", type=int, default=1, metavar="N",
                         help="evaluate corpus apps concurrently with N "
                              "workers before rendering")

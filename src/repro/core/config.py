@@ -12,7 +12,9 @@ from dataclasses import dataclass, field, fields
 #: differentially tested against the serial one; provenance recording only
 #: adds side tables to the slices), so the service result store must not
 #: shard its cache on them.
-_EXECUTION_FIELDS = frozenset({"workers", "executor", "record_provenance"})
+_EXECUTION_FIELDS = frozenset(
+    {"workers", "executor", "record_provenance", "mode"}
+)
 
 
 def _default_workers() -> int:
@@ -95,6 +97,24 @@ class AnalysisConfig:
     #: error-severity findings; "strict" aborts on warnings too.  Semantic:
     #: findings land in the serialised report, so the cache shards on it.
     lint_level: str = "off"
+    #: how the engine decides what to analyze (``repro.incr``):
+    #:
+    #: ============== =====================================================
+    #: ``"full"``      whole-program pipeline (the reference engine)
+    #: ``"targeted"``  demand-driven: demarcation points found by the cheap
+    #:                 seed index, def-use materialized only for the
+    #:                 backward-reachable region (SEM006 lints the seed
+    #:                 index against the full scan)
+    #: ``"incremental"`` replay cached DP slices whose fingerprinted
+    #:                 backward-reachable method set is unchanged since the
+    #:                 stored manifest; re-slice only dirtied DPs
+    #: ============== =====================================================
+    #:
+    #: An execution knob: reports are byte-identical across modes (warm
+    #: incremental runs assert identity against the cold report; targeted
+    #: equivalence is pinned by tests and kept honest by lint rule SEM006),
+    #: so the result store must not shard on it.
+    mode: str = "full"
 
     @property
     def max_async_hops(self) -> int:

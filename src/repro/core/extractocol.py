@@ -51,15 +51,37 @@ class Extractocol:
         model: SemanticModel | None = None,
         registry: DemarcationRegistry | None = None,
         tracer=NULL_TRACER,
+        store=None,
     ) -> None:
         self.config = config or AnalysisConfig()
         self.model = model
         self.registry = registry
         self.tracer = tracer
+        self.store = store
         self.last_slicing = None
+        self.last_manifest = None
 
     # ------------------------------------------------------------------ phases
-    def analyze(self, apk: Apk) -> AnalysisReport:
+    def analyze(self, apk: Apk, *, renames=None) -> AnalysisReport:
+        """Analyze ``apk`` under ``config.mode``:
+
+        * ``full`` — the reference whole-program pipeline;
+        * ``targeted`` — demand-driven: demarcation scan restricted to the
+          bytecode-search seed index, def-use warmed for the reachable
+          region only (:mod:`repro.incr.targeted`);
+        * ``incremental`` — diff the store's manifest for this app against
+          the new program's fingerprints and replay unchanged DP slices
+          (:mod:`repro.incr.reuse`); ``renames`` is the
+          :class:`~repro.apk.rewrite.RenameMap` from the manifest's version
+          to this one, for obfuscated re-releases.
+
+        All three produce byte-identical reports.  When a ``store`` was
+        given, every mode leaves a fresh manifest behind for the next
+        warm run (skipped under ``record_provenance`` — provenance tables
+        are not serialized, so cached slices could not carry them).
+        """
+        if self.config.mode not in ("full", "targeted", "incremental"):
+            raise ValueError(f"unknown analysis mode: {self.config.mode!r}")
         started = time.perf_counter()
         stats = PhaseStats()
         app_span = self.tracer.span(f"analyze:{apk.name}")
@@ -134,10 +156,34 @@ class Extractocol:
             # (ProgramIndex shipped to each worker exactly once — inherited
             # on fork, pickled once on spawn); release it with the phase.
             try:
-                slicing = slicer.slice_all(span=sp)
+                if self.config.mode == "targeted":
+                    from ..incr.targeted import TargetedSearch
+
+                    search = TargetedSearch(program, callgraph, self.registry)
+                    dps = search.scan()
+                    if index is not None:
+                        sp.count(
+                            "region_methods",
+                            index.warm(search.region(dps)),
+                        )
+                    slicing = slicer.slice_all(span=sp, dps=dps)
+                elif self.config.mode == "incremental":
+                    slicing = self._slice_incremental(
+                        apk, slicer, callgraph, sp,
+                        event_roots=event_roots,
+                        cbinfo=cbinfo,
+                        renames=renames,
+                        stats=stats,
+                    )
+                else:
+                    slicing = slicer.slice_all(span=sp)
             finally:
                 slicer.close()
             self.last_slicing = slicing
+            self._store_manifest(
+                apk, callgraph, slicing,
+                event_roots=event_roots, cbinfo=cbinfo,
+            )
             stats.seconds["slicing"] = time.perf_counter() - t0
             stats.count("demarcation_points", len(slicing.slices))
             for s in slicing.slices:
@@ -212,6 +258,99 @@ class Extractocol:
             for name, amount in sorted(stats.counters.items()):
                 app_span.count(name, amount)
         return report
+
+    # ------------------------------------------------------------- incremental
+    def _slice_incremental(
+        self, apk, slicer, callgraph, sp, *,
+        event_roots, cbinfo, renames, stats,
+    ):
+        """Phase-1 with manifest reuse: scan fresh, diff fingerprints
+        against the stored manifest, re-slice only dirtied demarcation
+        points and replay the rest, merged back in scan order."""
+        from ..incr.reuse import (
+            ReuseIndex,
+            _has_renames,
+            fingerprints_in_base_namespace,
+        )
+        from ..slicing.slicer import SlicingReport
+
+        program = apk.program
+        # Exactly one scan per callgraph: listener resolution moves sites
+        # from library_sites into implicit edges, so a second scan on the
+        # same graph would miss callback-style demarcation points.
+        dps = slicer.scan()
+        manifest = None
+        if self.store is not None and not self.config.record_provenance:
+            manifest = self.store.get_manifest(apk.name, self.config.cache_key())
+        if manifest is None:
+            # Cold (or schema/config-guarded) start: everything is dirty.
+            report = slicer.slice_all(span=sp, dps=dps)
+            stats.incremental = {
+                "reused": 0,
+                "reanalyzed": len(dps),
+                "dirty_methods": sum(1 for _ in program.methods()),
+            }
+            return report
+
+        # Fingerprints compare in the manifest's (old) namespace: renamed
+        # re-releases map back first; otherwise the live post-scan
+        # artifacts are the old namespace already.
+        if _has_renames(renames):
+            new_fp = fingerprints_in_base_namespace(
+                apk, self.config, registry=self.registry, renames=renames
+            )
+        else:
+            from ..ir.fingerprint import fingerprint_program
+
+            new_fp, _classes = fingerprint_program(
+                program,
+                callgraph,
+                event_roots=event_roots,
+                linked_returns=cbinfo.linked_returns,
+                entrypoint_ids=frozenset(
+                    ep.method_id for ep in apk.entrypoints
+                ),
+            )
+        plan = ReuseIndex(manifest).plan(
+            dps, new_fp, program, callgraph, renames=renames
+        )
+        dirty_report = slicer.slice_all(span=sp, dps=plan.dirty_dps)
+        dirty_by_key = {s.dp.key: s for s in dirty_report.slices}
+        stats.incremental = plan.counters
+        if sp:
+            for name, amount in sorted(plan.counters.items()):
+                sp.count(f"incremental_{name}", amount)
+        return SlicingReport(
+            slices=[
+                plan.reused.get(dp.key) or dirty_by_key[dp.key] for dp in dps
+            ],
+            total_statements=dirty_report.total_statements,
+        )
+
+    def _store_manifest(self, apk, callgraph, slicing, *, event_roots, cbinfo):
+        """Leave a manifest behind for the next warm run (any mode).
+        Skipped without a store (fingerprinting the whole program is not
+        free) and under ``record_provenance`` (prov tables don't serialize
+        into the slim slices, so replay would drop them)."""
+        self.last_manifest = None
+        if self.store is None or self.config.record_provenance:
+            return
+        from ..apk.loader import apk_digest
+        from ..incr.manifest import build_manifest
+
+        manifest = build_manifest(
+            app=apk.name,
+            apk_digest=apk_digest(apk),
+            config_key=self.config.cache_key(),
+            program=apk.program,
+            callgraph=callgraph,
+            event_roots=event_roots,
+            linked_returns=cbinfo.linked_returns,
+            entrypoint_ids=[ep.method_id for ep in apk.entrypoints],
+            slicing=slicing,
+        )
+        self.last_manifest = manifest
+        self.store.put_manifest(manifest)
 
     # ------------------------------------------------------------------ helpers
     def _relevant_methods(self, slicing, callgraph) -> set[str]:

@@ -166,7 +166,13 @@ def resolve_diff_target(target: str, *, store=None, workers: int = 1):
         from ..corpus.lineage import build_version
 
         built = build_version(target)
-        report = _analyze(built.apk, built.config, workers)
+        report = _analyze(
+            built.apk,
+            built.config,
+            workers,
+            store=store,
+            renames=built.renames_from_base,
+        )
         return report, built.renames_from_base, target
 
     from ..service.jobs import resolve_target
@@ -178,15 +184,33 @@ def resolve_diff_target(target: str, *, store=None, workers: int = 1):
             f"{target!r} is not a stored result key, corpus app, "
             f"lineage version (app@vN) or .sapk bundle"
         ) from None
-    report = _analyze(apk, config, workers)
+    report = _analyze(apk, config, workers, store=store)
     return report, None, label
 
 
-def _analyze(apk, config, workers: int):
+def _analyze(apk, config, workers: int, *, store=None, renames=None):
+    """Analyze one diff operand.  With a store, the re-analysis is
+    near-free on warm lineages: an already-stored report short-circuits
+    outright, otherwise the run goes through ``incremental`` mode (the
+    previous version's manifest replays unchanged DP slices, mapped
+    through ``renames`` for obfuscated rebuilds) and both the report and
+    the fresh manifest are written back."""
     from ..core.extractocol import Extractocol
 
     config.workers = workers
-    return Extractocol(config).analyze(apk)
+    if store is None:
+        return Extractocol(config).analyze(apk)
+    from ..apk.loader import apk_digest
+
+    digest = apk_digest(apk)
+    config_key = config.cache_key()
+    cached = store.get_report(digest, config_key)
+    if cached is not None:
+        return cached
+    config.mode = "incremental"
+    report = Extractocol(config, store=store).analyze(apk, renames=renames)
+    store.put(digest, config_key, report)
+    return report
 
 
 def diff_targets(

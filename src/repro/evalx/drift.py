@@ -47,11 +47,25 @@ def _analyze(version: LineageVersion):
     return Extractocol(built.config).analyze(built.apk), built
 
 
-def drift_rows() -> list[DriftRow]:
-    """Diff every consecutive version pair of every lineage family."""
+def drift_rows(corpus: str | None = None) -> list[DriftRow]:
+    """Diff every consecutive version pair of every lineage family.
+
+    ``corpus`` optionally names a synthesized population spec
+    (``synth:<families>*<scale>[@<seed>]``, e.g. via ``$REPRO_CORPUS``);
+    its apps with known-drift lineages are appended to the hand-written
+    families."""
+    families: list[tuple[str, list[LineageVersion]]] = [
+        (family, lineages()[family]) for family in lineage_keys()
+    ]
+    if corpus:
+        from ..synth import parse_population, synth_lineage
+
+        for key in parse_population(corpus).keys():
+            versions = synth_lineage(key)
+            if len(versions) > 1:
+                families.append((key, versions))
     rows: list[DriftRow] = []
-    for family in lineage_keys():
-        versions = lineages()[family]
+    for family, versions in families:
         analyzed = [(_analyze(v), v) for v in versions]
         for ((old_report, old_built), _), ((new_report, new_built), new_v) in zip(
             analyzed, analyzed[1:]
@@ -74,9 +88,9 @@ def drift_rows() -> list[DriftRow]:
     return rows
 
 
-def render_drift_table() -> str:
+def render_drift_table(corpus: str | None = None) -> str:
     """The drift table: one row per consecutive lineage version pair."""
-    rows = drift_rows()
+    rows = drift_rows(corpus)
     header = (
         f"{'pair':26s} {'verdict':11s} {'expect':9s} "
         f"{'+':>3s} {'-':>3s} {'~':>3s} {'ok':3s} breaking kinds"

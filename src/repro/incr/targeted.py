@@ -1,0 +1,102 @@
+"""Demand-driven targeted slicing (BackDroid-style bytecode search).
+
+Instead of warming whole-program def-use before slicing, targeted mode:
+
+1. finds candidate network-call sites with a *seed index* — a cheap
+   textual scan for registered ``(class, method)`` demarcation signatures
+   over the instruction stream, no type resolution, no def-use;
+2. restricts the demarcation scan to those sites;
+3. walks the ICFG backwards on demand from the hits to bound the region
+   whose def-use the shared :class:`~repro.perf.index.ProgramIndex` warms
+   — methods outside the region still materialize lazily if the engine
+   reaches them, so the region is a performance hint, never a soundness
+   boundary.
+
+The seed index deliberately matches the *static signature class* only.
+The full scanner additionally matches the declared type of the receiver
+local (``expr.base.type.name``); call sites reachable only through that
+rule are the index's blind spot, reported by lint rule SEM006 so targeted
+mode stays honest on every corpus.
+"""
+
+from __future__ import annotations
+
+from ..ir.program import Program
+from ..ir.statements import StmtRef
+from ..slicing.demarcation import DemarcationRegistry
+
+
+def seed_sites(
+    program: Program, registry: DemarcationRegistry | None = None
+) -> set[StmtRef]:
+    """Candidate demarcation call sites by signature text alone — the
+    bytecode-search pass.  O(statements), independent of the call graph."""
+    registry = registry or DemarcationRegistry()
+    out: set[StmtRef] = set()
+    for method in program.methods():
+        if method.body is None:
+            continue
+        mid = method.method_id
+        for idx, stmt in enumerate(method.body):
+            expr = stmt.invoke
+            if expr is None:
+                continue
+            if registry.lookup(expr.sig.class_name, expr.sig.name):
+                out.add(StmtRef(mid, idx))
+    return out
+
+
+class TargetedSearch:
+    """Demand-driven exploration state for one targeted analysis."""
+
+    def __init__(
+        self,
+        program: Program,
+        callgraph,
+        registry: DemarcationRegistry | None = None,
+    ) -> None:
+        self.program = program
+        self.callgraph = callgraph
+        self.registry = registry or DemarcationRegistry()
+        self._sites: set[StmtRef] | None = None
+
+    @property
+    def sites(self) -> set[StmtRef]:
+        if self._sites is None:
+            self._sites = seed_sites(self.program, self.registry)
+        return self._sites
+
+    def scan(self) -> list:
+        """Demarcation instances at seed-index sites only (same matching
+        and ordering as the full scanner, restricted input)."""
+        from ..slicing.demarcation import scan_demarcation_points
+
+        return scan_demarcation_points(
+            self.program,
+            self.callgraph,
+            self.registry,
+            only_sites=self.sites,
+        )
+
+    def region(self, dps) -> set[str]:
+        """Methods plausibly touched while slicing ``dps``: the backward
+        caller closure of the demarcation methods (argument taint walks to
+        callers) plus their forward call closure (response taint walks into
+        callees).  A warm-up hint for the ProgramIndex."""
+        roots: set[str] = set()
+        for dp in dps:
+            roots.add(dp.site.method_id)
+            for ref, _value in (*dp.request_seeds, *dp.response_seeds):
+                roots.add(ref.method_id)
+        region = set(self.callgraph.reachable_from(sorted(roots)))
+        stack = sorted(roots)
+        while stack:
+            mid = stack.pop()
+            for caller in self.callgraph.caller_methods_of(mid):
+                if caller not in region:
+                    region.add(caller)
+                    stack.append(caller)
+        return region
+
+
+__all__ = ["TargetedSearch", "seed_sites"]

@@ -5,12 +5,14 @@ baseline ``BENCH_*.json`` and decides pass/fail with configurable
 thresholds, so CI consumes the bench trajectory instead of merely
 regenerating it.
 
-Three bench shapes are understood (detected structurally, no filename
+Four bench shapes are understood (detected structurally, no filename
 convention required):
 
 * ``batch_scale`` — ``{"by_workers": {"1": {apps_per_sec, p50_s, ...}}}``
 * ``corpus_scale`` — ``{"by_size": {"100": {apps_per_sec, p50_ms, ...}}}``
 * ``pipeline`` — ``{"apps": {...}, "aggregate": {"speedup": ...}}``
+* ``incremental`` — ``{"by_lineage": {"app@v2": {cold_s, warm_s, speedup,
+  reuse_fraction, ...}}}`` (cold vs manifest-warm re-analysis)
 
 Candidates come from three sources: another bench JSON file, a run-ledger
 entry (converted to a one-row ``batch_scale`` shape), or a fresh sharded
@@ -48,6 +50,13 @@ _CORPUS_METRICS = (
     ("apps_per_sec", "higher"),
     ("p50_ms", "lower"),
     ("p99_ms", "lower"),
+)
+#: reuse_fraction is deterministic (manifest diffing, not timing), so it
+#: is the load-bearing gate; the timing pair rides along for trajectory.
+_INCR_METRICS = (
+    ("reuse_fraction", "higher"),
+    ("speedup", "higher"),
+    ("warm_s", "lower"),
 )
 
 
@@ -112,6 +121,8 @@ def bench_kind(data: dict) -> str | None:
         return "batch_scale"
     if "by_size" in data:
         return "corpus_scale"
+    if "by_lineage" in data:
+        return "incremental"
     if "apps" in data and "aggregate" in data:
         return "pipeline"
     return None
@@ -149,6 +160,14 @@ def extract_metrics(data: dict) -> dict[str, tuple[float, str]]:
             for metric, direction in _CORPUS_METRICS:
                 if isinstance(row.get(metric), (int, float)):
                     out[f"by_size.{size}.{metric}"] = (
+                        float(row[metric]),
+                        direction,
+                    )
+    elif kind == "incremental":
+        for label, row in (data.get("by_lineage") or {}).items():
+            for metric, direction in _INCR_METRICS:
+                if isinstance(row.get(metric), (int, float)):
+                    out[f"by_lineage.{label}.{metric}"] = (
                         float(row[metric]),
                         direction,
                     )
@@ -272,6 +291,102 @@ def fresh_candidate(
     }
 
 
+def measure_incremental_row(label: str) -> dict:
+    """Cold vs manifest-warm analysis of one lineage version label
+    (``app@vN``): a full cold run, then ``v(N-1)`` analyzed into a fresh
+    store (leaving its manifest) and ``vN`` re-analyzed in incremental
+    mode against it.  ``identical`` asserts the byte-identity contract."""
+    import tempfile
+    import time
+
+    from ..core.extractocol import Extractocol
+    from ..core.report import report_to_dict
+    from ..corpus.lineage import build_version
+    from ..diff.engine import _relative_renames
+    from ..service.store import ResultStore
+
+    family, _, v = label.partition("@")
+    version = int(v.lstrip("v"))
+    built = build_version(label)
+    t0 = time.perf_counter()
+    cold = Extractocol(built.config).analyze(built.apk)
+    cold_s = time.perf_counter() - t0
+
+    with tempfile.TemporaryDirectory(prefix="repro-incr-bench-") as tmp:
+        store = ResultStore(tmp)
+        prev = build_version(f"{family}@v{version - 1}")
+        Extractocol(prev.config, store=store).analyze(prev.apk)
+        built.config.mode = "incremental"
+        renames = _relative_renames(
+            prev.renames_from_base, built.renames_from_base
+        )
+        engine = Extractocol(built.config, store=store)
+        t0 = time.perf_counter()
+        warm = engine.analyze(built.apk, renames=renames)
+        warm_s = time.perf_counter() - t0
+
+    counters = warm.phase_stats.incremental or {}
+    total = counters.get("reused", 0) + counters.get("reanalyzed", 0)
+    return {
+        "cold_s": round(cold_s, 4),
+        "warm_s": round(warm_s, 4),
+        "speedup": round(cold_s / warm_s, 3) if warm_s else 0.0,
+        "reused": counters.get("reused", 0),
+        "reanalyzed": counters.get("reanalyzed", 0),
+        "reuse_fraction": (
+            round(counters.get("reused", 0) / total, 4) if total else 0.0
+        ),
+        "dirty_methods": counters.get("dirty_methods", 0),
+        "identical": report_to_dict(cold) == report_to_dict(warm),
+    }
+
+
+def measure_incremental_synth(spec: str) -> dict:
+    """One aggregate row over every known-drift lineage of a synthesized
+    population (``synth:<families>*<scale>[@<seed>]``)."""
+    from ..synth import parse_population, synth_lineage
+
+    rows: list[dict] = []
+    for key in parse_population(spec).keys():
+        for lv in synth_lineage(key)[1:]:
+            rows.append(measure_incremental_row(lv.label))
+    if not rows:
+        raise ValueError(f"{spec}: no apps with lineage versions")
+    cold_s = sum(r["cold_s"] for r in rows)
+    warm_s = sum(r["warm_s"] for r in rows)
+    reused = sum(r["reused"] for r in rows)
+    reanalyzed = sum(r["reanalyzed"] for r in rows)
+    total = reused + reanalyzed
+    return {
+        "pairs": len(rows),
+        "cold_s": round(cold_s, 4),
+        "warm_s": round(warm_s, 4),
+        "speedup": round(cold_s / warm_s, 3) if warm_s else 0.0,
+        "reused": reused,
+        "reanalyzed": reanalyzed,
+        "reuse_fraction": round(reused / total, 4) if total else 0.0,
+        "dirty_methods": sum(r["dirty_methods"] for r in rows),
+        "identical": all(r["identical"] for r in rows),
+    }
+
+
+def fresh_incremental_candidate(baseline: dict) -> dict:
+    """Re-measure the baseline's own lineage rows (``incremental`` kind's
+    fresh-run source for ``repro bench check``)."""
+    by_lineage: dict[str, dict] = {}
+    for label in baseline.get("by_lineage") or {}:
+        if label.startswith("synth:"):
+            by_lineage[label] = measure_incremental_synth(label)
+        else:
+            by_lineage[label] = measure_incremental_row(label)
+    if not by_lineage:
+        raise ValueError("baseline by_lineage is empty")
+    return {
+        "meta": {"host": host_fingerprint(), "source": "fresh"},
+        "by_lineage": by_lineage,
+    }
+
+
 def load_bench(path: str | Path) -> dict:
     data = json.loads(Path(path).read_text())
     if not isinstance(data, dict) or bench_kind(data) is None:
@@ -319,6 +434,9 @@ __all__ = [
     "compare_benches",
     "extract_metrics",
     "fresh_candidate",
+    "fresh_incremental_candidate",
     "load_bench",
+    "measure_incremental_row",
+    "measure_incremental_synth",
     "render_check",
 ]

@@ -24,6 +24,9 @@ class PhaseStats:
 
     seconds: dict[str, float] = field(default_factory=dict)
     counters: dict[str, int] = field(default_factory=dict)
+    #: slice-reuse outcome of an incremental run — ``{"reused",
+    #: "reanalyzed", "dirty_methods"}`` — or ``None`` outside that mode
+    incremental: dict[str, int] | None = None
 
     @property
     def total_seconds(self) -> float:
@@ -34,17 +37,30 @@ class PhaseStats:
 
     # -------------------------------------------------------- serialisation
     def to_dict(self) -> dict:
-        """JSON-safe form; keys sorted so the output is canonical."""
-        return {
+        """JSON-safe form; keys sorted so the output is canonical.
+        ``incremental`` appears only when set, so profiles from other
+        modes keep their historical shape byte-for-byte."""
+        out = {
             "seconds": {k: self.seconds[k] for k in sorted(self.seconds)},
             "counters": {k: self.counters[k] for k in sorted(self.counters)},
         }
+        if self.incremental is not None:
+            out["incremental"] = {
+                k: self.incremental[k] for k in sorted(self.incremental)
+            }
+        return out
 
     @classmethod
     def from_dict(cls, data: dict) -> "PhaseStats":
+        incremental = data.get("incremental")
         return cls(
             seconds={k: float(v) for k, v in data.get("seconds", {}).items()},
             counters={k: int(v) for k, v in data.get("counters", {}).items()},
+            incremental=(
+                {k: int(v) for k, v in incremental.items()}
+                if incremental is not None
+                else None
+            ),
         )
 
     # ------------------------------------------------------------ rendering

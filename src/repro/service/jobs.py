@@ -151,10 +151,12 @@ def resolve_target(
     return apk, config, label
 
 
-def _default_analyzer(apk: Apk, config: AnalysisConfig):
+def _default_analyzer(apk: Apk, config: AnalysisConfig, store=None):
+    """Run one analysis; with a ``store``, the pipeline also leaves its
+    incremental manifest behind (``incremental`` mode reads it back)."""
     from ..core.extractocol import Extractocol
 
-    return Extractocol(config).analyze(apk)
+    return Extractocol(config, store=store).analyze(apk)
 
 
 def call_with_timeout(fn, timeout: float | None):
@@ -214,7 +216,9 @@ class JobScheduler:
         self.backoff = backoff
         self.executor = executor
         self.start_method = start_method
-        self.analyzer = analyzer or _default_analyzer
+        self.analyzer = analyzer or (
+            lambda apk, config: _default_analyzer(apk, config, store=store)
+        )
         self.workers = resolve_workers(workers)
         self._queue: queue.Queue = queue.Queue(maxsize=max_queue)
         self._jobs: dict[str, Job] = {}

@@ -31,6 +31,7 @@ store across hosts should rely on the TTL).
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import tempfile
@@ -52,6 +53,19 @@ DEFAULT_LEASE_TTL = 600.0
 def result_key(apk_digest: str, config_key: str) -> str:
     """The content address of one analysis result."""
     return f"{apk_digest}-{config_key}"
+
+
+def manifest_key(app: str, config_key: str) -> str:
+    """The address of an app's *latest* incremental manifest.
+
+    Keyed by app name (hashed — names are free-form), not APK digest:
+    a warm run analysing version N+1 must find the manifest version N
+    left behind, and digests differ across versions by construction.
+    Each write replaces the previous version's manifest, so a lineage
+    chain (v1 → v2 → v3) always diffs against its immediate ancestor.
+    """
+    digest = hashlib.sha256(app.encode("utf-8")).hexdigest()[:16]
+    return f"manifest-{digest}-{config_key}"
 
 
 def canonical_json(data: dict) -> str:
@@ -78,6 +92,7 @@ class ResultStore:
         self.root = Path(root).expanduser()
         self.objects = self.root / "objects"
         self.objects.mkdir(parents=True, exist_ok=True)
+        self.manifests = self.root / "manifests"
         self.leases = self.root / "leases"
         self.lease_ttl = lease_ttl
         self.metrics = metrics
@@ -85,10 +100,17 @@ class ResultStore:
         self.hits = 0
         self.misses = 0
         self.writes = 0
+        self.manifest_writes = 0
 
     # ------------------------------------------------------------- paths
     def path_for(self, key: str) -> Path:
         return self.objects / key[:2] / f"{key}.json"
+
+    def manifest_path(self, key: str) -> Path:
+        # Side-band tree: manifests never shadow report keys, never show
+        # up in entries()/list_entries(), and a pre-manifest store layout
+        # simply reads as "no manifest" (full re-analysis).
+        return self.manifests / f"{key}.json"
 
     def lease_path(self, name: str) -> Path:
         return self.leases / f"{name}.lease"
@@ -261,7 +283,14 @@ class ResultStore:
         without a ``report`` key are invisible to :meth:`get` and
         :meth:`list_entries`.
         """
-        path = self.path_for(key)
+        self._atomic_write(self.path_for(key), key, envelope)
+        with self._lock:
+            self.writes += 1
+        if self.metrics is not None:
+            self.metrics.counter("store_writes").inc()
+        return key
+
+    def _atomic_write(self, path: Path, key: str, envelope: dict) -> None:
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(
             dir=path.parent, prefix=f".{key[:8]}.", suffix=".tmp"
@@ -278,11 +307,60 @@ class ResultStore:
             except OSError:
                 pass
             raise
+
+    # --------------------------------------------------------- manifests
+    def put_manifest(self, manifest: dict) -> str:
+        """Store an incremental manifest (:mod:`repro.incr.manifest`) in
+        the side-band ``manifests/`` tree — invisible to :meth:`get`,
+        :meth:`entries` and :meth:`list_entries`, and counted separately
+        from report writes."""
+        key = manifest_key(manifest["app"], manifest["config_key"])
+        envelope = {
+            "schema": SCHEMA_VERSION,
+            "key": key,
+            "app": manifest["app"],
+            "apk_digest": manifest["apk_digest"],
+            "config_key": manifest["config_key"],
+            "manifest": manifest,
+        }
+        self._atomic_write(self.manifest_path(key), key, envelope)
         with self._lock:
-            self.writes += 1
+            self.manifest_writes += 1
         if self.metrics is not None:
-            self.metrics.counter("store_writes").inc()
+            self.metrics.counter("manifest_writes").inc()
         return key
+
+    def get_manifest(self, app: str, config_key: str) -> dict | None:
+        """The latest stored manifest for ``(app, config)``, or ``None``.
+
+        The cache-poisoning guard lives here: an envelope or manifest
+        written under a different schema, or whose recorded config key
+        does not match the requested one, is treated as absent — the
+        caller falls back to full analysis, never to stale reuse.
+        """
+        from ..incr.manifest import MANIFEST_SCHEMA
+
+        try:
+            envelope = json.loads(
+                self.manifest_path(
+                    manifest_key(app, config_key)
+                ).read_text()
+            )
+        except (OSError, json.JSONDecodeError):
+            return None
+        if (
+            not isinstance(envelope, dict)
+            or envelope.get("schema") != SCHEMA_VERSION
+        ):
+            return None
+        manifest = envelope.get("manifest")
+        if (
+            not isinstance(manifest, dict)
+            or manifest.get("schema") != MANIFEST_SCHEMA
+            or manifest.get("config_key") != config_key
+        ):
+            return None
+        return manifest
 
     # ------------------------------------------------------------- stats
     def _record(self, *, hit: bool) -> None:
@@ -345,5 +423,6 @@ __all__ = [
     "ResultStore",
     "SCHEMA_VERSION",
     "canonical_json",
+    "manifest_key",
     "result_key",
 ]

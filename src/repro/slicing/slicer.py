@@ -129,14 +129,22 @@ class NetworkSlicer:
             seconds=time.perf_counter() - started,
         )
 
-    def slice_all(self, *, span=NULL_SPAN) -> SlicingReport:
+    def slice_all(
+        self, *, span=NULL_SPAN, dps: list[DPInstance] | None = None
+    ) -> SlicingReport:
         """Slice every demarcation point; with ``workers > 1`` the points
         fan out over an executor.  Results are collected in scan order, so
         the report is identical to a serial run.  When ``span`` is a live
         span, one ``dp:<site>`` child per demarcation point is emitted —
-        after collection, in scan order, so traces are deterministic."""
+        after collection, in scan order, so traces are deterministic.
+
+        ``dps`` restricts slicing to an explicit subset (in the given
+        order) instead of a fresh scan — the incremental engine passes only
+        the dirtied demarcation points here and replays the rest from the
+        manifest cache."""
         report = SlicingReport(total_statements=self.program.statement_count())
-        dps = self.scan()
+        if dps is None:
+            dps = self.scan()
         workers = resolve_workers(self.workers)
         if workers > 1 and len(dps) > 1:
             if self.index is not None:

@@ -118,6 +118,12 @@ class TaintEngine:
         #: config dereference; immutable per engine, so safe under the
         #: engine-per-worker concurrency model
         self._record_prov = self.config.record_provenance
+        #: while a slice is being built, the live ``SliceResult.visited``
+        #: set — ``_method`` is the one accessor through which the engine
+        #: resolves any body, so recording there captures every method
+        #: whose code could have influenced the slice (the incremental
+        #: engine's reuse precondition)
+        self._visited: set[str] | None = None
         self._reach_cache: dict[str, list[set[int]]] = {}
         #: per-method (defuse, reach, reach-to, mention-mask) bundle so the
         #: index fast path pays one dict probe per step, not four
@@ -127,6 +133,9 @@ class TaintEngine:
 
     # ------------------------------------------------------------------ utils
     def _method(self, method_id: str) -> Method:
+        visited = self._visited
+        if visited is not None:
+            visited.add(method_id)
         return self.program.method_by_id(method_id)
 
     def _reach(self, method: Method) -> list[set[int]]:
@@ -203,6 +212,7 @@ class TaintEngine:
         """Request-slice extraction: inverted taint propagation from seeds."""
         self._index_fields()
         result = SliceResult("backward")
+        self._visited = result.visited
         seen: dict[tuple, int] = {}
         queue: deque[tuple[StmtRef, Local, int]] = deque()
         enqueued = widened = 0
@@ -237,6 +247,7 @@ class TaintEngine:
             budget -= 1
             ref, local, hops = queue.popleft()
             self._backward_step(ref, local, hops, result, need)
+        self._finish_visited(result)
         result.stats = {
             "worklist_iterations": self.config.max_worklist_items - budget,
             "facts_enqueued": enqueued,
@@ -456,6 +467,7 @@ class TaintEngine:
         """Response-slice extraction: standard taint propagation from seeds."""
         self._index_fields()
         result = SliceResult("forward")
+        self._visited = result.visited
         seen: dict[tuple, int] = {}
         queue: deque[tuple[StmtRef, Local, int]] = deque()
         enqueued = widened = 0
@@ -486,6 +498,7 @@ class TaintEngine:
             budget -= 1
             ref, local, hops = queue.popleft()
             self._forward_step(ref, local, hops, result, fact)
+        self._finish_visited(result)
         result.stats = {
             "worklist_iterations": self.config.max_worklist_items - budget,
             "facts_enqueued": enqueued,
@@ -597,6 +610,17 @@ class TaintEngine:
                 result.prov.setdefault(load_ref, ref)
             if isinstance(load_stmt, AssignStmt) and isinstance(load_stmt.target, Local):
                 fact(load_ref, load_stmt.target, hops + cost)
+
+    def _finish_visited(self, result: SliceResult) -> None:
+        """Close out the visited set for one slice: statements and
+        hop-budget-missed flows name methods the slice depends on even when
+        their bodies were never resolved through ``_method`` (a missed
+        store that disappears changes the ``blocked`` report column)."""
+        result.visited.update(ref.method_id for ref in result.stmts)
+        result.visited.update(
+            ref.method_id for ref in result.missed_async_flows
+        )
+        self._visited = None
 
     @staticmethod
     def _param_ref(method: Method, local: Local) -> StmtRef:

@@ -30,6 +30,12 @@ class SliceResult:
     origin_params: set[tuple[str, int]] = field(default_factory=set)
     #: implicit flows skipped because they exceeded the async-hop budget
     missed_async_flows: set[StmtRef] = field(default_factory=set)
+    #: every method whose body the engine examined while building this
+    #: slice — a superset of ``methods``.  The incremental engine
+    #: (``repro.incr``) replays a cached slice only when no method in this
+    #: set changed, so under-recording here silently reuses stale slices;
+    #: the engine records a method the moment it resolves its body.
+    visited: set[str] = field(default_factory=set)
     #: provenance parent links (only when ``TaintConfig.record_provenance``):
     #: statement -> the statement whose processing pulled it into the slice
     #: (``None`` for seeds).  Walking parents from any statement reaches a
@@ -50,6 +56,7 @@ class SliceResult:
         self.tainted_locals |= other.tainted_locals
         self.origin_params |= other.origin_params
         self.missed_async_flows |= other.missed_async_flows
+        self.visited |= other.visited
         for ref, parent in other.prov.items():
             self.prov.setdefault(ref, parent)
         for name, amount in other.stats.items():

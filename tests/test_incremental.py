@@ -1,0 +1,222 @@
+"""Incremental re-analysis: manifest-driven slice reuse across version
+lineages — byte-identity with cold runs, the corpus-level reuse floor,
+RenameMap-composed reuse for obfuscated re-releases, hierarchy-sensitive
+fingerprints, and the cache-poisoning guard."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cfg.callgraph import CallGraph
+from repro.core.extractocol import Extractocol
+from repro.core.report import report_to_dict
+from repro.corpus.lineage import build_version
+from repro.diff.engine import _relative_renames
+from repro.incr.manifest import MANIFEST_SCHEMA
+from repro.ir.builder import ProgramBuilder
+from repro.ir.fingerprint import fingerprint_program
+from repro.service.store import ResultStore, manifest_key
+
+#: every non-base corpus lineage version, warmed from its predecessor
+LINEAGE_PAIRS = [
+    ("reddinator@v1", "reddinator@v2"),
+    ("reddinator@v2", "reddinator@v3"),
+    ("wallabag@v1", "wallabag@v2"),
+    ("twister@v1", "twister@v2"),
+    ("tzm@v1", "tzm@v2"),
+]
+
+
+def warm_pair(store_root, prev_label: str, label: str):
+    """Analyze ``prev_label`` full-with-store, then ``label`` both cold and
+    warm-incremental; returns (cold report, warm report)."""
+    store = ResultStore(store_root)
+    prev = build_version(prev_label)
+    Extractocol(prev.config, store=store).analyze(prev.apk)
+
+    cur = build_version(label)
+    cold = Extractocol(cur.config).analyze(cur.apk)
+
+    warm_v = build_version(label)
+    warm_v.config.mode = "incremental"
+    renames = _relative_renames(
+        prev.renames_from_base, warm_v.renames_from_base
+    )
+    warm = Extractocol(warm_v.config, store=store).analyze(
+        warm_v.apk, renames=renames
+    )
+    return cold, warm
+
+
+@pytest.fixture(scope="module")
+def lineage_runs(tmp_path_factory):
+    root = tmp_path_factory.mktemp("incr-stores")
+    out = {}
+    for i, (prev_label, label) in enumerate(LINEAGE_PAIRS):
+        out[label] = warm_pair(root / str(i), prev_label, label)
+    return out
+
+
+class TestLineageReuse:
+    @pytest.mark.parametrize("label", [p[1] for p in LINEAGE_PAIRS])
+    def test_warm_report_byte_identical_to_cold(self, lineage_runs, label):
+        cold, warm = lineage_runs[label]
+        assert report_to_dict(warm) == report_to_dict(cold)
+
+    @pytest.mark.parametrize("label", [p[1] for p in LINEAGE_PAIRS])
+    def test_counters_present_and_consistent(self, lineage_runs, label):
+        _, warm = lineage_runs[label]
+        counters = warm.phase_stats.incremental
+        assert counters is not None
+        assert set(counters) == {"reused", "reanalyzed", "dirty_methods"}
+        assert (
+            counters["reused"] + counters["reanalyzed"]
+            == warm.demarcation_points
+        )
+
+    def test_corpus_reuse_floor(self, lineage_runs):
+        """Across the five lineage versions, at least half of all DP
+        slices replay from cache.  (Per-version floors are impossible:
+        wallabag has exactly one endpoint and its v2 rewrites it, so its
+        lone slice is legitimately dirty.)"""
+        reused = analyzed = 0
+        for _, warm in lineage_runs.values():
+            counters = warm.phase_stats.incremental
+            reused += counters["reused"]
+            analyzed += counters["reused"] + counters["reanalyzed"]
+        assert analyzed > 0
+        assert reused / analyzed >= 0.5, (reused, analyzed)
+
+    def test_compatible_drift_reuses_untouched_endpoints(self, lineage_runs):
+        for label in ("reddinator@v2", "reddinator@v3", "twister@v2"):
+            counters = lineage_runs[label][1].phase_stats.incremental
+            assert counters["reused"] > 0, label
+            assert counters["reanalyzed"] > 0, label  # the drift itself
+
+    def test_obfuscated_rerelease_reuses_everything(self, lineage_runs):
+        """tzm v2 renames every identifier but changes no behavior: with
+        the RenameMap composed in, every fingerprint matches in the base
+        namespace and every slice replays."""
+        counters = lineage_runs["tzm@v2"][1].phase_stats.incremental
+        assert counters["reanalyzed"] == 0
+        assert counters["reused"] > 0
+        assert counters["dirty_methods"] == 0
+
+
+class TestSelfWarm:
+    def test_unchanged_app_reuses_every_slice(self, tmp_path):
+        store = ResultStore(tmp_path)
+        v1 = build_version("reddinator@v1")
+        cold = Extractocol(v1.config, store=store).analyze(v1.apk)
+
+        again = build_version("reddinator@v1")
+        again.config.mode = "incremental"
+        warm = Extractocol(again.config, store=store).analyze(again.apk)
+        counters = warm.phase_stats.incremental
+        assert counters["dirty_methods"] == 0
+        assert counters["reanalyzed"] == 0
+        assert counters["reused"] == cold.demarcation_points > 0
+        assert report_to_dict(warm) == report_to_dict(cold)
+
+    def test_cold_incremental_run_has_zero_reuse(self, tmp_path):
+        """mode=incremental with an empty store degrades to a full run."""
+        store = ResultStore(tmp_path)
+        v1 = build_version("reddinator@v1")
+        v1.config.mode = "incremental"
+        warm = Extractocol(v1.config, store=store).analyze(v1.apk)
+        counters = warm.phase_stats.incremental
+        assert counters["reused"] == 0
+        assert counters["reanalyzed"] == warm.demarcation_points
+
+        cold = Extractocol(build_version("reddinator@v1").config).analyze(
+            build_version("reddinator@v1").apk
+        )
+        assert report_to_dict(warm) == report_to_dict(cold)
+
+
+class TestHierarchyDirtying:
+    """A superclass change dirties every method of every subclass, even
+    when no subclass body changed — the hierarchy slice is a fingerprint
+    input."""
+
+    @staticmethod
+    def _program(superclass: str):
+        pb = ProgramBuilder()
+        pb.class_("app.Lib")
+        pb.class_("app.OtherLib")
+        pb.class_("app.Base", superclass=superclass)
+        sub = pb.class_("app.Sub", superclass="app.Base")
+        m = sub.method("go", static=False)
+        m.ret_void()
+        other = pb.class_("app.Unrelated")
+        u = other.method("stay", static=False)
+        u.ret_void()
+        return pb.build()
+
+    def test_superclass_change_dirties_subclass_methods(self):
+        before = self._program("app.Lib")
+        after = self._program("app.OtherLib")
+        fp_before, _ = fingerprint_program(before, CallGraph(before))
+        fp_after, _ = fingerprint_program(after, CallGraph(after))
+        sub = "<app.Sub: void go()>"
+        unrelated = "<app.Unrelated: void stay()>"
+        assert fp_before[sub] != fp_after[sub]
+        assert fp_before[unrelated] == fp_after[unrelated]
+
+
+class TestCachePoisoning:
+    """A manifest written under a different schema or config hash must be
+    invisible — the engine falls back to full analysis, never stale reuse."""
+
+    @staticmethod
+    def _seed_store(tmp_path):
+        store = ResultStore(tmp_path)
+        v1 = build_version("reddinator@v1")
+        Extractocol(v1.config, store=store).analyze(v1.apk)
+        app, key = v1.apk.name, v1.config.cache_key()
+        assert store.get_manifest(app, key) is not None
+        return store, app, key
+
+    @staticmethod
+    def _poison(store, app, key, **changes):
+        path = store.manifest_path(manifest_key(app, key))
+        envelope = json.loads(path.read_text())
+        envelope["manifest"].update(changes)
+        path.write_text(json.dumps(envelope))
+
+    def test_schema_mismatch_is_a_miss(self, tmp_path):
+        store, app, key = self._seed_store(tmp_path)
+        self._poison(store, app, key, schema=MANIFEST_SCHEMA + 1)
+        assert store.get_manifest(app, key) is None
+
+    def test_config_hash_mismatch_is_a_miss(self, tmp_path):
+        store, app, key = self._seed_store(tmp_path)
+        self._poison(store, app, key, config_key="0" * 16)
+        assert store.get_manifest(app, key) is None
+
+    def test_poisoned_manifest_forces_full_reanalysis(self, tmp_path):
+        store, app, key = self._seed_store(tmp_path)
+        self._poison(store, app, key, schema=MANIFEST_SCHEMA + 1)
+
+        v2 = build_version("reddinator@v2")
+        v2.config.mode = "incremental"
+        warm = Extractocol(v2.config, store=store).analyze(v2.apk)
+        counters = warm.phase_stats.incremental
+        assert counters["reused"] == 0
+        assert counters["reanalyzed"] == warm.demarcation_points
+
+        cold = Extractocol(build_version("reddinator@v2").config).analyze(
+            build_version("reddinator@v2").apk
+        )
+        assert report_to_dict(warm) == report_to_dict(cold)
+
+    def test_semantic_config_change_misses_the_manifest(self, tmp_path):
+        """A different semantic config has a different cache key — the old
+        manifest is simply never consulted."""
+        store, app, key = self._seed_store(tmp_path)
+        v1 = build_version("reddinator@v1")
+        v1.config.rounds += 1
+        assert v1.config.cache_key() != key
+        assert store.get_manifest(app, v1.config.cache_key()) is None

@@ -1,0 +1,130 @@
+"""Targeted (demand-driven) mode: the bytecode-search seed index plus
+on-demand region warming must reproduce the full pipeline's report exactly
+— pinned on every hand-written corpus app and the synth soundness grid —
+and its known blind spot must be visible to lint (SEM006)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cfg.callgraph import CallGraph
+from repro.core.config import AnalysisConfig
+from repro.core.extractocol import Extractocol
+from repro.core.report import report_to_dict
+from repro.corpus import app_keys, get_spec
+from repro.incr.targeted import TargetedSearch, seed_sites
+from repro.ir.builder import ProgramBuilder
+from repro.lint.soundness import soundness_program
+from repro.slicing.demarcation import scan_demarcation_points
+from repro.synth import parse_population, synth_spec
+
+SYNTH_SPEC = "synth:all*21@3"  # the soundness-grid smoke population
+
+
+def _corpus_config(spec) -> AnalysisConfig:
+    return AnalysisConfig(
+        async_heuristic=(spec.kind == "closed"),
+        scope_prefixes=spec.scope_prefixes,
+    )
+
+
+def _reports(spec):
+    full = Extractocol(_corpus_config(spec)).analyze(spec.build_apk())
+    config = _corpus_config(spec)
+    config.mode = "targeted"
+    targeted = Extractocol(config).analyze(spec.build_apk())
+    return full, targeted
+
+
+@pytest.mark.parametrize("key", app_keys())
+def test_targeted_matches_full_on_corpus(key):
+    full, targeted = _reports(get_spec(key))
+    assert report_to_dict(targeted) == report_to_dict(full)
+
+
+@pytest.mark.parametrize("key", sorted(parse_population(SYNTH_SPEC).keys()))
+def test_targeted_matches_full_on_synth_grid(key):
+    full, targeted = _reports(synth_spec(key))
+    assert report_to_dict(targeted) == report_to_dict(full)
+
+
+class TestSeedIndex:
+    @staticmethod
+    def _program(*, declared_receiver_only: bool):
+        pb = ProgramBuilder()
+        m = pb.class_("app.Main").method("go")
+        client = m.new("org.apache.http.client.HttpClient")
+        req = m.new("org.apache.http.client.methods.HttpGet", ["http://x/"])
+        kwargs = {"on": "app.StealthClient"} if declared_receiver_only else {}
+        m.vcall(
+            client, "execute", [req], "org.apache.http.HttpResponse",
+            **kwargs,
+        )
+        m.ret_void()
+        return pb.build()
+
+    def test_seed_index_finds_signature_matched_sites(self):
+        program = self._program(declared_receiver_only=False)
+        sites = seed_sites(program)
+        dps = scan_demarcation_points(program, CallGraph(program))
+        assert sites == {dp.site for dp in dps}
+        assert len(dps) == 1
+
+    def test_targeted_scan_equals_full_scan_on_seed_hits(self):
+        program = self._program(declared_receiver_only=False)
+        callgraph = CallGraph(program)
+        full = scan_demarcation_points(program, CallGraph(program))
+        targeted = TargetedSearch(program, callgraph).scan()
+        assert [dp.key for dp in targeted] == [dp.key for dp in full]
+
+    def test_declared_receiver_sites_are_the_blind_spot(self):
+        """A DP matched only via the receiver local's declared type is
+        invisible to the seed index — and lint reports it as SEM006, so
+        the gap is loud rather than silent."""
+        program = self._program(declared_receiver_only=True)
+        assert seed_sites(program) == set()
+        full = scan_demarcation_points(program, CallGraph(program))
+        assert len(full) == 1  # the full scanner does find it
+        findings = soundness_program(program)
+        assert [f.rule for f in findings if f.rule == "SEM006"] == ["SEM006"]
+
+    def test_no_sem006_on_the_corpus(self):
+        """Every hand-written corpus app is fully covered by the seed
+        index — the equivalence pin above is meaningful, not vacuous."""
+        for key in app_keys():
+            apk = get_spec(key).build_apk()
+            program = apk.program
+            sites = seed_sites(program)
+            dps = scan_demarcation_points(program, CallGraph(program))
+            missing = {dp.key for dp in dps if dp.site not in sites}
+            assert not missing, (key, missing)
+
+    def test_region_bounds_warming_not_soundness(self):
+        """The targeted region contains the DP methods and their caller
+        closure; methods outside it still resolve lazily."""
+        pb = ProgramBuilder()
+        cb = pb.class_("app.Main")
+        entry = cb.method("onCreate")
+        entry.call_this("fetch")
+        entry.ret_void()
+        fetch = cb.method("fetch")
+        client = fetch.new(
+            "org.apache.http.impl.client.DefaultHttpClient"
+        )
+        req = fetch.new(
+            "org.apache.http.client.methods.HttpGet", ["http://x/"]
+        )
+        fetch.vcall(
+            client, "execute", [req], "org.apache.http.HttpResponse"
+        )
+        fetch.ret_void()
+        other = cb.method("unrelated")
+        other.ret_void()
+        program = pb.build()
+        callgraph = CallGraph(program)
+        search = TargetedSearch(program, callgraph)
+        dps = search.scan()
+        region = search.region(dps)
+        assert fetch.method.method_id in region
+        assert entry.method.method_id in region  # backward caller closure
+        assert other.method.method_id not in region
