@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Fleet-search latency benchmark, persisted as ``BENCH_search.json``.
+
+Builds a synthesized store (default ``synth:all*500@7`` — the 500-app
+fleet), indexes it, and measures per-query-class latency against the
+loaded index: one representative query per grammar class (``host:``,
+``path:``, ``field:``, free text, a multi-clause AND, and a ``like:``
+similarity probe), each run ``--repeats`` times.
+
+Reported per class:
+
+* **p50_ms / p99_ms** — wall milliseconds of :func:`run_search` alone
+  (parse + posting intersection/scoring + sort + first page); index
+  load is excluded, matching the service steady state where
+  ``refresh()`` is a stat probe,
+* **qps** — queries per second over the whole sample.
+
+The derived query strings are baked into ``meta.queries``, so
+``repro bench check BENCH_search.json`` re-runs exactly this workload
+against a freshly rebuilt store (same spec, same queries) and gates on
+p50/p99/qps drift.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_search.py
+    PYTHONPATH=src python scripts/bench_search.py --quick --out /tmp/b.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs.benchcheck import measure_search_bench  # noqa: E402
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--spec", default="synth:all*500@7",
+                        help="population spec for the benchmark store "
+                             "(default synth:all*500@7)")
+    parser.add_argument("--repeats", type=int, default=200, metavar="N",
+                        help="measurements per query class (default 200)")
+    parser.add_argument("--workers", type=int, default=0, metavar="N",
+                        help="store-build workers (0 = one per CPU)")
+    parser.add_argument("--quick", action="store_true",
+                        help="small store + few repeats (CI smoke)")
+    parser.add_argument("--out", default="BENCH_search.json", metavar="FILE")
+    args = parser.parse_args()
+
+    spec = "synth:all*50@7" if args.quick else args.spec
+    repeats = 20 if args.quick else args.repeats
+
+    bench = measure_search_bench(spec, workers=args.workers, repeats=repeats)
+    bench["meta"]["generated_unix"] = int(time.time())
+
+    Path(args.out).write_text(json.dumps(bench, indent=2, sort_keys=True) + "\n")
+
+    index = bench["index"]
+    print(f"store {spec}: {index['docs']} reports / {index['apps']} apps, "
+          f"{index['terms']} terms, {index['postings']} postings "
+          f"(built in {index['build_s']}s)")
+    print(f"{'class':8s} {'hits':>6s} {'p50_ms':>8s} {'p99_ms':>8s} "
+          f"{'qps':>9s}  query")
+    for name, row in sorted(bench["by_query"].items()):
+        print(f"{name:8s} {row['hits']:>6d} {row['p50_ms']:>8.3f} "
+              f"{row['p99_ms']:>8.3f} {row['qps']:>9.1f}  {row['query']}")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -646,6 +646,71 @@ def cmd_runs(args) -> int:
     return 0
 
 
+def cmd_index(args) -> int:
+    """Build or refresh the fleet search index over a result store."""
+    from repro.fleetindex.index import build_index
+    from repro.service.store import ResultStore
+
+    store = ResultStore(Path(args.store).expanduser())
+    stats = build_index(
+        store,
+        rebuild=args.rebuild,
+        executor=args.executor,
+        workers=args.workers,
+    )
+    if args.json:
+        print(json.dumps(stats, indent=2, sort_keys=True))
+    else:
+        mode = "rebuilt" if stats["rebuilt"] else "updated"
+        print(
+            f"index {mode}: {stats['docs']} reports / {stats['apps']} apps, "
+            f"{stats['terms']} terms, {stats['postings']} postings "
+            f"({stats['folded']} folded) in {store.root}/index"
+        )
+    return 0
+
+
+def cmd_search(args) -> int:
+    """Query the fleet index (``repro search host:api.reddit.com``)."""
+    from repro.fleetindex.index import FleetIndex
+    from repro.fleetindex.query import QueryError, run_search
+    from repro.service.store import ResultStore
+
+    store = ResultStore(Path(args.store).expanduser())
+    index = FleetIndex(store).refresh()
+    try:
+        result = run_search(
+            index,
+            " ".join(args.query),
+            limit=args.limit,
+            cursor=args.cursor,
+        )
+    except QueryError as exc:
+        raise SystemExit(f"bad query: {exc}")
+    if args.json:
+        print(json.dumps(result, indent=2, sort_keys=True))
+        return 0 if result["total"] else 1
+
+    print(f"{result['total']} hit(s) for {result['query']!r} "
+          f"across {len(result['apps'])} app(s)")
+    for hit in result["hits"]:
+        score = f"  [{hit['score']:.2f}]" if "score" in hit else ""
+        print(f"  {hit['app']}  txn{hit['txn']}{score}  {hit['label']}")
+        print(f"    key: {hit['key']}")
+    if result["next_cursor"]:
+        print(f"more: repro search {' '.join(args.query)} "
+              f"--cursor {result['next_cursor']}")
+    return 0 if result["total"] else 1
+
+
+def cmd_mcp(args) -> int:
+    """Serve the fleet catalog over stdio JSON-RPC (MCP tool shape)."""
+    from repro.fleetindex.mcp import serve
+    from repro.service.store import ResultStore
+
+    return serve(ResultStore(Path(args.store).expanduser()))
+
+
 def cmd_bench_check(args) -> int:
     """Gate on performance regressions against checked-in BENCH_*.json."""
     from repro.obs.benchcheck import (
@@ -666,6 +731,7 @@ def cmd_bench_check(args) -> int:
                 Path("BENCH_corpus_scale.json"),
                 Path("BENCH_incremental.json"),
                 Path("BENCH_pipeline.json"),
+                Path("BENCH_search.json"),
             )
             if p.exists()
         ]
@@ -693,11 +759,16 @@ def cmd_bench_check(args) -> int:
                 raise SystemExit(f"no run {args.run!r} in the ledger")
             candidate = candidate_from_run(record)
         else:
-            # fresh measurement; batch_scale and incremental define one
+            # fresh measurement; batch_scale, incremental and search
+            # define one
             if kind == "incremental":
                 from repro.obs.benchcheck import fresh_incremental_candidate
 
                 candidate = fresh_incremental_candidate(baseline)
+            elif kind == "search":
+                from repro.obs.benchcheck import fresh_search_candidate
+
+                candidate = fresh_search_candidate(baseline)
             elif kind != "batch_scale":
                 skipped.append(f"{path}: no fresh-run source for {kind!r} "
                                f"benches; pass --candidate or --run")
@@ -1040,6 +1111,49 @@ def main(argv: list[str] | None = None) -> int:
                              metavar="DIR")
     p_runs_show.add_argument("--json", action="store_true")
     p_runs_show.set_defaults(fn=cmd_runs)
+
+    p_index = sub.add_parser(
+        "index", help="build/refresh the fleet search index over a store"
+    )
+    p_index.add_argument("--store", default=_default_store(), metavar="DIR",
+                         help="result store root (default: $REPRO_STORE or "
+                              "~/.cache/repro/store)")
+    p_index.add_argument("--rebuild", action="store_true",
+                         help="re-extract every stored envelope instead of "
+                              "folding pending deltas (same bytes either "
+                              "way)")
+    p_index.add_argument("--executor",
+                         choices=["auto", "serial", "thread", "process"],
+                         default="serial",
+                         help="shard the full build across workers "
+                              "(identical index bytes regardless)")
+    p_index.add_argument("--workers", type=int, default=0, metavar="N",
+                         help="build workers (0 = one per CPU)")
+    p_index.add_argument("--json", action="store_true")
+    p_index.set_defaults(fn=cmd_index)
+
+    p_search = sub.add_parser(
+        "search", help="query the fleet index (cross-app protocol search)"
+    )
+    p_search.add_argument("query", nargs="+",
+                          help="host:<host> path:<segment|/full/path> "
+                               "field:<dep-field> app:<app> "
+                               "like:<app>/<txn-id> or free text; clauses "
+                               "AND together")
+    p_search.add_argument("--store", default=_default_store(), metavar="DIR")
+    p_search.add_argument("--limit", type=int, default=None, metavar="N",
+                          help="page size (default 50)")
+    p_search.add_argument("--cursor", default=None, metavar="CURSOR",
+                          help="opaque cursor from the previous page")
+    p_search.add_argument("--json", action="store_true")
+    p_search.set_defaults(fn=cmd_search)
+
+    p_mcp = sub.add_parser(
+        "mcp", help="MCP-style catalog server over stdio JSON-RPC "
+                    "(list_collections / search / get_file)"
+    )
+    p_mcp.add_argument("--store", default=_default_store(), metavar="DIR")
+    p_mcp.set_defaults(fn=cmd_mcp)
 
     p_bench = sub.add_parser(
         "bench", help="benchmark tooling (regression gating)"

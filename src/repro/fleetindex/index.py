@@ -1,0 +1,509 @@
+"""The on-disk inverted index: segments, manifest, pending deltas.
+
+Layout — a side-band ``index/`` tree inside the result store, invisible
+to report listings exactly like the ``manifests/`` tree::
+
+    <store>/index/MANIFEST.json        schema, segment ids, stats
+    <store>/index/segments/<sha>.json  term -> postings, sharded by term
+    <store>/index/docs/<sha>.json      doc registry (key -> app/summary/labels)
+    <store>/index/pending/<key>.json   one delta per un-indexed envelope
+
+**Determinism.**  Index bytes are a pure function of the set of indexed
+envelopes: postings are sorted, terms shard to one of :data:`N_SLOTS`
+segments by term hash, every file is canonical JSON named by the sha256
+of its own bytes, and the manifest carries no timestamps.  Two
+independently built indexes over the same store are therefore
+byte-identical trees, and an incremental fold-in reproduces exactly what
+a full rebuild would have written.
+
+**Freshness.**  Every report ``put`` lands a pending-delta record — the
+envelope's fully extracted document — beside the index.  Readers overlay
+pending deltas in memory at load time, so a query issued right after a
+batch sees every new report with zero rebuild; ``repro index`` folds the
+deltas into the segments durably and deletes them.
+
+**Crash safety.**  Segment/doc files are content-addressed and the
+manifest is written atomically last, so a crashed builder leaves either
+the old index or the new one, never a torn tree (orphaned segment files
+are garbage-collected by the next fold).  A corrupt pending delta — a
+writer that died mid-``put`` — is re-extracted from its stored envelope
+(the filename is the result key), or dropped when the envelope never
+landed either.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from .docs import doc_from_envelope, extract_doc
+
+#: Bump when the index layout (manifest, segment, docs or pending record
+#: shape) changes incompatibly; a mismatched tree reads as "no index".
+INDEX_SCHEMA = 1
+
+#: Terms shard to ``sha256(term) % N_SLOTS`` segments.  Fixed — changing
+#: it is an index schema change.
+N_SLOTS = 16
+
+#: A posting: where one transaction lives.
+Posting = tuple[str, str, int]  # (app, result key, txn id)
+
+
+# ------------------------------------------------------------------ paths
+def index_root(store_root: str | Path) -> Path:
+    return Path(store_root) / "index"
+
+
+def pending_dir(store_root: str | Path) -> Path:
+    return index_root(store_root) / "pending"
+
+
+def manifest_path(store_root: str | Path) -> Path:
+    return index_root(store_root) / "MANIFEST.json"
+
+
+def _canonical(data: dict) -> str:
+    return json.dumps(data, sort_keys=True, indent=2)
+
+
+def _atomic_write(path: Path, text: str) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=".idx.", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(text)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def _read_json(path: Path) -> dict | None:
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    return data if isinstance(data, dict) else None
+
+
+def term_slot(term: str) -> int:
+    digest = hashlib.sha256(term.encode("utf-8")).hexdigest()
+    return int(digest[:8], 16) % N_SLOTS
+
+
+# ---------------------------------------------------------------- pending
+def write_pending_delta(store_root: str | Path, key: str, app: str,
+                        report: dict) -> None:
+    """Land the pending-delta record for one freshly stored report.
+
+    Called by :meth:`ResultStore.put_envelope` on every report write, so
+    batch and daemon stores never go stale: the record carries the fully
+    extracted document, and readers fold it in at load time.  Atomic and
+    idempotent — re-putting the same key rewrites an identical record.
+    """
+    record = {
+        "schema": INDEX_SCHEMA,
+        "key": key,
+        "app": app,
+        "doc": extract_doc(key, app, report),
+    }
+    _atomic_write(pending_dir(store_root) / f"{key}.json",
+                  _canonical(record))
+
+
+def _load_pending(store, *, consume_errors: bool = True) -> tuple[dict, list]:
+    """Read every pending delta: ``(docs by key, stale file paths)``.
+
+    A record that is unreadable or written under another schema — a
+    crashed writer — is recovered from its stored envelope when possible;
+    otherwise its path is returned as stale (deletable garbage).
+    """
+    docs: dict[str, dict] = {}
+    stale: list[Path] = []
+    pdir = pending_dir(store.root)
+    try:
+        paths = sorted(p for p in pdir.iterdir() if p.suffix == ".json")
+    except OSError:
+        return docs, stale
+    for path in paths:
+        record = _read_json(path)
+        if (
+            record is not None
+            and record.get("schema") == INDEX_SCHEMA
+            and isinstance(record.get("doc"), dict)
+            and record.get("key") == path.stem
+        ):
+            docs[record["key"]] = record["doc"]
+            continue
+        # crashed or foreign writer: the filename is the result key, so
+        # the document is recoverable from the store itself
+        envelope = store.load(path.stem)
+        doc = doc_from_envelope(envelope) if envelope else None
+        if doc is not None:
+            docs[path.stem] = doc
+        elif consume_errors:
+            stale.append(path)
+    return docs, stale
+
+
+# ----------------------------------------------------------- doc registry
+def _registry_entry(doc: dict) -> dict:
+    """The durable (term-free) form of one document for the doc registry:
+    everything the catalog, ``like:`` resolution and result labelling
+    need."""
+    return {
+        "app": doc.get("app", ""),
+        "summary": doc.get("summary", {}),
+        "txns": {str(t["id"]): t["label"] for t in doc.get("txns", ())},
+    }
+
+
+def _doc_postings(key: str, doc: dict) -> dict[str, set[Posting]]:
+    out: dict[str, set[Posting]] = {}
+    app = doc.get("app", "")
+    for txn in doc.get("txns", ()):
+        posting = (app, key, int(txn["id"]))
+        for term in txn.get("terms", ()):
+            out.setdefault(term, set()).add(posting)
+    return out
+
+
+# ------------------------------------------------------------ FleetIndex
+class FleetIndex:
+    """An in-memory view of the on-disk index plus its pending overlay.
+
+    ``load()`` reads the manifest tree and folds every pending delta into
+    memory (never onto disk), so the view is always current with the
+    store.  ``refresh()`` is the cheap staleness probe the HTTP service
+    calls per query: it reloads only when the manifest or the pending set
+    changed.
+    """
+
+    def __init__(self, store) -> None:
+        self.store = store
+        self.root = index_root(store.root)
+        self.postings: dict[str, set[Posting]] = {}
+        self.docs: dict[str, dict] = {}
+        self.pending_count = 0
+        self._loaded_state: tuple | None = None
+
+    # ------------------------------------------------------------- state
+    def _disk_state(self) -> tuple:
+        """A cheap fingerprint of what load() would read."""
+        try:
+            manifest_stat = manifest_path(self.store.root).stat()
+            manifest = (manifest_stat.st_mtime_ns, manifest_stat.st_size)
+        except OSError:
+            manifest = None
+        try:
+            pending = tuple(sorted(
+                p.name for p in pending_dir(self.store.root).iterdir()
+                if p.suffix == ".json"
+            ))
+        except OSError:
+            pending = ()
+        return (manifest, pending)
+
+    def refresh(self) -> "FleetIndex":
+        state = self._disk_state()
+        if state != self._loaded_state:
+            self.load()
+            self._loaded_state = state
+        return self
+
+    def load(self) -> "FleetIndex":
+        self.docs, self.postings = _load_tree(self.store, self.manifest())
+        pending, _stale = _load_pending(self.store, consume_errors=False)
+        self.pending_count = 0
+        for key, doc in sorted(pending.items()):
+            if key in self.docs:
+                continue  # already folded durably; delta is a leftover
+            self.docs[key] = _registry_entry(doc)
+            for term, postings in _doc_postings(key, doc).items():
+                self.postings.setdefault(term, set()).update(postings)
+            self.pending_count += 1
+        return self
+
+    def manifest(self) -> dict | None:
+        manifest = _read_json(manifest_path(self.store.root))
+        if manifest is None or manifest.get("schema") != INDEX_SCHEMA:
+            return None
+        return manifest
+
+    # ------------------------------------------------------------ queries
+    def lookup(self, term: str) -> set[Posting]:
+        return self.postings.get(term, set())
+
+    def label(self, key: str, txn_id: int) -> str:
+        doc = self.docs.get(key) or {}
+        return (doc.get("txns") or {}).get(str(txn_id), "")
+
+    def apps(self) -> dict[str, dict]:
+        """The catalog view: per app, its stored keys and aggregated
+        summary (hosts, endpoint/transaction counts, dependency
+        fields) — sorted, deterministic."""
+        out: dict[str, dict] = {}
+        for key in sorted(self.docs):
+            doc = self.docs[key]
+            app = doc.get("app", "")
+            summary = doc.get("summary") or {}
+            entry = out.setdefault(app, {
+                "app": app,
+                "keys": [],
+                "hosts": set(),
+                "endpoints": 0,
+                "transactions": 0,
+                "dependencies": 0,
+                "dependency_fields": set(),
+            })
+            entry["keys"].append(key)
+            entry["hosts"].update(summary.get("hosts", ()))
+            entry["endpoints"] += summary.get("endpoints", 0)
+            entry["transactions"] += summary.get("transactions", 0)
+            entry["dependencies"] += summary.get("dependencies", 0)
+            entry["dependency_fields"].update(
+                summary.get("dependency_fields", ())
+            )
+        for entry in out.values():
+            entry["hosts"] = sorted(entry["hosts"])
+            entry["dependency_fields"] = sorted(entry["dependency_fields"])
+        return out
+
+    def stats(self) -> dict:
+        return {
+            "docs": len(self.docs),
+            "apps": len({d.get("app", "") for d in self.docs.values()}),
+            "terms": len(self.postings),
+            "postings": sum(len(p) for p in self.postings.values()),
+            "pending": self.pending_count,
+        }
+
+
+def _load_tree(store, manifest: dict | None) -> tuple[dict, dict]:
+    """Rehydrate ``(doc registry, postings)`` from the manifest tree —
+    empty maps when there is no (or a foreign-schema) index yet."""
+    docs: dict[str, dict] = {}
+    postings: dict[str, set[Posting]] = {}
+    if manifest is None:
+        return docs, postings
+    root = index_root(store.root)
+    for sha in manifest.get("segments", {}).values():
+        segment = _read_json(root / "segments" / f"{sha}.json")
+        if segment is None or segment.get("schema") != INDEX_SCHEMA:
+            continue
+        for term, term_postings in segment.get("terms", {}).items():
+            postings[term] = {
+                (app, key, int(txn)) for app, key, txn in term_postings
+            }
+    registry = _read_json(root / "docs" / f"{manifest.get('docs')}.json")
+    if registry is not None and registry.get("schema") == INDEX_SCHEMA:
+        docs = dict(registry.get("docs", {}))
+    return docs, postings
+
+
+# ------------------------------------------------------------- building
+def _extract_chunk(store_root: str, keys: list[str]) -> list[dict]:
+    """Worker: extract the documents of a key chunk (module-level so the
+    process executor can ship it)."""
+    from ..service.store import ResultStore
+
+    store = ResultStore(store_root)
+    docs: list[dict] = []
+    for key in keys:
+        envelope = store.load(key)
+        doc = doc_from_envelope(envelope) if envelope else None
+        if doc is not None:
+            docs.append(doc)
+    return docs
+
+
+def _extract_all(store, *, executor: str = "serial",
+                 workers: int = 0) -> dict[str, dict]:
+    """Every report envelope's document, sharded across workers.
+
+    Sharding is a throughput knob only: results merge into one sorted
+    map, so serial, thread- and process-sharded builds produce identical
+    indexes.
+    """
+    keys = [
+        entry["key"] for entry in store.iter_entries()
+    ]
+    if not keys:
+        return {}
+    from ..perf.parallel import resolve_executor, resolve_workers
+
+    engine = resolve_executor(executor)
+    width = min(resolve_workers(workers), len(keys))
+    if engine == "serial" or width <= 1:
+        return {d["key"]: d for d in _extract_chunk(str(store.root), keys)}
+
+    chunks = [keys[i::width] for i in range(width)]
+    parts: list[list[dict]] | None = None
+    if engine == "process":
+        try:
+            import multiprocessing as mp
+
+            method = "fork" if "fork" in mp.get_all_start_methods() else None
+            with mp.get_context(method).Pool(width) as pool:
+                parts = pool.starmap(
+                    _extract_chunk,
+                    [(str(store.root), chunk) for chunk in chunks],
+                )
+        except (OSError, ValueError, RuntimeError, ImportError):
+            parts = None  # silent: thread build writes identical bytes
+    if parts is None:
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(width) as pool:
+            parts = list(pool.map(
+                lambda chunk: _extract_chunk(str(store.root), chunk), chunks
+            ))
+    return {doc["key"]: doc for part in parts for doc in part}
+
+
+def build_index(store, *, rebuild: bool = False, executor: str = "serial",
+                workers: int = 0) -> dict:
+    """Build or update the on-disk index; returns its stats dict.
+
+    Default mode folds pending deltas into the existing segments
+    (building from scratch when no index exists); ``rebuild=True`` always
+    re-extracts every envelope.  Either path writes the exact same bytes
+    for the same store contents.
+    """
+    manifest = _read_json(manifest_path(store.root))
+    if manifest is not None and manifest.get("schema") != INDEX_SCHEMA:
+        manifest = None  # foreign schema: rebuild rather than mis-fold
+        rebuild = True
+    rebuild = rebuild or manifest is None
+
+    pending, stale = _load_pending(store)
+    consumed = [pending_dir(store.root) / f"{key}.json" for key in pending]
+
+    if rebuild:
+        # every pending delta's envelope is part of the scan (or gone),
+        # so a full build consumes the whole pending set
+        fresh = _extract_all(store, executor=executor, workers=workers)
+        registry: dict[str, dict] = {}
+        postings: dict[str, set[Posting]] = {}
+        folded = len(fresh)
+    else:
+        registry, postings = _load_tree(store, manifest)
+        fresh = {
+            key: doc for key, doc in pending.items() if key not in registry
+        }
+        folded = len(fresh)
+
+    for key in sorted(fresh):
+        doc = fresh[key]
+        registry[key] = _registry_entry(doc)
+        for term, term_postings in _doc_postings(key, doc).items():
+            postings.setdefault(term, set()).update(term_postings)
+
+    stats = _write_index_from_postings(store, registry, postings)
+    _consume(consumed + stale)
+    stats["folded"] = folded
+    stats["rebuilt"] = rebuild
+    return stats
+
+
+def _write_index_from_postings(store, registry: dict[str, dict],
+                               postings: dict[str, set[Posting]]) -> dict:
+    """Serialise postings + registry into the content-addressed tree and
+    swing the manifest; garbage-collects superseded files."""
+    root = index_root(store.root)
+    seg_dir = root / "segments"
+    docs_dir = root / "docs"
+    # the pending drop-box is part of the tree layout: writers expect it
+    # and tree comparisons (diff -r) should see identical structure
+    pending_dir(store.root).mkdir(parents=True, exist_ok=True)
+
+    slots: list[dict] = [{} for _ in range(N_SLOTS)]
+    for term in sorted(postings):
+        slots[term_slot(term)][term] = sorted(
+            [app, key, txn] for app, key, txn in postings[term]
+        )
+    segment_shas: dict[str, str] = {}
+    keep_segments: set[str] = set()
+    for slot, terms in enumerate(slots):
+        text = _canonical({
+            "schema": INDEX_SCHEMA, "slot": slot, "terms": terms
+        })
+        sha = hashlib.sha256(text.encode("utf-8")).hexdigest()
+        segment_shas[f"{slot:02d}"] = sha
+        keep_segments.add(f"{sha}.json")
+        path = seg_dir / f"{sha}.json"
+        if not path.exists():
+            _atomic_write(path, text)
+
+    registry_text = _canonical({
+        "schema": INDEX_SCHEMA,
+        "docs": {key: registry[key] for key in sorted(registry)},
+    })
+    docs_sha = hashlib.sha256(registry_text.encode("utf-8")).hexdigest()
+    docs_path = docs_dir / f"{docs_sha}.json"
+    if not docs_path.exists():
+        _atomic_write(docs_path, registry_text)
+
+    stats = {
+        "docs": len(registry),
+        "apps": len({d.get("app", "") for d in registry.values()}),
+        "terms": len(postings),
+        "postings": sum(len(p) for p in postings.values()),
+        "segments": N_SLOTS,
+    }
+    _atomic_write(manifest_path(store.root), _canonical({
+        "schema": INDEX_SCHEMA,
+        "slots": N_SLOTS,
+        "segments": segment_shas,
+        "docs": docs_sha,
+        "stats": stats,
+    }))
+
+    _gc_dir(seg_dir, keep_segments)
+    _gc_dir(docs_dir, {f"{docs_sha}.json"})
+    return dict(stats)
+
+
+def _gc_dir(directory: Path, keep: set[str]) -> None:
+    """Drop every file the fresh manifest does not reference — superseded
+    segments and builder temp files alike."""
+    try:
+        names = list(directory.iterdir())
+    except OSError:
+        return
+    for path in names:
+        if path.name not in keep:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+
+def _consume(paths: list[Path]) -> None:
+    for path in paths:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+
+__all__ = [
+    "FleetIndex",
+    "INDEX_SCHEMA",
+    "N_SLOTS",
+    "build_index",
+    "index_root",
+    "manifest_path",
+    "pending_dir",
+    "term_slot",
+    "write_pending_delta",
+]

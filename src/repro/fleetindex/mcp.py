@@ -1,0 +1,216 @@
+"""MCP-style catalog server: the fleet index over stdio JSON-RPC.
+
+``repro mcp`` speaks newline-delimited JSON-RPC 2.0 on stdin/stdout with
+the Model Context Protocol tool shape, so agent runtimes can browse the
+fleet without linking against this package:
+
+* ``list_collections`` — the app catalog (one collection per analysed
+  app: result keys, hosts, endpoint/dependency counts), paginated.
+* ``search`` — the full ``repro search`` grammar (``host:``, ``path:``,
+  ``field:``, ``app:``, ``like:<app>/<txn>``, free text) with
+  ``limit``/``cursor`` pagination.
+* ``get_file`` — one stored report envelope, by result key or app name
+  (lexicographically last key wins, deterministically).
+
+The server is deliberately dumb transport: :class:`McpCatalogServer.handle`
+is a pure request-dict → response-dict function (tested without pipes),
+and :func:`serve` is the only loop.  The index is refreshed before every
+tool call, so results include envelopes written after startup (the
+pending-delta overlay keeps that cheap).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from .index import FleetIndex
+from .query import QueryError, catalog, run_search
+
+PROTOCOL_VERSION = "2025-03-26"
+SERVER_INFO = {"name": "repro-fleet-catalog", "version": "1.0"}
+
+_PAGING_PROPS = {
+    "limit": {"type": "integer", "description": "Page size (default 50)."},
+    "cursor": {
+        "type": "string",
+        "description": "Opaque cursor from a previous page's next_cursor.",
+    },
+}
+
+TOOLS = [
+    {
+        "name": "list_collections",
+        "description": (
+            "List analysed apps in the fleet store: result keys, hosts, "
+            "endpoint and dependency counts per app."
+        ),
+        "inputSchema": {
+            "type": "object",
+            "properties": dict(_PAGING_PROPS),
+        },
+    },
+    {
+        "name": "search",
+        "description": (
+            "Search the fleet's protocol behavior. Query grammar: "
+            "host:<host>, path:<segment|/full/path>, field:<dep-field>, "
+            "app:<app>, like:<app>/<txn-id>, free text; clauses AND."
+        ),
+        "inputSchema": {
+            "type": "object",
+            "properties": {
+                "query": {"type": "string", "description": "Query string."},
+                **_PAGING_PROPS,
+            },
+            "required": ["query"],
+        },
+    },
+    {
+        "name": "get_file",
+        "description": (
+            "Fetch one stored report envelope by result key, or an app "
+            "name (its most recent result)."
+        ),
+        "inputSchema": {
+            "type": "object",
+            "properties": {
+                "key": {"type": "string", "description": "Result key."},
+                "app": {"type": "string", "description": "App name."},
+            },
+        },
+    },
+]
+
+
+class McpCatalogServer:
+    """Pure request handling for the catalog server.
+
+    ``handle`` maps one JSON-RPC request dict to a response dict, or
+    ``None`` for notifications (which get no reply).  Transport errors
+    (unparseable lines) are the caller's problem — see :func:`serve`.
+    """
+
+    def __init__(self, store) -> None:
+        self.store = store
+        self.index = FleetIndex(store)
+
+    # ----------------------------------------------------------- tool calls
+    def _tool_result(self, payload: dict) -> dict:
+        return {
+            "content": [
+                {"type": "text", "text": json.dumps(payload, sort_keys=True)}
+            ],
+            "isError": False,
+        }
+
+    def _tool_error(self, message: str) -> dict:
+        return {
+            "content": [{"type": "text", "text": message}],
+            "isError": True,
+        }
+
+    def _call(self, name: str, arguments: dict) -> dict:
+        self.index.refresh()
+        if name == "list_collections":
+            return self._tool_result(
+                catalog(
+                    self.index,
+                    limit=arguments.get("limit"),
+                    cursor=arguments.get("cursor"),
+                )
+            )
+        if name == "search":
+            query = arguments.get("query", "")
+            try:
+                return self._tool_result(
+                    run_search(
+                        self.index,
+                        query,
+                        limit=arguments.get("limit"),
+                        cursor=arguments.get("cursor"),
+                    )
+                )
+            except QueryError as exc:
+                return self._tool_error(f"bad query: {exc}")
+        if name == "get_file":
+            key = arguments.get("key")
+            if not key and arguments.get("app"):
+                keys = sorted(
+                    k for k, doc in self.index.docs.items()
+                    if doc.get("app") == arguments["app"]
+                )
+                key = keys[-1] if keys else None
+            envelope = self.store.load(key) if key else None
+            if envelope is None:
+                return self._tool_error(
+                    f"no stored result for {arguments.get('key') or arguments.get('app')!r}"
+                )
+            return self._tool_result(envelope)
+        return self._tool_error(f"unknown tool {name!r}")
+
+    # -------------------------------------------------------------- JSON-RPC
+    def handle(self, request: dict) -> dict | None:
+        """One JSON-RPC request → response dict (``None`` = notification)."""
+        method = request.get("method", "")
+        req_id = request.get("id")
+        if req_id is None:
+            return None  # notification (e.g. notifications/initialized)
+
+        def ok(result: dict) -> dict:
+            return {"jsonrpc": "2.0", "id": req_id, "result": result}
+
+        def err(code: int, message: str) -> dict:
+            return {
+                "jsonrpc": "2.0",
+                "id": req_id,
+                "error": {"code": code, "message": message},
+            }
+
+        if method == "initialize":
+            return ok({
+                "protocolVersion": PROTOCOL_VERSION,
+                "serverInfo": SERVER_INFO,
+                "capabilities": {"tools": {}},
+            })
+        if method == "ping":
+            return ok({})
+        if method == "tools/list":
+            return ok({"tools": TOOLS})
+        if method == "tools/call":
+            params = request.get("params") or {}
+            name = params.get("name", "")
+            arguments = params.get("arguments") or {}
+            try:
+                return ok(self._call(name, arguments))
+            except Exception as exc:  # tool bugs become protocol errors
+                return err(-32603, f"{type(exc).__name__}: {exc}")
+        return err(-32601, f"method not found: {method}")
+
+
+def serve(store, stdin=None, stdout=None) -> int:
+    """The stdio loop: one JSON-RPC message per line until EOF."""
+    stdin = stdin if stdin is not None else sys.stdin
+    stdout = stdout if stdout is not None else sys.stdout
+    server = McpCatalogServer(store)
+    for line in stdin:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            request = json.loads(line)
+        except ValueError:
+            response = {
+                "jsonrpc": "2.0",
+                "id": None,
+                "error": {"code": -32700, "message": "parse error"},
+            }
+        else:
+            response = server.handle(request)
+        if response is not None:
+            stdout.write(json.dumps(response, sort_keys=True) + "\n")
+            stdout.flush()
+    return 0
+
+
+__all__ = ["McpCatalogServer", "PROTOCOL_VERSION", "TOOLS", "serve"]

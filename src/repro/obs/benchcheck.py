@@ -5,7 +5,7 @@ baseline ``BENCH_*.json`` and decides pass/fail with configurable
 thresholds, so CI consumes the bench trajectory instead of merely
 regenerating it.
 
-Four bench shapes are understood (detected structurally, no filename
+Five bench shapes are understood (detected structurally, no filename
 convention required):
 
 * ``batch_scale`` — ``{"by_workers": {"1": {apps_per_sec, p50_s, ...}}}``
@@ -13,6 +13,10 @@ convention required):
 * ``pipeline`` — ``{"apps": {...}, "aggregate": {"speedup": ...}}``
 * ``incremental`` — ``{"by_lineage": {"app@v2": {cold_s, warm_s, speedup,
   reuse_fraction, ...}}}`` (cold vs manifest-warm re-analysis)
+* ``search`` — ``{"by_query": {"host": {p50_ms, p99_ms, qps, ...}}}``
+  (fleet-index query latency over a synthesized store; the baked query
+  strings travel in ``meta.queries`` so a fresh candidate re-runs
+  exactly the baseline's workload)
 
 Candidates come from three sources: another bench JSON file, a run-ledger
 entry (converted to a one-row ``batch_scale`` shape), or a fresh sharded
@@ -57,6 +61,11 @@ _INCR_METRICS = (
     ("reuse_fraction", "higher"),
     ("speedup", "higher"),
     ("warm_s", "lower"),
+)
+_SEARCH_METRICS = (
+    ("qps", "higher"),
+    ("p50_ms", "lower"),
+    ("p99_ms", "lower"),
 )
 
 
@@ -123,6 +132,8 @@ def bench_kind(data: dict) -> str | None:
         return "corpus_scale"
     if "by_lineage" in data:
         return "incremental"
+    if "by_query" in data:
+        return "search"
     if "apps" in data and "aggregate" in data:
         return "pipeline"
     return None
@@ -168,6 +179,14 @@ def extract_metrics(data: dict) -> dict[str, tuple[float, str]]:
             for metric, direction in _INCR_METRICS:
                 if isinstance(row.get(metric), (int, float)):
                     out[f"by_lineage.{label}.{metric}"] = (
+                        float(row[metric]),
+                        direction,
+                    )
+    elif kind == "search":
+        for name, row in (data.get("by_query") or {}).items():
+            for metric, direction in _SEARCH_METRICS:
+                if isinstance(row.get(metric), (int, float)):
+                    out[f"by_query.{name}.{metric}"] = (
                         float(row[metric]),
                         direction,
                     )
@@ -370,6 +389,132 @@ def measure_incremental_synth(spec: str) -> dict:
     }
 
 
+def _top_term(index, prefix: str, *, skip=lambda value: False) -> str | None:
+    """The busiest term under a namespace prefix — deterministic: highest
+    posting count, lexicographically first on ties."""
+    best: tuple[int, str] | None = None
+    for term, postings in index.postings.items():
+        if not term.startswith(prefix):
+            continue
+        if skip(term[len(prefix):]):
+            continue
+        cand = (-len(postings), term)
+        if best is None or cand < best:
+            best = cand
+    return best[1] if best is not None else None
+
+
+def derive_search_queries(index) -> dict[str, str]:
+    """One representative query per grammar class, derived
+    deterministically from the index contents (busiest term of each
+    namespace; the lexicographically first document for ``like:``)."""
+    queries: dict[str, str] = {}
+    host = _top_term(index, "host:")
+    path = _top_term(index, "path:", skip=lambda v: v.startswith("/"))
+    field = _top_term(index, "field:")
+    text = _top_term(index, "text:")
+    if host:
+        queries["host"] = host
+    if path:
+        queries["path"] = path
+    if field:
+        queries["field"] = field
+    if text:
+        queries["text"] = text[len("text:"):]
+    if host and text:
+        queries["multi"] = f"{host} {text[len('text:'):]}"
+    for key in sorted(index.docs):
+        txns = sorted(int(t) for t in index.docs[key].get("txns", {}))
+        if txns:
+            queries["like"] = f"like:{key[:16]}/{txns[0]}"
+            break
+    return queries
+
+
+def measure_search_bench(
+    spec: str,
+    *,
+    queries: dict[str, str] | None = None,
+    workers: int = 0,
+    repeats: int = 50,
+    store_root=None,
+) -> dict:
+    """Build a store from a population spec, index it, and measure query
+    latency per grammar class; returns the full ``search``-shaped bench.
+
+    The index is loaded once and queried ``repeats`` times per class —
+    the service steady state, where ``refresh()`` is a stat probe.
+    """
+    import tempfile
+    import time
+
+    from ..fleetindex.index import FleetIndex, build_index
+    from ..fleetindex.query import run_search
+    from ..service.shard import run_sharded_batch
+    from ..service.store import ResultStore
+    from ..synth import expand_targets
+    from .fleet import percentile
+
+    targets = expand_targets([spec])
+    with tempfile.TemporaryDirectory(prefix="repro-bench-search-") as tmp:
+        root = store_root or tmp
+        run_sharded_batch(root, targets, workers=workers or 1)
+        store = ResultStore(root)
+        t0 = time.perf_counter()
+        index_stats = build_index(store)
+        build_s = time.perf_counter() - t0
+        index = FleetIndex(store).refresh()
+        if queries is None:
+            queries = derive_search_queries(index)
+
+        by_query: dict[str, dict] = {}
+        for name in sorted(queries):
+            text = queries[name]
+            latencies: list[float] = []
+            total = 0
+            for _ in range(repeats):
+                t0 = time.perf_counter()
+                result = run_search(index, text)
+                latencies.append(time.perf_counter() - t0)
+                total = result["total"]
+            latencies.sort()
+            wall = sum(latencies)
+            by_query[name] = {
+                "query": text,
+                "hits": total,
+                "p50_ms": round(percentile(latencies, 0.50) * 1000, 4),
+                "p99_ms": round(percentile(latencies, 0.99) * 1000, 4),
+                "qps": round(repeats / wall, 2) if wall else 0.0,
+            }
+    return {
+        "meta": {
+            "host": host_fingerprint(),
+            "spec": spec,
+            "queries": queries,
+            "repeats": repeats,
+            "engine": "repro.fleetindex (loaded index, pending overlay)",
+            "timed_region": (
+                "run_search only: parse + posting intersection/scoring + "
+                "sort + first page"
+            ),
+        },
+        "index": {**index_stats, "build_s": round(build_s, 4)},
+        "by_query": by_query,
+    }
+
+
+def fresh_search_candidate(baseline: dict) -> dict:
+    """Re-measure the baseline's own store spec and baked query strings
+    (``search`` kind's fresh-run source for ``repro bench check``)."""
+    meta = baseline.get("meta") or {}
+    spec = meta.get("spec")
+    if not spec:
+        raise ValueError("baseline meta.spec is empty; cannot rebuild store")
+    queries = meta.get("queries") or None
+    repeats = int(meta.get("repeats") or 50)
+    return measure_search_bench(spec, queries=queries, repeats=repeats)
+
+
 def fresh_incremental_candidate(baseline: dict) -> dict:
     """Re-measure the baseline's own lineage rows (``incremental`` kind's
     fresh-run source for ``repro bench check``)."""
@@ -432,9 +577,12 @@ __all__ = [
     "bench_kind",
     "candidate_from_run",
     "compare_benches",
+    "derive_search_queries",
     "extract_metrics",
     "fresh_candidate",
     "fresh_incremental_candidate",
+    "fresh_search_candidate",
+    "measure_search_bench",
     "load_bench",
     "measure_incremental_row",
     "measure_incremental_synth",

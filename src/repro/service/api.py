@@ -10,8 +10,18 @@ Endpoints::
     GET  /jobs             all jobs
     GET  /jobs/<id>        one job
     GET  /report/<key>     stored result envelope by result key
-    GET  /reports          metadata of every stored report (key, app,
-                           config key, schema, transaction count)
+    GET  /reports          metadata of stored reports (key, app, config
+                           key, schema, transaction count, summary),
+                           paginated: ``?limit=&cursor=`` with an opaque
+                           ``next_cursor`` in the response
+    GET  /search           fleet index query: ``?q=<query>`` with the
+                           ``repro search`` grammar (``host:``, ``path:``,
+                           ``field:``, ``app:``, ``like:<app>/<txn>``,
+                           free text), paginated like ``/reports``;
+                           counts ``search_queries`` and observes
+                           ``search_latency`` seconds
+    GET  /catalog          the fleet app catalog (per-app keys, hosts,
+                           endpoint/dependency aggregates), paginated
     GET  /diff/<k1>/<k2>   protocol diff of two stored reports, computed
                            once and cached in the store
     GET  /metrics          counters / gauges / histograms + store stats
@@ -85,6 +95,15 @@ class AnalysisService:
         handler = _make_handler(self)
         self.server = ThreadingHTTPServer((host, port), handler)
         self._thread: threading.Thread | None = None
+        # fleet search: one shared index view, refreshed per query (the
+        # refresh is a stat probe unless the store actually changed);
+        # tracer defaults to the null tracer so a long-lived daemon never
+        # accumulates spans — tests inject a real Tracer to see them
+        from ..obs.tracer import NULL_TRACER
+
+        self.tracer = NULL_TRACER
+        self._index = None
+        self._index_lock = threading.Lock()
         from ..obs.ledger import RunLedger, new_run_id
 
         self.run_id = new_run_id()
@@ -233,6 +252,66 @@ class AnalysisService:
             ],
         }
 
+    # ------------------------------------------------------------- search
+    def _fleet_index(self):
+        from ..fleetindex.index import FleetIndex
+
+        if self._index is None:
+            self._index = FleetIndex(self.store)
+        return self._index.refresh()
+
+    def handle_search(
+        self, q: str, limit: int | None, cursor: str | None
+    ) -> tuple[int, dict]:
+        from ..fleetindex.query import QueryError, run_search
+
+        if not q:
+            return 400, {"error": "missing 'q' query parameter"}
+        self.metrics.counter("search_queries").inc()
+        started = time.perf_counter()
+        # one lock around refresh + query: refresh() swaps the in-memory
+        # maps, and ThreadingHTTPServer handles requests concurrently
+        with self._index_lock:
+            index = self._fleet_index()
+            try:
+                result = run_search(
+                    index, q, limit=limit, cursor=cursor, tracer=self.tracer
+                )
+            except QueryError as exc:
+                return 400, {"error": str(exc)}
+        self.metrics.histogram("search_latency").observe(
+            time.perf_counter() - started
+        )
+        return 200, result
+
+    def handle_catalog(
+        self, limit: int | None, cursor: str | None
+    ) -> tuple[int, dict]:
+        from ..fleetindex.query import catalog
+
+        with self._index_lock:
+            return 200, catalog(
+                self._fleet_index(), limit=limit, cursor=cursor
+            )
+
+    def handle_reports(
+        self, limit: int | None, cursor: str | None
+    ) -> tuple[int, dict]:
+        from ..fleetindex.query import paginate
+
+        entries = self.store.list_entries()
+        page, next_cursor = paginate(
+            entries,
+            limit=limit,
+            cursor=cursor,
+            sort_key=lambda e: [e["app"], e["stored_at"], e["key"]],
+        )
+        return 200, {
+            "reports": page,
+            "total": len(entries),
+            "next_cursor": next_cursor,
+        }
+
     def handle_diff(self, old_key: str, new_key: str) -> tuple[int, dict]:
         from ..diff.engine import cached_diff, diff_cache_key
 
@@ -262,6 +341,16 @@ class AnalysisService:
             "running": sum(j.status.value == "running" for j in jobs),
             "store_entries": len(self.store.entries()),
         }
+
+
+def _paging(query: dict) -> tuple[int | None, str | None]:
+    """``(limit, cursor)`` from parsed query params; garbage limits fall
+    back to the default page size."""
+    try:
+        limit = int(query.get("limit", [""])[0]) or None
+    except ValueError:
+        limit = None
+    return limit, query.get("cursor", [None])[0]
 
 
 def _make_handler(service: AnalysisService):
@@ -321,7 +410,17 @@ def _make_handler(service: AnalysisService):
                 else:
                     self._send(200, {"job": job.to_dict()})
             elif path == "/reports":
-                self._send(200, {"reports": service.store.list_entries()})
+                self._send(
+                    200, service.handle_reports(*_paging(query))[1]
+                )
+            elif path == "/search":
+                status, payload = service.handle_search(
+                    query.get("q", [""])[0], *_paging(query)
+                )
+                self._send(status, payload)
+            elif path == "/catalog":
+                status, payload = service.handle_catalog(*_paging(query))
+                self._send(status, payload)
             elif path.startswith("/report/"):
                 envelope = service.store.load(path.removeprefix("/report/"))
                 if envelope is None:

@@ -257,6 +257,12 @@ class ResultStore:
             ),
             "report": report_to_dict(report),
         }
+        from ..fleetindex.docs import report_summary
+
+        # compact queryable block (hosts/endpoint counts/dependency
+        # fields) so listings and the fleet indexer never have to walk
+        # the full report payload; carries its own summary schema
+        envelope["summary"] = report_summary(envelope["report"])
         if report.phase_stats is not None:
             # run-specific profile: envelope metadata, like
             # analysis_seconds — never inside the "report" payload
@@ -282,12 +288,27 @@ class ResultStore:
         artifacts (cached protocol diffs) use it directly.  Envelopes
         without a ``report`` key are invisible to :meth:`get` and
         :meth:`list_entries`.
+
+        Report envelopes additionally land a pending-delta record in the
+        side-band ``index/`` tree so the fleet index never goes stale
+        (see :mod:`repro.fleetindex.index`); index bookkeeping failures
+        never fail the durable write itself.
         """
         self._atomic_write(self.path_for(key), key, envelope)
         with self._lock:
             self.writes += 1
         if self.metrics is not None:
             self.metrics.counter("store_writes").inc()
+        if isinstance(envelope.get("report"), dict):
+            from ..fleetindex.index import write_pending_delta
+
+            try:
+                write_pending_delta(
+                    self.root, key, envelope.get("app", ""),
+                    envelope["report"],
+                )
+            except OSError:
+                pass
         return key
 
     def _atomic_write(self, path: Path, key: str, envelope: dict) -> None:
@@ -378,15 +399,18 @@ class ResultStore:
             p.stem for p in self.objects.glob("*/*.json")
         )
 
-    def list_entries(self) -> list[dict]:
-        """Metadata for every stored *report* envelope, sorted by
-        ``(app, stored_at, key)``.
+    def iter_entries(self):
+        """Stream metadata for every stored *report* envelope, one at a
+        time in key order — large stores never materialise in memory.
 
-        Powers ``GET /reports`` and the CLI's latest-two-versions lookup.
         Derived artifacts (diff caches) and unreadable files are skipped;
         the report payload itself is not returned — fetch it via the key.
+        Each entry carries the envelope's compact ``summary`` block,
+        recomputed on the fly for envelopes that predate it (the backfill
+        path — see :func:`repro.fleetindex.docs.envelope_summary`).
         """
-        out: list[dict] = []
+        from ..fleetindex.docs import envelope_summary
+
         for path in sorted(self.objects.glob("*/*.json")):
             try:
                 envelope = json.loads(path.read_text())
@@ -395,15 +419,25 @@ class ResultStore:
             if not isinstance(envelope, dict) or "report" not in envelope:
                 continue
             report = envelope.get("report") or {}
-            out.append({
+            yield {
                 "key": envelope.get("key", path.stem),
                 "app": envelope.get("app", ""),
                 "apk_digest": envelope.get("apk_digest", ""),
                 "config_key": envelope.get("config_key", ""),
                 "schema": envelope.get("schema"),
                 "transactions": len(report.get("transactions", ())),
+                "summary": envelope_summary(envelope),
                 "stored_at": path.stat().st_mtime,
-            })
+            }
+
+    def list_entries(self) -> list[dict]:
+        """Metadata for every stored *report* envelope, sorted by
+        ``(app, stored_at, key)``.
+
+        Powers ``GET /reports`` and the CLI's latest-two-versions lookup;
+        prefer :meth:`iter_entries` when streaming order suffices.
+        """
+        out = list(self.iter_entries())
         out.sort(key=lambda e: (e["app"], e["stored_at"], e["key"]))
         return out
 

@@ -48,12 +48,41 @@ PIPELINE = {
 }
 
 
+SEARCH = {
+    "meta": {"host": host_fingerprint(), "spec": "synth:all*500@7",
+             "queries": {"host": "host:api.example.test"}, "repeats": 200},
+    "by_query": {
+        "host": {"query": "host:api.example.test", "hits": 6,
+                 "p50_ms": 0.01, "p99_ms": 0.03, "qps": 100000.0},
+        "like": {"query": "like:abcd1234/0", "hits": 280,
+                 "p50_ms": 3.5, "p99_ms": 5.2, "qps": 280.0},
+    },
+}
+
+
 class TestShapes:
     def test_bench_kind(self):
         assert bench_kind(BATCH) == "batch_scale"
         assert bench_kind(CORPUS) == "corpus_scale"
         assert bench_kind(PIPELINE) == "pipeline"
+        assert bench_kind(SEARCH) == "search"
         assert bench_kind({"nope": 1}) is None
+
+    def test_extract_search_metrics(self):
+        metrics = extract_metrics(SEARCH)
+        assert metrics["by_query.host.p50_ms"] == (0.01, "lower")
+        assert metrics["by_query.like.qps"] == (280.0, "higher")
+        # hits is a workload property, not a performance metric
+        assert "by_query.host.hits" not in metrics
+
+    def test_search_latency_regression_fails(self):
+        worse = copy.deepcopy(SEARCH)
+        worse["by_query"]["like"]["p99_ms"] = 5.2 * 1.5
+        result = compare_benches(SEARCH, worse)
+        assert not result.ok
+        assert [c.metric for c in result.regressions] == [
+            "by_query.like.p99_ms"
+        ]
 
     def test_extract_batch_metrics(self):
         metrics = extract_metrics(BATCH)
